@@ -1,0 +1,74 @@
+// Command wmbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	wmbench -exp fig3            # one experiment at full scale
+//	wmbench -exp all -quick      # everything, test-sized streams
+//	wmbench -list                # enumerate experiment ids
+//
+// Each experiment id corresponds to a table or figure in "Sketching Linear
+// Classifiers over Data Streams" (SIGMOD 2018); see DESIGN.md for the
+// per-experiment index and EXPERIMENTS.md for paper-vs-measured results.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"wmsketch/internal/experiments"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "", "experiment id to run, or 'all'")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		quick    = flag.Bool("quick", false, "use test-sized streams")
+		examples = flag.Int("n", 0, "override stream length (0 = preset)")
+		seed     = flag.Int64("seed", 42, "base random seed")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned text")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "usage: wmbench -exp <id>|all [-quick] [-n N] [-seed S]")
+		fmt.Fprintln(os.Stderr, "known experiments:", experiments.IDs())
+		os.Exit(2)
+	}
+
+	opt := experiments.Full()
+	if *quick {
+		opt = experiments.Quick()
+	}
+	if *examples > 0 {
+		opt.Examples = *examples
+	}
+	opt.Seed = *seed
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = experiments.IDs()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		tab, err := experiments.Run(id, opt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		if *csv {
+			fmt.Print(tab.CSV())
+		} else {
+			fmt.Println(tab)
+			fmt.Printf("(%s completed in %s with %d examples)\n\n", id,
+				time.Since(start).Round(time.Millisecond), opt.Examples)
+		}
+	}
+}

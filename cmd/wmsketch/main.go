@@ -1,0 +1,131 @@
+// Command wmsketch trains an AWM-Sketch (or plain WM-Sketch) over a
+// labeled stream from stdin or a file and prints the recovered top-K
+// weights, online error rate, and memory footprint.
+//
+// Two input formats:
+//
+//	libsvm (default):  <label> <idx>:<val> ...
+//	text (-text):      <label>\t<raw document text>
+//
+// In text mode, documents are tokenized and hashed into n-gram features
+// (the paper's motivating spam-filter pipeline) and the top weights are
+// printed with their n-gram strings.
+//
+// Usage:
+//
+//	wmsketch -width 1024 -heap 512 -k 20 < train.libsvm
+//	wmsketch -input data.libsvm -variant wm -depth 4 -lambda 1e-5
+//	wmsketch -text -ngrams 2 -k 10 < labeled_docs.tsv
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"wmsketch/internal/core"
+	"wmsketch/internal/featurize"
+	"wmsketch/internal/metrics"
+	"wmsketch/internal/stream"
+)
+
+func main() {
+	var (
+		input   = flag.String("input", "-", "libsvm input path, '-' for stdin")
+		variant = flag.String("variant", "awm", "sketch variant: awm or wm")
+		width   = flag.Int("width", 1024, "sketch width (buckets per row)")
+		depth   = flag.Int("depth", 1, "sketch depth (rows)")
+		heap    = flag.Int("heap", 512, "heap capacity (active set / top tracking)")
+		lambda  = flag.Float64("lambda", 1e-6, "l2 regularization strength")
+		topK    = flag.Int("k", 20, "number of top weights to print")
+		seed    = flag.Int64("seed", 1, "hash seed")
+		norm    = flag.Bool("normalize", false, "l1-normalize feature vectors")
+		text    = flag.Bool("text", false, "parse 'label<TAB>text' lines instead of libsvm")
+		ngrams  = flag.Int("ngrams", 2, "text mode: max n-gram order")
+		pairs   = flag.Int("pairs", 0, "text mode: skip-gram pair window (0 = off)")
+	)
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *input != "-" {
+		f, err := os.Open(*input)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		r = f
+	}
+
+	cfg := core.Config{
+		Width: *width, Depth: *depth, HeapSize: *heap,
+		Lambda: *lambda, Seed: *seed,
+	}
+	var learner stream.Learner
+	switch *variant {
+	case "awm":
+		learner = core.NewAWMSketch(cfg)
+	case "wm":
+		learner = core.NewWMSketch(cfg)
+	default:
+		fmt.Fprintf(os.Stderr, "error: unknown variant %q (awm|wm)\n", *variant)
+		os.Exit(2)
+	}
+
+	var er metrics.ErrorRate
+	consume := func(ex stream.Example) {
+		x := ex.X
+		if *norm {
+			x = x.Normalize()
+		}
+		er.Record(learner.Predict(x), ex.Y)
+		learner.Update(x, ex.Y)
+	}
+
+	var extractor *featurize.Extractor
+	if *text {
+		extractor = featurize.NewRecording(featurize.Config{
+			NGrams: *ngrams, SkipWindow: *pairs, HashSeed: uint32(*seed),
+		})
+		sc := bufio.NewScanner(r)
+		sc.Buffer(make([]byte, 1<<20), 1<<24)
+		for sc.Scan() {
+			if ex, ok := extractor.ExtractLabeled(sc.Text()); ok {
+				consume(ex)
+			}
+		}
+		if err := sc.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+	} else {
+		err := stream.ReadLibSVM(r, func(ex stream.Example) error {
+			consume(ex)
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+	}
+	if er.Count() == 0 {
+		fmt.Fprintln(os.Stderr, "error: no examples read")
+		os.Exit(1)
+	}
+
+	fmt.Printf("examples:     %d\n", er.Count())
+	fmt.Printf("online error: %.4f\n", er.Rate())
+	fmt.Printf("memory:       %d bytes (cost model)\n", learner.MemoryBytes())
+	fmt.Printf("top-%d weights:\n", *topK)
+	for i, w := range learner.TopK(*topK) {
+		label := fmt.Sprintf("feature %-10d", w.Index)
+		if extractor != nil {
+			if name, ok := extractor.Name(w.Index); ok {
+				label = fmt.Sprintf("%-20q", name)
+			}
+		}
+		fmt.Printf("  %3d. %s %+.6f\n", i+1, label, w.Weight)
+	}
+}

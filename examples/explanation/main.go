@@ -1,0 +1,90 @@
+// Streaming data explanation (Section 8.1 of the paper): identify the
+// attributes most indicative of outlier records in a stream, using a
+// memory-budgeted classifier instead of a heavy-hitters summary.
+//
+// The stream mimics itemized spending records: each row has six
+// categorical attributes and an outlier flag (top-20% by amount). Rows are
+// encoded as 1-sparse examples (one per attribute) and a 32KB AWM-Sketch is
+// trained to discriminate outliers from inliers. Features with the largest
+// positive weights are the explanation candidates; their weights correlate
+// strongly with the exact relative risk.
+//
+//	go run ./examples/explanation
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"wmsketch/internal/core"
+	"wmsketch/internal/datagen"
+	"wmsketch/internal/linear"
+	"wmsketch/internal/metrics"
+)
+
+func main() {
+	gen := datagen.NewExplanation(datagen.DefaultExplanationConfig(7))
+
+	// 32KB AWM-Sketch (Table 2 configuration: 2048-entry active set plus a
+	// 4096-bucket depth-1 sketch).
+	sketch := core.NewAWMSketch(core.Config{
+		Width:    4096,
+		Depth:    1,
+		HeapSize: 2048,
+		Lambda:   1e-6,
+		Seed:     3,
+		Schedule: linear.Constant{Eta0: 0.1},
+	})
+
+	// Exact relative-risk tracking for validation only — a real deployment
+	// would keep just the 32KB sketch.
+	risk := metrics.NewRiskTracker()
+
+	const rows = 100_000
+	for i := 0; i < rows; i++ {
+		row := gen.Next()
+		for _, a := range row.Attrs {
+			risk.Observe(a, row.Y)
+		}
+		for _, ex := range row.Examples() {
+			sketch.Update(ex.X, ex.Y)
+		}
+	}
+	fmt.Printf("processed %d rows (%d attribute observations) in %d bytes\n\n",
+		rows, 6*rows, sketch.MemoryBytes())
+
+	// The top positively-weighted attributes explain the outlier class.
+	fmt.Println("top outlier-explaining attributes (weight vs exact relative risk):")
+	fmt.Println("  field:value      weight   rel-risk  planted-high-risk")
+	printed := 0
+	for _, w := range sketch.TopK(2048) {
+		if w.Weight <= 0 || printed == 12 {
+			if printed == 12 {
+				break
+			}
+			continue
+		}
+		r := risk.RelativeRisk(w.Index)
+		if math.IsNaN(r) {
+			continue
+		}
+		fmt.Printf("  %5d:%-6d  %+8.3f  %8.2f  %v\n",
+			w.Index/2000, w.Index%2000, w.Weight, r,
+			gen.HighRiskFeatures()[w.Index])
+		printed++
+	}
+
+	// Overall weight-risk agreement across the retrieved set (the paper
+	// reports Pearson 0.91 for the AWM-Sketch on the FEC data).
+	var ws, rs []float64
+	for _, w := range sketch.TopK(2048) {
+		r := risk.RelativeRisk(w.Index)
+		if math.IsNaN(r) || math.IsInf(r, 0) {
+			continue
+		}
+		ws = append(ws, w.Weight)
+		rs = append(rs, r)
+	}
+	fmt.Printf("\nPearson(weight, relative risk) over top-%d: %.3f\n",
+		len(ws), metrics.Pearson(ws, rs))
+}

@@ -1,0 +1,229 @@
+// Cross-module integration tests: end-to-end flows that span the text
+// featurizer, libsvm I/O, the sketches, serialization, and the evaluation
+// metrics — the paths a downstream user of this library actually exercises.
+package wmsketch_test
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"wmsketch/internal/baselines"
+	"wmsketch/internal/core"
+	"wmsketch/internal/datagen"
+	"wmsketch/internal/featurize"
+	"wmsketch/internal/linear"
+	"wmsketch/internal/memory"
+	"wmsketch/internal/metrics"
+	"wmsketch/internal/sketch"
+	"wmsketch/internal/stream"
+)
+
+// TestLibSVMTrainRecoverRoundTrip drives the full CLI path: synthesize a
+// dataset, serialize it to libsvm text, parse it back, train an AWM-Sketch,
+// and verify recovery of the generator's planted weights.
+func TestLibSVMTrainRecoverRoundTrip(t *testing.T) {
+	gen := datagen.NewClassification(datagen.ClassificationConfig{
+		Name: "it", D: 5000, NNZ: 8, ZipfS: 1.3,
+		NumSignal: 20, SignalMinRank: 0, SignalMaxRank: 200,
+		WeightScale: 6, SignalRate: 0.7, Seed: 9,
+	})
+	var buf bytes.Buffer
+	for i := 0; i < 20000; i++ {
+		if err := stream.WriteLibSVM(&buf, gen.Next()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sketch := core.NewAWMSketch(core.Config{
+		Width: 512, Depth: 1, HeapSize: 256, Lambda: 1e-6, Seed: 10,
+	})
+	var er metrics.ErrorRate
+	err := stream.ReadLibSVM(&buf, func(ex stream.Example) error {
+		er.Record(sketch.Predict(ex.X), ex.Y)
+		sketch.Update(ex.X, ex.Y)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if er.Count() != 20000 {
+		t.Fatalf("read %d examples", er.Count())
+	}
+	if er.Rate() > 0.35 {
+		t.Fatalf("online error %.3f", er.Rate())
+	}
+	// Most of the top-10 recovered features must be planted signal.
+	truth := gen.TrueWeights()
+	hits := 0
+	for _, w := range sketch.TopK(10) {
+		if truth[w.Index] != 0 && truth[w.Index]*w.Weight > 0 {
+			hits++
+		}
+	}
+	if hits < 6 {
+		t.Fatalf("only %d/10 top features are correctly-signed planted signal", hits)
+	}
+}
+
+// TestCheckpointResumeMatchesUninterrupted verifies the full checkpoint
+// flow: train, serialize mid-stream, deserialize, finish training, and
+// compare against an uninterrupted run example-for-example.
+func TestCheckpointResumeMatchesUninterrupted(t *testing.T) {
+	genA := datagen.RCV1Like(3)
+	genB := datagen.RCV1Like(3)
+	cfg := core.Config{Width: 512, Depth: 1, HeapSize: 128, Lambda: 1e-5, Seed: 4}
+	straight := core.NewAWMSketch(cfg)
+	first := core.NewAWMSketch(cfg)
+	for i := 0; i < 5000; i++ {
+		ex := genA.Next()
+		straight.Update(ex.X, ex.Y)
+		ey := genB.Next()
+		first.Update(ey.X, ey.Y)
+	}
+	var buf bytes.Buffer
+	if _, err := first.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := core.LoadAWMSketch(&buf, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5000; i++ {
+		ex := genA.Next()
+		straight.Update(ex.X, ex.Y)
+		ey := genB.Next()
+		resumed.Update(ey.X, ey.Y)
+	}
+	for i := uint32(0); i < 2000; i++ {
+		if resumed.Estimate(i) != straight.Estimate(i) {
+			t.Fatalf("feature %d: resumed %g vs straight %g",
+				i, resumed.Estimate(i), straight.Estimate(i))
+		}
+	}
+}
+
+// TestTextPipelineAgainstBaselines runs the paper's motivating text
+// scenario through featurize and compares the AWM-Sketch against feature
+// hashing at the same budget: accuracy should be comparable while only the
+// AWM-Sketch can name its top features.
+func TestTextPipelineAgainstBaselines(t *testing.T) {
+	ext := featurize.NewRecording(featurize.Config{NGrams: 2})
+	const budget = 4 * 1024
+	awmCfg := memory.PaperAWMConfig(budget)
+	awm := core.NewAWMSketch(core.Config{
+		Width: awmCfg.Width, Depth: 1, HeapSize: awmCfg.Heap, Lambda: 1e-6, Seed: 8,
+	})
+	hash := baselines.NewFeatureHash(baselines.Config{
+		Budget: memory.HashBuckets(budget), Lambda: 1e-6, Seed: 8,
+	})
+	if awm.MemoryBytes() > budget || hash.MemoryBytes() > budget {
+		t.Fatal("budget violated")
+	}
+
+	spam := []string{"free money offer", "click to win money", "cheap pills offer now",
+		"winner winner free prize", "claim your free offer"}
+	ham := []string{"team meeting today", "quarterly report attached", "lunch plans tomorrow",
+		"project review notes", "thanks for the update"}
+	var awmErr, hashErr metrics.ErrorRate
+	for i := 0; i < 6000; i++ {
+		var text string
+		y := 1
+		if i%2 == 0 {
+			y = -1
+			text = ham[(i/2)%len(ham)]
+		} else {
+			text = spam[(i/2)%len(spam)]
+		}
+		x := ext.Extract(text)
+		awmErr.Record(awm.Predict(x), y)
+		hashErr.Record(hash.Predict(x), y)
+		awm.Update(x, y)
+		hash.Update(x, y)
+	}
+	if awmErr.Rate() > hashErr.Rate()+0.02 {
+		t.Fatalf("AWM error %.4f far above Hash %.4f", awmErr.Rate(), hashErr.Rate())
+	}
+	// Interpretability: the AWM-Sketch's top feature resolves to a real
+	// n-gram; feature hashing exposes no identities at all.
+	top := awm.TopK(1)
+	if len(top) == 0 {
+		t.Fatal("no recovered features")
+	}
+	if _, ok := ext.Name(top[0].Index); !ok {
+		t.Fatal("top feature has no recorded name")
+	}
+	if got := hash.TopK(5); got != nil {
+		t.Fatal("plain feature hashing should not answer TopK")
+	}
+}
+
+// TestSketchMergeAcrossShards simulates sharded frequency aggregation:
+// Count-Sketches built on disjoint shards merge into the sketch of the
+// union, and heavy-hitter estimates survive the merge.
+func TestSketchMergeAcrossShards(t *testing.T) {
+	gen := datagen.RCV1Like(5)
+	a := newCountingSketch(17)
+	b := newCountingSketch(17)
+	whole := newCountingSketch(17)
+	for i := 0; i < 20000; i++ {
+		ex := gen.Next()
+		target := a
+		if i%2 == 1 {
+			target = b
+		}
+		for _, f := range ex.X {
+			target.Update(f.Index, f.Value)
+			whole.Update(f.Index, f.Value)
+		}
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint32(0); i < 500; i++ {
+		if math.Abs(a.Estimate(i)-whole.Estimate(i)) > 1e-9 {
+			t.Fatalf("merged estimate differs for feature %d", i)
+		}
+	}
+}
+
+// TestSparseVsDenseLogRegOnText checks the elastic-net model produces a
+// much sparser model than plain LR at comparable accuracy on text.
+func TestSparseVsDenseLogRegOnText(t *testing.T) {
+	ext := featurize.New(featurize.Config{NGrams: 1})
+	dense := linear.NewLogReg(linear.LogRegConfig{Lambda: 1e-6, Schedule: linear.Constant{Eta0: 0.1}})
+	sparse := linear.NewSparseLogReg(linear.SparseLogRegConfig{
+		Lambda1: 0.003, Lambda2: 1e-6, Schedule: linear.Constant{Eta0: 0.1}})
+	docs := []struct {
+		text string
+		y    int
+	}{
+		{"buy cheap pills online free", 1},
+		{"exclusive offer win money now", 1},
+		{"meeting notes for the project", -1},
+		{"see you at lunch tomorrow", -1},
+	}
+	fillers := strings.Fields("alpha beta gamma delta epsilon zeta eta theta iota kappa")
+	var denseErr, sparseErr metrics.ErrorRate
+	for i := 0; i < 8000; i++ {
+		d := docs[i%len(docs)]
+		text := d.text + " " + fillers[i%len(fillers)] + " " + fillers[(i*7)%len(fillers)]
+		x := ext.Extract(text)
+		denseErr.Record(dense.Predict(x), d.y)
+		sparseErr.Record(sparse.Predict(x), d.y)
+		dense.Update(x, d.y)
+		sparse.Update(x, d.y)
+	}
+	if sparseErr.Rate() > denseErr.Rate()+0.05 {
+		t.Fatalf("sparse error %.4f far above dense %.4f", sparseErr.Rate(), denseErr.Rate())
+	}
+	denseNNZ := len(dense.Weights())
+	if sparse.NNZ() >= denseNNZ {
+		t.Fatalf("elastic net kept %d weights vs dense %d", sparse.NNZ(), denseNNZ)
+	}
+}
+
+// newCountingSketch builds the Count-Sketch used by the merge test.
+func newCountingSketch(seed int64) *sketch.CountSketch {
+	return sketch.NewCountSketch(3, 2048, seed)
+}

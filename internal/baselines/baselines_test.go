@@ -1,0 +1,388 @@
+package baselines
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"wmsketch/internal/linear"
+	"wmsketch/internal/stream"
+)
+
+var (
+	_ stream.Learner = (*SimpleTruncation)(nil)
+	_ stream.Learner = (*ProbTruncation)(nil)
+	_ stream.Learner = (*FeatureHash)(nil)
+	_ stream.Learner = (*SSFrequent)(nil)
+	_ stream.Learner = (*CMFrequent)(nil)
+)
+
+// plantedStream mirrors the generator used in core's tests: sparse unit
+// features, a handful of planted discriminative weights, deterministic
+// labels when a signal feature is present.
+type plantedStream struct {
+	weights map[uint32]float64
+	keys    []uint32
+	rng     *rand.Rand
+	d, nnz  int
+}
+
+func newPlantedStream(d, nnz int, weights map[uint32]float64, seed int64) *plantedStream {
+	keys := make([]uint32, 0, len(weights))
+	for k := range weights {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return &plantedStream{weights: weights, keys: keys,
+		rng: rand.New(rand.NewSource(seed)), d: d, nnz: nnz}
+}
+
+func (p *plantedStream) next() stream.Example {
+	x := make(stream.Vector, 0, p.nnz)
+	seen := map[uint32]bool{}
+	if p.rng.Float64() < 0.8 {
+		k := p.keys[p.rng.Intn(len(p.keys))]
+		seen[k] = true
+		x = append(x, stream.Feature{Index: k, Value: 1})
+	}
+	for len(x) < p.nnz {
+		i := uint32(p.rng.Intn(p.d))
+		if seen[i] || p.weights[i] != 0 {
+			continue
+		}
+		seen[i] = true
+		x = append(x, stream.Feature{Index: i, Value: 1})
+	}
+	margin := 0.0
+	for _, f := range x {
+		margin += p.weights[f.Index] * f.Value
+	}
+	y := 1
+	if margin < 0 || (margin == 0 && p.rng.Intn(2) == 0) {
+		y = -1
+	}
+	return stream.Example{X: x, Y: y}
+}
+
+func plantedWeights() map[uint32]float64 {
+	return map[uint32]float64{5: 4, 31: -3.5, 77: 3, 150: -2.5, 421: 2}
+}
+
+// trainOnline runs n examples through l and returns the online error rate.
+func trainOnline(l stream.Learner, gen *plantedStream, n int) float64 {
+	mistakes := 0
+	for i := 0; i < n; i++ {
+		ex := gen.next()
+		if l.Predict(ex.X)*float64(ex.Y) <= 0 {
+			mistakes++
+		}
+		l.Update(ex.X, ex.Y)
+	}
+	return float64(mistakes) / float64(n)
+}
+
+func TestAllBaselinesLearnPlantedStream(t *testing.T) {
+	mk := map[string]func() stream.Learner{
+		"trun":  func() stream.Learner { return NewSimpleTruncation(Config{Budget: 64, Lambda: 1e-6, Seed: 1}) },
+		"ptrun": func() stream.Learner { return NewProbTruncation(Config{Budget: 64, Lambda: 1e-6, Seed: 1}) },
+		"hash":  func() stream.Learner { return NewFeatureHash(Config{Budget: 512, Lambda: 1e-6, Seed: 1}) },
+		"ss":    func() stream.Learner { return NewSSFrequent(Config{Budget: 64, Lambda: 1e-6, Seed: 1}) },
+		"cm": func() stream.Learner {
+			return NewCMFrequent(CMFrequentConfig{
+				Config: Config{Budget: 64, Lambda: 1e-6, Seed: 1}, Depth: 2, Width: 128})
+		},
+	}
+	// Bayes floor is 10% (20% of labels are coin flips). Simple truncation
+	// is the paper's weakest baseline — heap churn from noise features slows
+	// its convergence — so it gets a looser bound; everything must still be
+	// clearly better than the 50% chance rate.
+	maxRate := map[string]float64{"trun": 0.45, "ptrun": 0.3, "hash": 0.3, "ss": 0.3, "cm": 0.3}
+	for name, f := range mk {
+		l := f()
+		gen := newPlantedStream(1000, 5, plantedWeights(), 7)
+		rate := trainOnline(l, gen, 15000)
+		if rate > maxRate[name] {
+			t.Errorf("%s: online error %.3f exceeds %.2f", name, rate, maxRate[name])
+		}
+		// Planted features should carry correctly-signed estimates when the
+		// method retains them at all.
+		correct := 0
+		for i, want := range plantedWeights() {
+			if got := l.Estimate(i); got*want > 0 {
+				correct++
+			}
+		}
+		if correct < 3 {
+			t.Errorf("%s: only %d/5 planted features correctly signed", name, correct)
+		}
+	}
+}
+
+func TestSimpleTruncationDropsSmallWeights(t *testing.T) {
+	s := NewSimpleTruncation(Config{Budget: 2, Schedule: linear.Constant{Eta0: 1}})
+	// Three features with increasing magnitudes: only the top 2 survive.
+	s.Update(stream.Vector{{Index: 1, Value: 1}}, 1)  // w1 ≈ 0.5
+	s.Update(stream.Vector{{Index: 2, Value: 4}}, 1)  // w2 ≈ 2
+	s.Update(stream.Vector{{Index: 3, Value: 10}}, 1) // w3 ≈ 5, evicts w1
+	if got := s.Estimate(1); got != 0 {
+		t.Fatalf("smallest weight not truncated: %g", got)
+	}
+	if s.Estimate(2) == 0 || s.Estimate(3) == 0 {
+		t.Fatal("large weights must survive")
+	}
+	top := s.TopK(2)
+	if len(top) != 2 || top[0].Index != 3 {
+		t.Fatalf("TopK = %+v", top)
+	}
+}
+
+func TestSimpleTruncationForgetsPermanently(t *testing.T) {
+	// Once truncated, a feature restarts from zero — the documented
+	// weakness versus the WM-Sketch.
+	s := NewSimpleTruncation(Config{Budget: 1, Schedule: linear.Constant{Eta0: 1}})
+	for i := 0; i < 5; i++ {
+		s.Update(stream.Vector{{Index: 1, Value: 1}}, 1)
+	}
+	w1 := s.Estimate(1)
+	s.Update(stream.Vector{{Index: 2, Value: 100}}, 1) // evicts feature 1
+	s.Update(stream.Vector{{Index: 1, Value: 1}}, 1)   // cannot re-enter (tiny)
+	if got := s.Estimate(1); got != 0 {
+		t.Fatalf("feature 1 estimate %g after eviction, want 0 (was %g)", got, w1)
+	}
+}
+
+func TestProbTruncationRetainsProportionallyToWeight(t *testing.T) {
+	// With budget 1 and two candidate features of weights ~4:1 appearing
+	// once each, the heavy one should be retained ≈ 80% of runs.
+	const trials = 2000
+	heavyKept := 0
+	for trial := 0; trial < trials; trial++ {
+		p := NewProbTruncation(Config{Budget: 1, Seed: int64(trial), Schedule: linear.Constant{Eta0: 1}})
+		p.Update(stream.Vector{{Index: 1, Value: 8}}, 1) // w ≈ 4
+		p.Update(stream.Vector{{Index: 2, Value: 2}}, 1) // w̃ candidate ≈ 1
+		if p.Estimate(1) != 0 {
+			heavyKept++
+		}
+	}
+	rate := float64(heavyKept) / trials
+	// Inclusion of the incumbent vs the challenger follows the reservoir
+	// key comparison u₁^(1/4) vs u₂^(1/1): P(keep heavy) = 4/5.
+	if math.Abs(rate-0.8) > 0.04 {
+		t.Fatalf("heavy retention rate %.3f, want ≈0.80", rate)
+	}
+}
+
+func TestProbTruncationReservoirKeyDiagnostics(t *testing.T) {
+	p := NewProbTruncation(Config{Budget: 4, Seed: 3, Schedule: linear.Constant{Eta0: 1}})
+	p.Update(stream.Vector{{Index: 9, Value: 2}}, 1)
+	key, ok := p.reservoirKey(9)
+	if !ok {
+		t.Fatal("retained feature must expose a reservoir key")
+	}
+	if key <= 0 || key > 1 {
+		t.Fatalf("reservoir key %g outside (0,1]", key)
+	}
+	if _, ok := p.reservoirKey(1234); ok {
+		t.Fatal("absent feature must not expose a key")
+	}
+}
+
+func TestFeatureHashCollisionsShareBucket(t *testing.T) {
+	// With a 1-bucket table every feature shares a weight (up to sign).
+	fh := NewFeatureHash(Config{Budget: 1, Schedule: linear.Constant{Eta0: 1}})
+	fh.Update(stream.Vector{{Index: 1, Value: 1}}, 1)
+	e1, e2 := fh.Estimate(1), fh.Estimate(2)
+	if math.Abs(e1) != math.Abs(e2) {
+		t.Fatalf("1-bucket table: |e1| %g != |e2| %g", math.Abs(e1), math.Abs(e2))
+	}
+}
+
+func TestFeatureHashTopKRequiresTracking(t *testing.T) {
+	plain := NewFeatureHash(Config{Budget: 64, Seed: 2})
+	plain.Update(stream.OneHot(1), 1)
+	if got := plain.TopK(5); got != nil {
+		t.Fatalf("untracked TopK = %v, want nil", got)
+	}
+	tracked := NewFeatureHashTracked(Config{Budget: 64, Seed: 2})
+	tracked.Update(stream.OneHot(1), 1)
+	top := tracked.TopK(5)
+	if len(top) != 1 || top[0].Index != 1 {
+		t.Fatalf("tracked TopK = %+v", top)
+	}
+	// Tracking must not change the cost model.
+	if plain.MemoryBytes() != tracked.MemoryBytes() {
+		t.Fatal("tracking leaked into MemoryBytes")
+	}
+}
+
+func TestSSFrequentDropsEvictedWeights(t *testing.T) {
+	s := NewSSFrequent(Config{Budget: 2, Schedule: linear.Constant{Eta0: 1}})
+	s.Update(stream.Vector{{Index: 1, Value: 1}}, 1)
+	s.Update(stream.Vector{{Index: 2, Value: 1}}, 1)
+	if s.Estimate(1) == 0 || s.Estimate(2) == 0 {
+		t.Fatal("tracked features must have weights")
+	}
+	// Feature 3 appears repeatedly and displaces one of the others.
+	for i := 0; i < 5; i++ {
+		s.Update(stream.Vector{{Index: 3, Value: 1}}, 1)
+	}
+	if s.Estimate(3) == 0 {
+		t.Fatal("frequent feature 3 not tracked")
+	}
+	zero := 0
+	for _, i := range []uint32{1, 2} {
+		if s.Estimate(i) == 0 {
+			zero++
+		}
+	}
+	if zero == 0 {
+		t.Fatal("expected at least one eviction among features 1,2")
+	}
+}
+
+func TestSSFrequentTracksFrequentNotDiscriminative(t *testing.T) {
+	// A feature that is frequent but uninformative (random labels) must
+	// still occupy an SS slot — the inefficiency Figure 8 exposes.
+	s := NewSSFrequent(Config{Budget: 4, Seed: 5})
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 2000; i++ {
+		y := 2*rng.Intn(2) - 1
+		// Feature 1: appears always (uninformative). Features 100+i: rare
+		// but perfectly predictive.
+		x := stream.Vector{{Index: 1, Value: 1}}
+		if y > 0 {
+			x = append(x, stream.Feature{Index: uint32(100 + rng.Intn(50)), Value: 1})
+		} else {
+			x = append(x, stream.Feature{Index: uint32(200 + rng.Intn(50)), Value: 1})
+		}
+		s.Update(x, y)
+	}
+	if !s.Summary().Contains(1) {
+		t.Fatal("most-frequent feature must be tracked by Space Saving")
+	}
+	// Its weight should be near zero (uninformative), wasting the slot.
+	if w := math.Abs(s.Estimate(1)); w > 0.5 {
+		t.Fatalf("uninformative frequent feature has |w|=%g, expected small", w)
+	}
+}
+
+func TestCMFrequentKeepsMostFrequent(t *testing.T) {
+	c := NewCMFrequent(CMFrequentConfig{
+		Config: Config{Budget: 2, Schedule: linear.Constant{Eta0: 0.5}, Seed: 7},
+		Depth:  2, Width: 256,
+	})
+	// Feature 10 appears 30 times, 20 appears 10 times, 30 appears twice.
+	for i := 0; i < 30; i++ {
+		c.Update(stream.Vector{{Index: 10, Value: 1}}, 1)
+	}
+	for i := 0; i < 10; i++ {
+		c.Update(stream.Vector{{Index: 20, Value: 1}}, 1)
+	}
+	for i := 0; i < 2; i++ {
+		c.Update(stream.Vector{{Index: 30, Value: 1}}, 1)
+	}
+	if c.Estimate(10) == 0 || c.Estimate(20) == 0 {
+		t.Fatal("two most frequent features must be tracked")
+	}
+	if c.Estimate(30) != 0 {
+		t.Fatal("least frequent feature should not displace more frequent ones")
+	}
+}
+
+func TestBaselineMemoryAccounting(t *testing.T) {
+	if got := NewSimpleTruncation(Config{Budget: 128}).MemoryBytes(); got != 1024 {
+		t.Errorf("SimpleTruncation(128) = %d B, want 1024 (Section 7.1 example)", got)
+	}
+	if got := NewProbTruncation(Config{Budget: 128}).MemoryBytes(); got != 1536 {
+		t.Errorf("ProbTruncation(128) = %d B, want 1536", got)
+	}
+	if got := NewFeatureHash(Config{Budget: 512}).MemoryBytes(); got != 2048 {
+		t.Errorf("FeatureHash(512) = %d B, want 2048", got)
+	}
+	if got := NewSSFrequent(Config{Budget: 128}).MemoryBytes(); got != 1536 {
+		t.Errorf("SSFrequent(128) = %d B, want 1536", got)
+	}
+	cm := NewCMFrequent(CMFrequentConfig{Config: Config{Budget: 64}, Depth: 2, Width: 128})
+	if got := cm.MemoryBytes(); got != 4*2*128+12*64 {
+		t.Errorf("CMFrequent = %d B", got)
+	}
+}
+
+func TestBaselineConfigValidation(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic for zero budget")
+			}
+		}()
+		NewSimpleTruncation(Config{Budget: 0})
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic for negative lambda")
+			}
+		}()
+		NewFeatureHash(Config{Budget: 4, Lambda: -1})
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic for bad CM shape")
+			}
+		}()
+		NewCMFrequent(CMFrequentConfig{Config: Config{Budget: 4}})
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic for bad label")
+			}
+		}()
+		NewSSFrequent(Config{Budget: 4}).Update(stream.OneHot(1), 2)
+	}()
+}
+
+func TestBaselinesLambdaDecayShrinksWeights(t *testing.T) {
+	// With strong regularization, an untouched weight must decay toward 0.
+	s := NewSimpleTruncation(Config{Budget: 8, Lambda: 0.1, Schedule: linear.Constant{Eta0: 1}})
+	s.Update(stream.OneHot(1), 1)
+	w0 := math.Abs(s.Estimate(1))
+	for i := 0; i < 50; i++ {
+		s.Update(stream.OneHot(2), 1) // touch only feature 2
+	}
+	w1 := math.Abs(s.Estimate(1))
+	if w1 >= w0 {
+		t.Fatalf("weight did not decay: %g -> %g", w0, w1)
+	}
+}
+
+func BenchmarkSimpleTruncationUpdate(b *testing.B) {
+	benchLearner(b, NewSimpleTruncation(Config{Budget: 1024, Lambda: 1e-6}))
+}
+
+func BenchmarkProbTruncationUpdate(b *testing.B) {
+	benchLearner(b, NewProbTruncation(Config{Budget: 1024, Lambda: 1e-6}))
+}
+
+func BenchmarkFeatureHashUpdate(b *testing.B) {
+	benchLearner(b, NewFeatureHash(Config{Budget: 4096, Lambda: 1e-6}))
+}
+
+func BenchmarkSSFrequentUpdate(b *testing.B) {
+	benchLearner(b, NewSSFrequent(Config{Budget: 1024, Lambda: 1e-6}))
+}
+
+func benchLearner(b *testing.B, l stream.Learner) {
+	gen := newPlantedStream(100000, 10, plantedWeights(), 1)
+	examples := make([]stream.Example, 4096)
+	for i := range examples {
+		examples[i] = gen.next()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ex := examples[i&4095]
+		l.Update(ex.X, ex.Y)
+	}
+}

@@ -1,0 +1,149 @@
+package baselines
+
+import (
+	"wmsketch/internal/linear"
+	"wmsketch/internal/sketch"
+	"wmsketch/internal/stream"
+	"wmsketch/internal/topk"
+)
+
+// CMFrequent is the Count-Min Frequent Features baseline: feature
+// frequencies are estimated with a Count-Min sketch and model weights are
+// kept for the features whose estimated frequencies are currently in the
+// top-K. The paper evaluated this method and omitted it from plots because
+// Space Saving consistently dominated it; we include it for completeness.
+type CMFrequent struct {
+	cfg      Config
+	loss     linear.Loss
+	schedule linear.Schedule
+	cm       *sketch.CountMin
+	// freqHeap tracks the top HeapK features by estimated frequency.
+	// Entry.Weight holds the model weight and Entry.Score the frequency.
+	freqHeap *topk.Heap
+	scale    float64
+	t        int64
+	heapK    int
+}
+
+// CMFrequentConfig extends Config with the Count-Min shape. Budget is the
+// number of weight slots (heap entries); Depth×Width is the CM shape.
+type CMFrequentConfig struct {
+	Config
+	Depth int
+	Width int
+}
+
+// NewCMFrequent returns a Count-Min frequent-features learner.
+func NewCMFrequent(cfg CMFrequentConfig) *CMFrequent {
+	cfg.Config.fill()
+	if cfg.Depth <= 0 || cfg.Width <= 0 {
+		panic("baselines: CMFrequent needs positive Depth and Width")
+	}
+	return &CMFrequent{
+		cfg:      cfg.Config,
+		loss:     cfg.Loss,
+		schedule: cfg.Schedule,
+		cm:       sketch.NewCountMin(cfg.Depth, cfg.Width, cfg.Seed),
+		freqHeap: topk.New(cfg.Budget),
+		scale:    1,
+		heapK:    cfg.Budget,
+	}
+}
+
+// Predict returns the margin over currently-tracked features.
+func (c *CMFrequent) Predict(x stream.Vector) float64 {
+	dot := 0.0
+	for _, f := range x {
+		if w, ok := c.freqHeap.Get(f.Index); ok {
+			dot += w * f.Value
+		}
+	}
+	return dot * c.scale
+}
+
+// Update bumps Count-Min frequencies, refreshes the frequency-ordered heap
+// membership, and applies a gradient step to tracked features.
+func (c *CMFrequent) Update(x stream.Vector, y int) {
+	ys := sgn(y)
+	c.t++
+	eta := c.schedule.Rate(c.t)
+
+	for _, f := range x {
+		if f.Value == 0 {
+			continue
+		}
+		c.cm.Update(f.Index, 1)
+		freq := c.cm.Estimate(f.Index)
+		if w, ok := c.freqHeap.Get(f.Index); ok {
+			c.freqHeap.Update(f.Index, w, freq)
+			continue
+		}
+		if !c.freqHeap.Full() {
+			c.freqHeap.Insert(f.Index, 0, freq)
+			continue
+		}
+		if min, _ := c.freqHeap.Min(); freq > min.Score {
+			// Evict the least-frequent tracked feature; its weight is lost.
+			c.freqHeap.PopMin()
+			c.freqHeap.Insert(f.Index, 0, freq)
+		}
+	}
+
+	margin := ys * c.Predict(x)
+	g := c.loss.Deriv(margin)
+	if c.cfg.Lambda > 0 {
+		c.scale *= 1 - eta*c.cfg.Lambda
+		if c.scale < minScale {
+			c.renormalize()
+		}
+	}
+	if g == 0 {
+		return
+	}
+	step := eta * ys * g / c.scale
+	for _, f := range x {
+		if f.Value == 0 {
+			continue
+		}
+		if w, ok := c.freqHeap.Get(f.Index); ok {
+			// Preserve the frequency score; only the weight changes.
+			freq := c.cm.Estimate(f.Index)
+			c.freqHeap.Update(f.Index, w-step*f.Value, freq)
+		}
+	}
+}
+
+func (c *CMFrequent) renormalize() {
+	for _, e := range c.freqHeap.Entries() {
+		c.freqHeap.Update(e.Key, e.Weight*c.scale, e.Score)
+	}
+	c.scale = 1
+}
+
+// Estimate returns the weight for i when tracked, zero otherwise.
+func (c *CMFrequent) Estimate(i uint32) float64 {
+	if w, ok := c.freqHeap.Get(i); ok {
+		return w * c.scale
+	}
+	return 0
+}
+
+// TopK returns the k tracked features with the largest |weight|.
+func (c *CMFrequent) TopK(k int) []stream.Weighted {
+	entries := c.freqHeap.Entries()
+	out := make([]stream.Weighted, len(entries))
+	for i, e := range entries {
+		out[i] = stream.Weighted{Index: e.Key, Weight: e.Weight * c.scale}
+	}
+	stream.SortWeighted(out)
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+// MemoryBytes charges the CM buckets plus id + weight + frequency score per
+// heap slot.
+func (c *CMFrequent) MemoryBytes() int {
+	return c.cm.MemoryBytes() + c.freqHeap.MemoryBytes(true)
+}

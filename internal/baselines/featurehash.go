@@ -1,0 +1,132 @@
+package baselines
+
+import (
+	"wmsketch/internal/hashing"
+	"wmsketch/internal/linear"
+	"wmsketch/internal/stream"
+)
+
+// FeatureHash is the hashing-trick baseline (Shi et al. 2009, Weinberger et
+// al. 2009): every feature index is hashed into a fixed table of Budget
+// buckets with a random ±1 sign, and a linear model is learned directly on
+// the hashed representation. All memory goes to weights — there is no
+// feature-identity bookkeeping — so colliding features can never be
+// disambiguated; the paper uses this to quantify "the cost of
+// interpretability" (Section 9).
+type FeatureHash struct {
+	cfg      Config
+	loss     linear.Loss
+	schedule linear.Schedule
+	hash     *hashing.Tabulation
+	table    []float64
+	scale    float64
+	t        int64
+
+	// seen is evaluation-only instrumentation: the set of feature indices
+	// observed, used to answer TopK queries in recovery experiments. It is
+	// NOT counted in MemoryBytes — plain feature hashing cannot answer
+	// TopK at all, which is exactly the deficiency the paper highlights.
+	seen map[uint32]struct{}
+	// trackSeen enables the instrumentation.
+	trackSeen bool
+}
+
+// NewFeatureHash returns a feature-hashing learner with a table of
+// cfg.Budget buckets.
+func NewFeatureHash(cfg Config) *FeatureHash {
+	cfg.fill()
+	return &FeatureHash{
+		cfg:      cfg,
+		loss:     cfg.Loss,
+		schedule: cfg.Schedule,
+		hash:     hashing.NewTabulation(cfg.Seed),
+		table:    make([]float64, cfg.Budget),
+		scale:    1,
+	}
+}
+
+// NewFeatureHashTracked returns a feature-hashing learner that additionally
+// records seen feature indices so TopK can be evaluated against other
+// methods. The tracking memory is excluded from the cost model.
+func NewFeatureHashTracked(cfg Config) *FeatureHash {
+	fh := NewFeatureHash(cfg)
+	fh.trackSeen = true
+	fh.seen = make(map[uint32]struct{})
+	return fh
+}
+
+// bucketSign maps a feature index to its table slot and sign.
+func (fh *FeatureHash) bucketSign(i uint32) (int, float64) {
+	return fh.hash.BucketSign(i, len(fh.table))
+}
+
+// Predict returns the margin of the hashed model.
+func (fh *FeatureHash) Predict(x stream.Vector) float64 {
+	dot := 0.0
+	for _, f := range x {
+		b, s := fh.bucketSign(f.Index)
+		dot += s * fh.table[b] * f.Value
+	}
+	return dot * fh.scale
+}
+
+// Update applies one OGD step in the hashed space.
+func (fh *FeatureHash) Update(x stream.Vector, y int) {
+	ys := sgn(y)
+	fh.t++
+	eta := fh.schedule.Rate(fh.t)
+	margin := ys * fh.Predict(x)
+	g := fh.loss.Deriv(margin)
+
+	if fh.cfg.Lambda > 0 {
+		fh.scale *= 1 - eta*fh.cfg.Lambda
+		if fh.scale < minScale {
+			for b := range fh.table {
+				fh.table[b] *= fh.scale
+			}
+			fh.scale = 1
+		}
+	}
+	if g != 0 {
+		step := eta * ys * g / fh.scale
+		for _, f := range x {
+			b, s := fh.bucketSign(f.Index)
+			fh.table[b] -= step * s * f.Value
+		}
+	}
+	if fh.trackSeen {
+		for _, f := range x {
+			fh.seen[f.Index] = struct{}{}
+		}
+	}
+}
+
+// Estimate returns the signed table value for feature i. Collisions make
+// this an undisambiguated estimate — the structural weakness this baseline
+// demonstrates.
+func (fh *FeatureHash) Estimate(i uint32) float64 {
+	b, s := fh.bucketSign(i)
+	return s * fh.table[b] * fh.scale
+}
+
+// TopK scans the seen-feature instrumentation (when enabled) and returns
+// the k features with the largest |estimate|. Without tracking it returns
+// nil: plain feature hashing stores no identities.
+func (fh *FeatureHash) TopK(k int) []stream.Weighted {
+	if !fh.trackSeen {
+		return nil
+	}
+	out := make([]stream.Weighted, 0, len(fh.seen))
+	for i := range fh.seen {
+		out = append(out, stream.Weighted{Index: i, Weight: fh.Estimate(i)})
+	}
+	stream.SortWeighted(out)
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+// MemoryBytes charges 4 bytes per table bucket; the whole budget is
+// weights.
+func (fh *FeatureHash) MemoryBytes() int { return 4 * len(fh.table) }

@@ -1,0 +1,173 @@
+package baselines
+
+import (
+	"math"
+	"math/rand"
+
+	"wmsketch/internal/linear"
+	"wmsketch/internal/reservoir"
+	"wmsketch/internal/stream"
+	"wmsketch/internal/topk"
+)
+
+// ProbTruncation is Algorithm 4: truncation by weighted reservoir sampling.
+// Each retained feature i carries an Efraimidis–Spirakis reservoir key
+// uᵢ^(1/|wᵢ|); truncation keeps the top-K keys, so retention probability is
+// proportional to weight magnitude rather than deterministic, which lets
+// moderately-weighted features survive long enough to prove themselves.
+//
+// Implementation note: Algorithm 4's rekeying step W[i] ← W[i]^|Sₜ[i]/Sₜ₊₁[i]|
+// preserves the underlying uniform variate uᵢ exactly, so we store
+// cᵢ = −ln uᵢ once per feature and order by the exponentially-distributed
+// statistic cᵢ/|wᵢ| (smaller is better). This reproduces Algorithm 4's
+// distribution exactly while avoiding the O(K) rekey over all entries on
+// every step: uniform decay of all weights rescales every cᵢ/|wᵢ| by the
+// same factor and leaves the ordering unchanged.
+type ProbTruncation struct {
+	cfg      Config
+	loss     linear.Loss
+	schedule linear.Schedule
+	// heap is ordered by score = −cᵢ/|wᵢ| so that the heap minimum is the
+	// entry with the LARGEST c/|w|, i.e. the smallest reservoir key: the
+	// correct eviction candidate.
+	heap  *topk.Heap
+	cvals map[uint32]float64 // feature → cᵢ = −ln uᵢ
+	rng   *rand.Rand
+	scale float64
+	t     int64
+}
+
+// NewProbTruncation returns a probabilistic truncation learner keeping
+// cfg.Budget weights.
+func NewProbTruncation(cfg Config) *ProbTruncation {
+	cfg.fill()
+	return &ProbTruncation{
+		cfg:      cfg,
+		loss:     cfg.Loss,
+		schedule: cfg.Schedule,
+		heap:     topk.New(cfg.Budget),
+		cvals:    make(map[uint32]float64, cfg.Budget),
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		scale:    1,
+	}
+}
+
+// score computes the heap ordering statistic for weight w and variate cost
+// c. Weights of zero magnitude score −inf so they are evicted first.
+func (p *ProbTruncation) score(w, c float64) float64 {
+	aw := absf(w)
+	if aw == 0 {
+		return math.Inf(-1)
+	}
+	return -c / aw
+}
+
+// Predict returns the margin over retained weights.
+func (p *ProbTruncation) Predict(x stream.Vector) float64 {
+	dot := 0.0
+	for _, f := range x {
+		if w, ok := p.heap.Get(f.Index); ok {
+			dot += w * f.Value
+		}
+	}
+	return dot * p.scale
+}
+
+// Update applies one OGD step with reservoir-based truncation.
+func (p *ProbTruncation) Update(x stream.Vector, y int) {
+	ys := sgn(y)
+	p.t++
+	eta := p.schedule.Rate(p.t)
+	margin := ys * p.Predict(x)
+	g := p.loss.Deriv(margin)
+
+	if p.cfg.Lambda > 0 {
+		p.scale *= 1 - eta*p.cfg.Lambda
+		if p.scale < minScale {
+			p.heap.ScaleWeights(p.scale)
+			p.scale = 1
+			// ScaleWeights rescales scores linearly, which matches the
+			// −c/|w| statistic's behaviour under uniform weight scaling, so
+			// ordering and values stay coherent.
+		}
+	}
+	if g == 0 {
+		return
+	}
+	step := eta * ys * g / p.scale
+	for _, f := range x {
+		if f.Value == 0 {
+			continue
+		}
+		if w, ok := p.heap.Get(f.Index); ok {
+			nw := w - step*f.Value
+			p.heap.Update(f.Index, nw, p.score(nw, p.cvals[f.Index]))
+			continue
+		}
+		// New candidate: draw its permanent uniform variate.
+		w := -step * f.Value
+		c := p.drawC()
+		sc := p.score(w, c)
+		if !p.heap.Full() {
+			p.heap.Insert(f.Index, w, sc)
+			p.cvals[f.Index] = c
+			continue
+		}
+		min, _ := p.heap.Min()
+		if sc > min.Score {
+			p.heap.PopMin()
+			delete(p.cvals, min.Key)
+			p.heap.Insert(f.Index, w, sc)
+			p.cvals[f.Index] = c
+		}
+	}
+}
+
+// drawC samples c = −ln u for u uniform on (0,1).
+func (p *ProbTruncation) drawC() float64 {
+	u := p.rng.Float64()
+	for u == 0 {
+		u = p.rng.Float64()
+	}
+	return -math.Log(u)
+}
+
+// Estimate returns the retained weight for i, zero if not retained.
+func (p *ProbTruncation) Estimate(i uint32) float64 {
+	if w, ok := p.heap.Get(i); ok {
+		return w * p.scale
+	}
+	return 0
+}
+
+// TopK returns the k heaviest retained weights by |weight| (not reservoir
+// key), descending: queries want the best weights among survivors.
+func (p *ProbTruncation) TopK(k int) []stream.Weighted {
+	entries := p.heap.Entries()
+	out := make([]stream.Weighted, len(entries))
+	for i, e := range entries {
+		out[i] = stream.Weighted{Index: e.Key, Weight: e.Weight * p.scale}
+	}
+	stream.SortWeighted(out)
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+// MemoryBytes charges id + weight + reservoir key per entry (the auxiliary
+// 4 bytes Section 7.1 mentions for "random keys in Algorithm 4").
+func (p *ProbTruncation) MemoryBytes() int { return p.heap.MemoryBytes(true) }
+
+// reservoirKey recovers the Algorithm 4 key uᵢ^(1/|wᵢ|) for diagnostics.
+func (p *ProbTruncation) reservoirKey(i uint32) (float64, bool) {
+	w, ok := p.heap.Get(i)
+	if !ok {
+		return 0, false
+	}
+	c, ok := p.cvals[i]
+	if !ok {
+		return 0, false
+	}
+	return reservoir.Key(math.Exp(-c), absf(w*p.scale)), true
+}

@@ -1,0 +1,118 @@
+package baselines
+
+import (
+	"wmsketch/internal/heavyhitters"
+	"wmsketch/internal/linear"
+	"wmsketch/internal/stream"
+)
+
+// SSFrequent is the Space Saving Frequent Features baseline ("SS" in the
+// paper's plots): a Space Saving summary identifies the Budget most
+// frequently-occurring features, and model weights are maintained only for
+// currently-tracked features. When Space Saving reassigns a counter, the
+// evicted feature's weight is discarded and the incoming feature starts at
+// zero. This heuristic works when frequent features are also discriminative
+// and fails when they are not (Section 7.2's URL result).
+type SSFrequent struct {
+	cfg      Config
+	loss     linear.Loss
+	schedule linear.Schedule
+	ss       *heavyhitters.SpaceSaving
+	weights  map[uint32]float64 // unscaled weights for tracked features
+	scale    float64
+	t        int64
+}
+
+// NewSSFrequent returns a frequent-features learner with cfg.Budget
+// Space Saving counters.
+func NewSSFrequent(cfg Config) *SSFrequent {
+	cfg.fill()
+	return &SSFrequent{
+		cfg:      cfg,
+		loss:     cfg.Loss,
+		schedule: cfg.Schedule,
+		ss:       heavyhitters.NewSpaceSaving(cfg.Budget),
+		weights:  make(map[uint32]float64, cfg.Budget),
+		scale:    1,
+	}
+}
+
+// Predict returns the margin over currently-tracked features.
+func (s *SSFrequent) Predict(x stream.Vector) float64 {
+	dot := 0.0
+	for _, f := range x {
+		if w, ok := s.weights[f.Index]; ok {
+			dot += w * f.Value
+		}
+	}
+	return dot * s.scale
+}
+
+// Update records feature occurrences in the Space Saving summary and then
+// applies a gradient step restricted to tracked features.
+func (s *SSFrequent) Update(x stream.Vector, y int) {
+	ys := sgn(y)
+	s.t++
+	eta := s.schedule.Rate(s.t)
+
+	// Frequency maintenance first: each nonzero feature occurrence counts 1.
+	for _, f := range x {
+		if f.Value == 0 {
+			continue
+		}
+		if evicted, did := s.ss.Observe(f.Index, 1); did {
+			delete(s.weights, evicted)
+		}
+	}
+
+	margin := ys * s.Predict(x)
+	g := s.loss.Deriv(margin)
+	if s.cfg.Lambda > 0 {
+		s.scale *= 1 - eta*s.cfg.Lambda
+		if s.scale < minScale {
+			for i, w := range s.weights {
+				s.weights[i] = w * s.scale
+			}
+			s.scale = 1
+		}
+	}
+	if g == 0 {
+		return
+	}
+	step := eta * ys * g / s.scale
+	for _, f := range x {
+		if f.Value == 0 || !s.ss.Contains(f.Index) {
+			continue
+		}
+		s.weights[f.Index] -= step * f.Value
+	}
+}
+
+// Estimate returns the weight for i when tracked, zero otherwise.
+func (s *SSFrequent) Estimate(i uint32) float64 {
+	if w, ok := s.weights[i]; ok {
+		return w * s.scale
+	}
+	return 0
+}
+
+// TopK returns the k tracked features with the largest |weight|.
+func (s *SSFrequent) TopK(k int) []stream.Weighted {
+	out := make([]stream.Weighted, 0, len(s.weights))
+	for i, w := range s.weights {
+		out = append(out, stream.Weighted{Index: i, Weight: w * s.scale})
+	}
+	stream.SortWeighted(out)
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+// Summary exposes the underlying Space Saving structure (used directly by
+// the §8.1 heavy-hitters comparison).
+func (s *SSFrequent) Summary() *heavyhitters.SpaceSaving { return s.ss }
+
+// MemoryBytes charges id + count + weight per counter slot (12 B), matching
+// Section 7.1's note that Space Saving counts are auxiliary values.
+func (s *SSFrequent) MemoryBytes() int { return s.ss.MemoryBytes() }

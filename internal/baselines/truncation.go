@@ -1,0 +1,167 @@
+// Package baselines implements the memory-budgeted comparison methods from
+// the paper's evaluation (Section 7 and Appendix C): Simple Truncation
+// (Algorithm 3), Probabilistic Truncation (Algorithm 4), Feature Hashing,
+// Space Saving Frequent Features, and Count-Min Frequent Features. All
+// satisfy stream.Learner so experiments treat them interchangeably with the
+// WM- and AWM-Sketch.
+package baselines
+
+import (
+	"wmsketch/internal/linear"
+	"wmsketch/internal/stream"
+	"wmsketch/internal/topk"
+)
+
+// minScale mirrors the renormalization threshold used by the sketches.
+const minScale = 1e-9
+
+// Config carries the shared learner settings for all baselines.
+type Config struct {
+	// Budget is the method-specific capacity: heap slots for truncation
+	// methods, table buckets for feature hashing, counters for
+	// frequent-feature methods.
+	Budget int
+	// Loss is the margin loss; nil selects logistic.
+	Loss linear.Loss
+	// Schedule is the learning-rate schedule; nil selects ηₜ=0.1/√t.
+	Schedule linear.Schedule
+	// Lambda is the ℓ2-regularization strength.
+	Lambda float64
+	// Seed drives any internal randomness (hashes, reservoirs).
+	Seed int64
+}
+
+func (c *Config) fill() {
+	if c.Budget <= 0 {
+		panic("baselines: budget must be positive")
+	}
+	if c.Loss == nil {
+		c.Loss = linear.Logistic{}
+	}
+	if c.Schedule == nil {
+		c.Schedule = linear.DefaultSchedule()
+	}
+	if c.Lambda < 0 {
+		panic("baselines: negative lambda")
+	}
+}
+
+func sgn(y int) float64 {
+	switch y {
+	case 1:
+		return 1
+	case -1:
+		return -1
+	default:
+		panic("baselines: label must be ±1")
+	}
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// SimpleTruncation is Algorithm 3: an exact weight vector truncated to the
+// top-K entries by magnitude after every update. Features whose weights
+// fall out of the top-K are forgotten entirely — the failure mode the
+// WM-Sketch is designed to avoid.
+type SimpleTruncation struct {
+	cfg      Config
+	loss     linear.Loss
+	schedule linear.Schedule
+	heap     *topk.Heap // magnitude-ordered, stores unscaled weights
+	scale    float64
+	t        int64
+}
+
+// NewSimpleTruncation returns a truncation learner keeping cfg.Budget
+// weights.
+func NewSimpleTruncation(cfg Config) *SimpleTruncation {
+	cfg.fill()
+	return &SimpleTruncation{
+		cfg:      cfg,
+		loss:     cfg.Loss,
+		schedule: cfg.Schedule,
+		heap:     topk.New(cfg.Budget),
+		scale:    1,
+	}
+}
+
+// Predict returns the margin using only the retained weights.
+func (s *SimpleTruncation) Predict(x stream.Vector) float64 {
+	dot := 0.0
+	for _, f := range x {
+		if w, ok := s.heap.Get(f.Index); ok {
+			dot += w * f.Value
+		}
+	}
+	return dot * s.scale
+}
+
+// Update applies one OGD step and truncates back to the top-K by magnitude.
+func (s *SimpleTruncation) Update(x stream.Vector, y int) {
+	ys := sgn(y)
+	s.t++
+	eta := s.schedule.Rate(s.t)
+	margin := ys * s.Predict(x)
+	g := s.loss.Deriv(margin)
+
+	if s.cfg.Lambda > 0 {
+		s.scale *= 1 - eta*s.cfg.Lambda
+		if s.scale < minScale {
+			s.heap.ScaleWeights(s.scale)
+			s.scale = 1
+		}
+	}
+	step := eta * ys * g / s.scale
+	for _, f := range x {
+		if f.Value == 0 {
+			continue
+		}
+		if w, ok := s.heap.Get(f.Index); ok {
+			if g != 0 {
+				s.heap.UpdateMagnitude(f.Index, w-step*f.Value)
+			}
+			continue
+		}
+		if g == 0 {
+			continue
+		}
+		// New feature enters with weight −ηy g x; keep only if it survives
+		// truncation against the current minimum.
+		w := -step * f.Value
+		if !s.heap.Full() {
+			s.heap.InsertMagnitude(f.Index, w)
+			continue
+		}
+		if min, _ := s.heap.Min(); absf(w) > min.Score {
+			s.heap.PopMin()
+			s.heap.InsertMagnitude(f.Index, w)
+		}
+	}
+}
+
+// Estimate returns the retained weight for i, zero if truncated away.
+func (s *SimpleTruncation) Estimate(i uint32) float64 {
+	if w, ok := s.heap.Get(i); ok {
+		return w * s.scale
+	}
+	return 0
+}
+
+// TopK returns the k heaviest retained weights, descending.
+func (s *SimpleTruncation) TopK(k int) []stream.Weighted {
+	entries := s.heap.TopK(k)
+	out := make([]stream.Weighted, len(entries))
+	for i, e := range entries {
+		out[i] = stream.Weighted{Index: e.Key, Weight: e.Weight * s.scale}
+	}
+	return out
+}
+
+// MemoryBytes charges id+weight per retained entry (Section 7.1's example:
+// a 128-entry truncation instance costs 1024 B).
+func (s *SimpleTruncation) MemoryBytes() int { return s.heap.MemoryBytes(false) }

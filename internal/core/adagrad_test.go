@@ -1,0 +1,111 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"wmsketch/internal/linear"
+	"wmsketch/internal/stream"
+)
+
+func TestAdaGradRecoversPlantedSigns(t *testing.T) {
+	weights := defaultPlantedWeights()
+	gen := newPlanted(1000, 5, weights, 201)
+	w := NewAdaGradWMSketch(Config{Width: 512, Depth: 3, HeapSize: 64, Lambda: 1e-5, Seed: 7})
+	for i := 0; i < 20000; i++ {
+		ex := gen.next()
+		w.Update(ex.X, ex.Y)
+	}
+	for i, want := range weights {
+		got := w.Estimate(i)
+		if got*want <= 0 {
+			t.Errorf("feature %d: estimate %g disagrees in sign with %g", i, got, want)
+		}
+	}
+	top := w.TopK(5)
+	found := 0
+	for _, e := range top {
+		if _, ok := weights[e.Index]; ok {
+			found++
+		}
+	}
+	if found < 4 {
+		t.Errorf("only %d/5 planted features in top-5", found)
+	}
+}
+
+func TestAdaGradOnlineErrorBeatsChance(t *testing.T) {
+	gen := newPlanted(1000, 5, defaultPlantedWeights(), 203)
+	w := NewAdaGradWMSketch(Config{Width: 512, Depth: 2, HeapSize: 64, Lambda: 1e-6, Seed: 9})
+	mistakes := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		ex := gen.next()
+		if w.Predict(ex.X)*float64(ex.Y) <= 0 {
+			mistakes++
+		}
+		w.Update(ex.X, ex.Y)
+	}
+	if rate := float64(mistakes) / n; rate > 0.3 {
+		t.Fatalf("online error %.3f not far better than chance", rate)
+	}
+}
+
+func TestAdaGradAdaptiveStepsShrink(t *testing.T) {
+	// Repeated identical updates must produce diminishing weight increments
+	// (the adaptive denominator grows), unlike a constant-rate sketch.
+	w := NewAdaGradWMSketch(Config{Width: 1 << 12, Depth: 1, HeapSize: 4, Seed: 11,
+		Schedule: linear.Constant{Eta0: 0.5}})
+	x := stream.Vector{{Index: 5, Value: 1}}
+	var prev, prevDelta float64
+	for i := 0; i < 5; i++ {
+		w.Update(x, 1)
+		est := w.Estimate(5)
+		delta := est - prev
+		if i > 0 && delta > prevDelta+1e-12 {
+			t.Fatalf("step %d: increment %g grew from %g", i, delta, prevDelta)
+		}
+		prev, prevDelta = est, delta
+	}
+	if prev <= 0 {
+		t.Fatalf("weight %g, want positive", prev)
+	}
+}
+
+func TestAdaGradFirstStepMagnitude(t *testing.T) {
+	// First update with depth 1: the AdaGrad step normalizes the gradient
+	// to unit magnitude, so each bucket moves by exactly η₀ in the gradient
+	// direction and the recovered weight is √s·η₀ = η₀.
+	w := NewAdaGradWMSketch(Config{Width: 256, Depth: 1, HeapSize: 4, Seed: 13,
+		Schedule: linear.Constant{Eta0: 0.25}})
+	w.Update(stream.OneHot(9), 1)
+	if got := w.Estimate(9); math.Abs(got-0.25) > 1e-6 {
+		t.Fatalf("first-step estimate %g, want ≈0.25", got)
+	}
+	if w.Steps() != 1 {
+		t.Fatalf("Steps = %d", w.Steps())
+	}
+}
+
+func TestAdaGradMemoryDoublesSketch(t *testing.T) {
+	plain := NewWMSketch(Config{Width: 256, Depth: 2, HeapSize: 16})
+	ada := NewAdaGradWMSketch(Config{Width: 256, Depth: 2, HeapSize: 16})
+	wantExtra := 4 * 256 * 2
+	if got := ada.MemoryBytes() - plain.MemoryBytes(); got != wantExtra {
+		t.Fatalf("AdaGrad overhead %d B, want %d", got, wantExtra)
+	}
+}
+
+func TestAdaGradLambdaDecays(t *testing.T) {
+	w := NewAdaGradWMSketch(Config{Width: 256, Depth: 1, HeapSize: 4, Lambda: 0.05, Seed: 15,
+		Schedule: linear.Constant{Eta0: 0.5}})
+	w.Update(stream.OneHot(1), 1)
+	w0 := w.Estimate(1)
+	for i := 0; i < 200; i++ {
+		w.Update(stream.OneHot(2), 1) // touch only feature 2
+	}
+	w1 := w.Estimate(1)
+	if math.Abs(w1) >= math.Abs(w0) {
+		t.Fatalf("weight did not decay: %g -> %g", w0, w1)
+	}
+}

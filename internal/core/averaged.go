@@ -1,0 +1,106 @@
+package core
+
+import (
+	"wmsketch/internal/stream"
+)
+
+// AveragedWMSketch wraps a WM-Sketch and additionally maintains the running
+// average z̄ = (1/T)·Σ zₜ of the compressed iterates. Theorem 2's online
+// recovery guarantee is stated for Count-Sketch recovery on this average
+// rather than the final iterate; the paper's implementation skips the
+// average to halve memory and relies on the last iterate working well in
+// practice. This type makes the analyzed estimator available — and
+// measurable against the last-iterate shortcut — at the documented 2× cost.
+type AveragedWMSketch struct {
+	*WMSketch
+	// avg holds the running average of the UNscaled sketch array times the
+	// scale at accumulation time, flattened row-major.
+	avg []float64
+}
+
+// NewAveragedWMSketch returns an averaging WM-Sketch.
+func NewAveragedWMSketch(cfg Config) *AveragedWMSketch {
+	w := NewWMSketch(cfg)
+	return &AveragedWMSketch{
+		WMSketch: w,
+		avg:      make([]float64, cfg.Depth*cfg.Width),
+	}
+}
+
+// Update performs the base WM-Sketch step and folds the post-update iterate
+// into the running average: z̄ₜ = z̄ₜ₋₁ + (zₜ − z̄ₜ₋₁)/t.
+func (a *AveragedWMSketch) Update(x stream.Vector, y int) {
+	a.WMSketch.Update(x, y)
+	t := float64(a.WMSketch.Steps())
+	idx := 0
+	for j := 0; j < a.cfg.Depth; j++ {
+		row := a.cs.Row(j)
+		for b := 0; b < a.cfg.Width; b++ {
+			z := row[b] * a.scale // true (scaled) iterate value
+			a.avg[idx] += (z - a.avg[idx]) / t
+			idx++
+		}
+	}
+}
+
+// EstimateAveraged recovers feature i's weight from the averaged iterate
+// z̄ — the estimator Theorem 2 analyzes.
+func (a *AveragedWMSketch) EstimateAveraged(i uint32) float64 {
+	vals := make([]float64, a.cfg.Depth)
+	for j := 0; j < a.cfg.Depth; j++ {
+		b, sign := a.cs.Hashes().BucketSign(j, i, a.cfg.Width)
+		vals[j] = sign * a.avg[j*a.cfg.Width+b]
+	}
+	return a.sqrtS * medianFloat(vals)
+}
+
+// EstimateLast recovers from the current (last) iterate, the paper's
+// practical shortcut; identical to the embedded WMSketch's Estimate.
+func (a *AveragedWMSketch) EstimateLast(i uint32) float64 {
+	return a.WMSketch.Estimate(i)
+}
+
+// MemoryBytes doubles the sketch portion relative to the plain WM-Sketch.
+func (a *AveragedWMSketch) MemoryBytes() int {
+	return a.WMSketch.MemoryBytes() + 4*len(a.avg)
+}
+
+// medianFloat mirrors the sketch package's median for the averaged path.
+func medianFloat(xs []float64) float64 {
+	n := len(xs)
+	switch n {
+	case 0:
+		return 0
+	case 1:
+		return xs[0]
+	case 2:
+		return xs[0]/2 + xs[1]/2
+	}
+	// Insertion sort: depth is small (≤ tens of rows).
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+	if n%2 == 1 {
+		return xs[n/2]
+	}
+	return xs[n/2-1]/2 + xs[n/2]/2
+}
+
+// TrainBatch runs multi-epoch training over a stored dataset — the batch
+// setting of Theorem 1, where the learner may take multiple passes to
+// approach the regularized empirical minimum z* before recovery. Returns
+// the trained sketch.
+func TrainBatch(cfg Config, examples []stream.Example, epochs int) *WMSketch {
+	if epochs < 1 {
+		panic("core: epochs must be positive")
+	}
+	w := NewWMSketch(cfg)
+	for e := 0; e < epochs; e++ {
+		for _, ex := range examples {
+			w.Update(ex.X, ex.Y)
+		}
+	}
+	return w
+}

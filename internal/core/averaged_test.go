@@ -1,0 +1,130 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"wmsketch/internal/linear"
+	"wmsketch/internal/stream"
+)
+
+func TestAveragedMatchesLastAfterConvergence(t *testing.T) {
+	// On a stationary stream both the averaged and last iterates should
+	// recover the planted weights with the same signs and similar values.
+	weights := defaultPlantedWeights()
+	gen := newPlanted(500, 5, weights, 301)
+	a := NewAveragedWMSketch(Config{Width: 512, Depth: 3, HeapSize: 32, Lambda: 1e-5, Seed: 21})
+	for i := 0; i < 20000; i++ {
+		ex := gen.next()
+		a.Update(ex.X, ex.Y)
+	}
+	for i, want := range weights {
+		avg, last := a.EstimateAveraged(i), a.EstimateLast(i)
+		if avg*want <= 0 {
+			t.Errorf("feature %d: averaged estimate %g wrong sign vs %g", i, avg, want)
+		}
+		if last*want <= 0 {
+			t.Errorf("feature %d: last estimate %g wrong sign vs %g", i, last, want)
+		}
+	}
+}
+
+func TestAveragedSmootherThanLast(t *testing.T) {
+	// The averaged iterate has lower variance across the tail of training:
+	// measure the fluctuation of both estimators for one heavy feature
+	// over the last phase of the stream.
+	weights := map[uint32]float64{7: 3}
+	gen := newPlanted(200, 4, weights, 303)
+	a := NewAveragedWMSketch(Config{Width: 256, Depth: 3, HeapSize: 8, Seed: 23,
+		Schedule: linear.Constant{Eta0: 0.3}})
+	for i := 0; i < 3000; i++ {
+		ex := gen.next()
+		a.Update(ex.X, ex.Y)
+	}
+	var varAvg, varLast float64
+	var prevAvg, prevLast float64
+	first := true
+	for i := 0; i < 500; i++ {
+		ex := gen.next()
+		a.Update(ex.X, ex.Y)
+		ea, el := a.EstimateAveraged(7), a.EstimateLast(7)
+		if !first {
+			da, dl := ea-prevAvg, el-prevLast
+			varAvg += da * da
+			varLast += dl * dl
+		}
+		prevAvg, prevLast = ea, el
+		first = false
+	}
+	if varAvg >= varLast {
+		t.Fatalf("averaged estimator not smoother: step-variance %g vs %g", varAvg, varLast)
+	}
+}
+
+func TestAveragedSingleStepEqualsIterate(t *testing.T) {
+	a := NewAveragedWMSketch(Config{Width: 128, Depth: 2, HeapSize: 4, Seed: 25,
+		Schedule: linear.Constant{Eta0: 0.2}})
+	a.Update(stream.OneHot(3), 1)
+	// After one step the average IS the iterate.
+	if got, want := a.EstimateAveraged(3), a.EstimateLast(3); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("averaged %g != last %g after one step", got, want)
+	}
+}
+
+func TestAveragedMemoryBytes(t *testing.T) {
+	plain := NewWMSketch(Config{Width: 128, Depth: 2, HeapSize: 16})
+	avg := NewAveragedWMSketch(Config{Width: 128, Depth: 2, HeapSize: 16})
+	if got := avg.MemoryBytes() - plain.MemoryBytes(); got != 4*128*2 {
+		t.Fatalf("averaging overhead %d B", got)
+	}
+}
+
+func TestTrainBatchImprovesWithEpochs(t *testing.T) {
+	weights := defaultPlantedWeights()
+	gen := newPlanted(800, 5, weights, 307)
+	examples := make([]stream.Example, 4000)
+	for i := range examples {
+		examples[i] = gen.next()
+	}
+	cfg := Config{Width: 512, Depth: 2, HeapSize: 32, Lambda: 1e-4, Seed: 27}
+	errFor := func(epochs int) float64 {
+		w := TrainBatch(cfg, examples, epochs)
+		total := 0.0
+		for i, want := range weights {
+			total += math.Abs(w.Estimate(i) - want)
+		}
+		return total
+	}
+	one, five := errFor(1), errFor(5)
+	if five > one {
+		t.Fatalf("5 epochs (err %g) worse than 1 (err %g)", five, one)
+	}
+}
+
+func TestTrainBatchValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for 0 epochs")
+		}
+	}()
+	TrainBatch(Config{Width: 8, Depth: 1, HeapSize: 2}, nil, 0)
+}
+
+func TestMedianFloat(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{4}, 4},
+		{[]float64{2, 6}, 4},
+		{[]float64{9, 1, 5}, 5},
+		{[]float64{4, 1, 3, 2}, 2.5},
+	}
+	for _, c := range cases {
+		in := append([]float64(nil), c.in...)
+		if got := medianFloat(in); got != c.want {
+			t.Errorf("medianFloat(%v) = %g, want %g", c.in, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"sync"
+
+	"wmsketch/internal/stream"
+)
+
+// Concurrent wraps any Learner with a reader/writer lock so that one
+// writer (the update path) and many readers (Estimate/TopK/Predict
+// queries) can share a sketch safely across goroutines. Section 9 notes
+// that sketched gradient updates tolerate Hogwild-style lock-free
+// execution; this wrapper is the conservative, race-free counterpart —
+// the right default for a library, with the lock-free mode left as an
+// opt-in research configuration.
+type Concurrent struct {
+	mu sync.RWMutex
+	l  stream.Learner
+}
+
+// NewConcurrent wraps l.
+func NewConcurrent(l stream.Learner) *Concurrent {
+	if l == nil {
+		panic("core: nil learner")
+	}
+	return &Concurrent{l: l}
+}
+
+// Update applies one gradient step under the write lock.
+func (c *Concurrent) Update(x stream.Vector, y int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.l.Update(x, y)
+}
+
+// Predict evaluates the margin under the read lock.
+func (c *Concurrent) Predict(x stream.Vector) float64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.l.Predict(x)
+}
+
+// Estimate queries one weight under the read lock.
+func (c *Concurrent) Estimate(i uint32) float64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.l.Estimate(i)
+}
+
+// TopK retrieves the heaviest weights under the read lock.
+func (c *Concurrent) TopK(k int) []stream.Weighted {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.l.TopK(k)
+}
+
+// MemoryBytes reports the wrapped learner's footprint.
+func (c *Concurrent) MemoryBytes() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.l.MemoryBytes()
+}
+
+var _ stream.Learner = (*Concurrent)(nil)

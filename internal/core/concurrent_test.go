@@ -1,0 +1,77 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"wmsketch/internal/stream"
+)
+
+func TestConcurrentParallelUpdatesAndQueries(t *testing.T) {
+	c := NewConcurrent(NewAWMSketch(Config{
+		Width: 512, Depth: 1, HeapSize: 64, Lambda: 1e-6, Seed: 31,
+	}))
+	gens := make([]*planted, 4)
+	for i := range gens {
+		gens[i] = newPlanted(500, 5, defaultPlantedWeights(), int64(400+i))
+	}
+	var wg sync.WaitGroup
+	// Two writer goroutines, two query goroutines.
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(gen *planted) {
+			defer wg.Done()
+			for i := 0; i < 3000; i++ {
+				ex := gen.next()
+				c.Update(ex.X, ex.Y)
+			}
+		}(gens[g])
+	}
+	for g := 2; g < 4; g++ {
+		wg.Add(1)
+		go func(gen *planted) {
+			defer wg.Done()
+			for i := 0; i < 3000; i++ {
+				ex := gen.next()
+				_ = c.Predict(ex.X)
+				_ = c.Estimate(ex.X[0].Index)
+				if i%100 == 0 {
+					_ = c.TopK(8)
+				}
+			}
+		}(gens[g])
+	}
+	wg.Wait()
+	// The model must have learned the planted signs despite interleaving.
+	correct := 0
+	for i, want := range defaultPlantedWeights() {
+		if c.Estimate(i)*want > 0 {
+			correct++
+		}
+	}
+	if correct < 4 {
+		t.Fatalf("only %d/5 planted signs correct after concurrent training", correct)
+	}
+	if c.MemoryBytes() <= 0 {
+		t.Fatal("MemoryBytes must pass through")
+	}
+}
+
+func TestConcurrentNilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for nil learner")
+		}
+	}()
+	NewConcurrent(nil)
+}
+
+func TestConcurrentIsDropInLearner(t *testing.T) {
+	var l stream.Learner = NewConcurrent(NewWMSketch(Config{
+		Width: 64, Depth: 1, HeapSize: 8, Seed: 33,
+	}))
+	l.Update(stream.OneHot(1), 1)
+	if l.Estimate(1) == 0 {
+		t.Fatal("wrapped update lost")
+	}
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"fmt"
+
+	"wmsketch/internal/stream"
+)
+
+// Multiclass extends the sketched binary classifier to M output classes by
+// the construction in Section 9: maintain M copies of the sketch, evaluate
+// all copies at prediction time, and return the argmax margin. Updates are
+// one-vs-all: the copy for the true class sees label +1 and every other
+// copy sees label −1. For very large M the paper suggests noise contrastive
+// estimation; here we provide the exact OVA form, whose update cost scales
+// linearly with M.
+type Multiclass struct {
+	classes []*AWMSketch
+}
+
+// NewMulticlass returns an M-class one-vs-all ensemble of AWM-Sketches,
+// each configured by cfg with a distinct derived seed.
+func NewMulticlass(m int, cfg Config) *Multiclass {
+	if m < 2 {
+		panic(fmt.Sprintf("core: multiclass needs ≥2 classes, got %d", m))
+	}
+	classes := make([]*AWMSketch, m)
+	for c := range classes {
+		cc := cfg
+		cc.Seed = cfg.Seed + int64(c)*1000003
+		classes[c] = NewAWMSketch(cc)
+	}
+	return &Multiclass{classes: classes}
+}
+
+// NumClasses returns M.
+func (mc *Multiclass) NumClasses() int { return len(mc.classes) }
+
+// Update applies a one-vs-all gradient step for true class y ∈ [0, M).
+func (mc *Multiclass) Update(x stream.Vector, y int) {
+	if y < 0 || y >= len(mc.classes) {
+		panic(fmt.Sprintf("core: class %d out of range [0,%d)", y, len(mc.classes)))
+	}
+	for c, cls := range mc.classes {
+		if c == y {
+			cls.Update(x, 1)
+		} else {
+			cls.Update(x, -1)
+		}
+	}
+}
+
+// Predict returns the class with the largest margin.
+func (mc *Multiclass) Predict(x stream.Vector) int {
+	best, bestMargin := 0, mc.classes[0].Predict(x)
+	for c := 1; c < len(mc.classes); c++ {
+		if m := mc.classes[c].Predict(x); m > bestMargin {
+			best, bestMargin = c, m
+		}
+	}
+	return best
+}
+
+// Margins returns the per-class margins.
+func (mc *Multiclass) Margins(x stream.Vector) []float64 {
+	out := make([]float64, len(mc.classes))
+	for c, cls := range mc.classes {
+		out[c] = cls.Predict(x)
+	}
+	return out
+}
+
+// Estimate returns class c's weight estimate for feature i.
+func (mc *Multiclass) Estimate(c int, i uint32) float64 {
+	return mc.classes[c].Estimate(i)
+}
+
+// TopK returns class c's heaviest features.
+func (mc *Multiclass) TopK(c, k int) []stream.Weighted {
+	return mc.classes[c].TopK(k)
+}
+
+// MemoryBytes sums the footprint over all class copies.
+func (mc *Multiclass) MemoryBytes() int {
+	total := 0
+	for _, cls := range mc.classes {
+		total += cls.MemoryBytes()
+	}
+	return total
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"wmsketch/internal/stream"
+)
+
+// threeClassExample draws a 3-class example: class c puts mass on features
+// in block [100c, 100c+10).
+func threeClassExample(rng *rand.Rand) (stream.Vector, int) {
+	c := rng.Intn(3)
+	x := make(stream.Vector, 0, 3)
+	for j := 0; j < 3; j++ {
+		x = append(x, stream.Feature{
+			Index: uint32(100*c + rng.Intn(10)),
+			Value: 1,
+		})
+	}
+	// Small noise feature shared across classes.
+	x = append(x, stream.Feature{Index: uint32(900 + rng.Intn(5)), Value: 1})
+	return x, c
+}
+
+func TestMulticlassLearnsBlocks(t *testing.T) {
+	mc := NewMulticlass(3, Config{Width: 512, Depth: 1, HeapSize: 64, Lambda: 1e-6, Seed: 5})
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 6000; i++ {
+		x, c := threeClassExample(rng)
+		mc.Update(x, c)
+	}
+	mistakes := 0
+	const n = 1000
+	for i := 0; i < n; i++ {
+		x, c := threeClassExample(rng)
+		if mc.Predict(x) != c {
+			mistakes++
+		}
+	}
+	if rate := float64(mistakes) / n; rate > 0.05 {
+		t.Fatalf("multiclass error %.3f on separable blocks", rate)
+	}
+}
+
+func TestMulticlassMargins(t *testing.T) {
+	mc := NewMulticlass(4, Config{Width: 128, Depth: 1, HeapSize: 16, Seed: 2})
+	if mc.NumClasses() != 4 {
+		t.Fatalf("NumClasses = %d", mc.NumClasses())
+	}
+	x := stream.OneHot(7)
+	mc.Update(x, 2)
+	m := mc.Margins(x)
+	if len(m) != 4 {
+		t.Fatalf("Margins returned %d values", len(m))
+	}
+	// Class 2 saw +1, others −1, so class 2's margin must be the largest.
+	for c, v := range m {
+		if c != 2 && v >= m[2] {
+			t.Fatalf("class %d margin %g not below class 2's %g", c, v, m[2])
+		}
+	}
+	if mc.Predict(x) != 2 {
+		t.Fatalf("Predict = %d, want 2", mc.Predict(x))
+	}
+}
+
+func TestMulticlassTopKPerClass(t *testing.T) {
+	mc := NewMulticlass(2, Config{Width: 256, Depth: 1, HeapSize: 32, Seed: 3})
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 3000; i++ {
+		c := rng.Intn(2)
+		x := stream.OneHot(uint32(50*c + rng.Intn(5)))
+		mc.Update(x, c)
+	}
+	for c := 0; c < 2; c++ {
+		top := mc.TopK(c, 10)
+		if len(top) == 0 {
+			t.Fatalf("class %d: empty TopK", c)
+		}
+		// One-vs-all training makes the other block's features heavy with
+		// negative weight, so restrict to the heaviest positive weight: it
+		// must lie in class c's own block.
+		foundPositive := false
+		for _, e := range top {
+			if e.Weight > 0 {
+				foundPositive = true
+				if int(e.Index)/50 != c {
+					t.Fatalf("class %d: top positive feature %d outside block", c, e.Index)
+				}
+				if mc.Estimate(c, e.Index) != e.Weight {
+					t.Fatalf("Estimate disagrees with TopK")
+				}
+				break
+			}
+		}
+		if !foundPositive {
+			t.Fatalf("class %d: no positive weight in top-10", c)
+		}
+	}
+}
+
+func TestMulticlassValidation(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic for M=1")
+			}
+		}()
+		NewMulticlass(1, Config{Width: 16, Depth: 1, HeapSize: 4})
+	}()
+	mc := NewMulticlass(2, Config{Width: 16, Depth: 1, HeapSize: 4})
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic for out-of-range class")
+			}
+		}()
+		mc.Update(stream.OneHot(1), 5)
+	}()
+}
+
+func TestMulticlassMemoryScalesWithM(t *testing.T) {
+	cfg := Config{Width: 128, Depth: 1, HeapSize: 16}
+	one := NewAWMSketch(cfg).MemoryBytes()
+	mc := NewMulticlass(3, cfg)
+	if got := mc.MemoryBytes(); got != 3*one {
+		t.Fatalf("MemoryBytes = %d, want %d", got, 3*one)
+	}
+}

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"wmsketch/internal/linear"
+	"wmsketch/internal/sketch"
+	"wmsketch/internal/topk"
+)
+
+// Serialization lets a trained classifier be checkpointed and resumed — a
+// practical necessity for long-running streams. The format captures the
+// sketch buckets, the heap contents, the global scale, and the step
+// counter. Loss and Schedule are behaviour, not state; the loader takes
+// them from the caller (nil selects the defaults used throughout the
+// paper) so custom losses round-trip without a registry.
+//
+// Layout (little-endian), after a 4-byte magic + 4-byte version:
+//
+//	width, depth, heapSize uint32
+//	lambda float64, seed int64, scale float64, t int64
+//	heapLen uint32, then heapLen × (key uint32, weight float64)
+//	the backing Count-Sketch in its own format
+const (
+	magicWM  = 0x574d5357 // "WMSW"
+	magicAWM = 0x574d5341 // "WMSA"
+)
+
+// WriteTo serializes the WM-Sketch state. It implements io.WriterTo.
+func (w *WMSketch) WriteTo(out io.Writer) (int64, error) {
+	return writeSketchState(out, magicWM, &w.cfg, w.scale, w.t, w.heap, w.cs)
+}
+
+// LoadWMSketch restores a WM-Sketch written by WriteTo. loss and schedule
+// replace the serialized behaviour; nil selects the defaults.
+func LoadWMSketch(r io.Reader, loss linear.Loss, schedule linear.Schedule) (*WMSketch, error) {
+	cfg, scale, t, entries, cs, err := readSketchState(r, magicWM)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Loss = loss
+	cfg.Schedule = schedule
+	w := NewWMSketch(cfg)
+	w.cs = cs
+	w.scale = scale
+	w.t = t
+	for _, e := range entries {
+		w.heap.Insert(e.Key, e.Weight, e.Score)
+	}
+	return w, nil
+}
+
+// WriteTo serializes the AWM-Sketch state. It implements io.WriterTo.
+func (a *AWMSketch) WriteTo(out io.Writer) (int64, error) {
+	return writeSketchState(out, magicAWM, &a.cfg, a.scale, a.t, a.active, a.cs)
+}
+
+// LoadAWMSketch restores an AWM-Sketch written by WriteTo.
+func LoadAWMSketch(r io.Reader, loss linear.Loss, schedule linear.Schedule) (*AWMSketch, error) {
+	cfg, scale, t, entries, cs, err := readSketchState(r, magicAWM)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Loss = loss
+	cfg.Schedule = schedule
+	a := NewAWMSketch(cfg)
+	a.cs = cs
+	a.scale = scale
+	a.t = t
+	for _, e := range entries {
+		a.active.Insert(e.Key, e.Weight, e.Score)
+	}
+	return a, nil
+}
+
+func writeSketchState(out io.Writer, magic uint32, cfg *Config, scale float64,
+	t int64, heap *topk.Heap, cs *sketch.CountSketch) (int64, error) {
+	bw := bufio.NewWriter(out)
+	var n int64
+	entries := heap.Entries()
+	fields := []interface{}{
+		magic, uint32(serializeVersion),
+		uint32(cfg.Width), uint32(cfg.Depth), uint32(cfg.HeapSize),
+		cfg.Lambda, cfg.Seed, scale, t,
+		uint32(len(entries)),
+	}
+	for _, f := range fields {
+		if err := binary.Write(bw, binary.LittleEndian, f); err != nil {
+			return n, err
+		}
+		n += int64(binary.Size(f))
+	}
+	for _, e := range entries {
+		for _, f := range []interface{}{e.Key, e.Weight} {
+			if err := binary.Write(bw, binary.LittleEndian, f); err != nil {
+				return n, err
+			}
+			n += int64(binary.Size(f))
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return n, err
+	}
+	m, err := cs.WriteTo(out)
+	return n + m, err
+}
+
+const serializeVersion = 1
+
+func readSketchState(r io.Reader, wantMagic uint32) (cfg Config, scale float64,
+	t int64, entries []topk.Entry, cs *sketch.CountSketch, err error) {
+	br := bufio.NewReader(r)
+	var magic, version, width, depth, heapSize, heapLen uint32
+	var lambda float64
+	var seed int64
+	for _, p := range []interface{}{&magic, &version, &width, &depth, &heapSize,
+		&lambda, &seed, &scale, &t, &heapLen} {
+		if err = binary.Read(br, binary.LittleEndian, p); err != nil {
+			err = fmt.Errorf("core: truncated header: %w", err)
+			return
+		}
+	}
+	if magic != wantMagic {
+		err = fmt.Errorf("core: bad magic %#x", magic)
+		return
+	}
+	if version != serializeVersion {
+		err = fmt.Errorf("core: unsupported version %d", version)
+		return
+	}
+	if heapLen > heapSize {
+		err = fmt.Errorf("core: heap length %d exceeds capacity %d", heapLen, heapSize)
+		return
+	}
+	entries = make([]topk.Entry, heapLen)
+	for i := range entries {
+		var key uint32
+		var weight float64
+		if err = binary.Read(br, binary.LittleEndian, &key); err != nil {
+			err = fmt.Errorf("core: truncated heap: %w", err)
+			return
+		}
+		if err = binary.Read(br, binary.LittleEndian, &weight); err != nil {
+			err = fmt.Errorf("core: truncated heap: %w", err)
+			return
+		}
+		score := weight
+		if score < 0 {
+			score = -score
+		}
+		entries[i] = topk.Entry{Key: key, Weight: weight, Score: score}
+	}
+	cs, err = sketch.ReadCountSketch(br)
+	if err != nil {
+		return
+	}
+	if cs.Width() != int(width) || cs.Depth() != int(depth) {
+		err = fmt.Errorf("core: sketch shape %dx%d disagrees with header %dx%d",
+			cs.Depth(), cs.Width(), depth, width)
+		return
+	}
+	cfg = Config{
+		Width: int(width), Depth: int(depth), HeapSize: int(heapSize),
+		Lambda: lambda, Seed: seed,
+	}
+	return
+}

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"wmsketch/internal/linear"
+	"wmsketch/internal/stream"
+)
+
+// These tests empirically validate the scaling behaviour promised by the
+// paper's theory (Theorem 1 and the surrounding discussion), not exact
+// constants: recovery error should (a) decrease as the sketch grows, (b)
+// decrease with stronger ℓ2 regularization, and (c) scale with ‖w*‖₁ of
+// the underlying uncompressed model.
+
+// trainPair trains an uncompressed reference and a WM-Sketch on the same
+// example sequence and returns the max per-feature recovery error over the
+// reference's nonzero weights, normalized by ‖w*‖₁.
+func recoveryErrNormalized(t *testing.T, width, depth int, lambda float64,
+	examples []stream.Example) float64 {
+	t.Helper()
+	maxErr, l1 := recoveryErrParts(t, width, depth, lambda, examples)
+	return maxErr / l1
+}
+
+// recoveryErrParts returns the max per-feature absolute recovery error and
+// the reference model's ℓ1 norm.
+func recoveryErrParts(t *testing.T, width, depth int, lambda float64,
+	examples []stream.Example) (maxErr, l1 float64) {
+	t.Helper()
+	ref := linear.NewLogReg(linear.LogRegConfig{Lambda: lambda})
+	w := NewWMSketch(Config{Width: width, Depth: depth, HeapSize: 16,
+		Lambda: lambda, Seed: 1234})
+	for _, ex := range examples {
+		ref.Update(ex.X, ex.Y)
+		w.Update(ex.X, ex.Y)
+	}
+	weights := ref.Weights()
+	for _, v := range weights {
+		l1 += math.Abs(v)
+	}
+	if l1 == 0 {
+		t.Fatal("degenerate reference model")
+	}
+	for i, v := range weights {
+		if e := math.Abs(w.Estimate(i) - v); e > maxErr {
+			maxErr = e
+		}
+	}
+	return maxErr, l1
+}
+
+func theoryExamples(n int, seed int64) []stream.Example {
+	gen := newPlanted(2000, 6, defaultPlantedWeights(), seed)
+	out := make([]stream.Example, n)
+	for i := range out {
+		out[i] = gen.next()
+	}
+	return out
+}
+
+func TestTheoremOneErrorShrinksWithWidth(t *testing.T) {
+	// ε scales like k^(-1/4) in Theorem 1; verify monotone improvement
+	// (with slack for noise) over a 16x width range.
+	examples := theoryExamples(15000, 51)
+	errNarrow := recoveryErrNormalized(t, 64, 2, 1e-4, examples)
+	errMid := recoveryErrNormalized(t, 256, 2, 1e-4, examples)
+	errWide := recoveryErrNormalized(t, 1024, 2, 1e-4, examples)
+	if errWide > errMid*1.2 || errMid > errNarrow*1.2 {
+		t.Fatalf("error not shrinking with width: %g -> %g -> %g",
+			errNarrow, errMid, errWide)
+	}
+	// Theorem 1's rate is ε ~ k^(-1/4): a 16x width increase should buy
+	// roughly a 2x error reduction. Demand at least 1.6x.
+	if errWide > errNarrow/1.6 {
+		t.Fatalf("16x width bought too little: %g -> %g", errNarrow, errWide)
+	}
+}
+
+func TestTheoremOneErrorShrinksWithRegularization(t *testing.T) {
+	// k and s scale inversely with λ: at fixed size, stronger
+	// regularization should reduce absolute recovery error because both
+	// the true and sketched weights shrink toward zero (Figure 5's
+	// mechanism).
+	examples := theoryExamples(15000, 53)
+	errWeak, _ := recoveryErrParts(t, 128, 2, 1e-6, examples)
+	errStrong, _ := recoveryErrParts(t, 128, 2, 1e-2, examples)
+	if errStrong > errWeak {
+		t.Fatalf("stronger lambda did not reduce absolute error: %g vs %g",
+			errStrong, errWeak)
+	}
+}
+
+func TestRecoveryErrorBoundedByL1(t *testing.T) {
+	// The Theorem 1 guarantee has the form ‖w*−ŵ‖∞ ≤ ε‖w*‖₁. At a
+	// generous sketch size the normalized error must be well below 1.
+	examples := theoryExamples(15000, 57)
+	if err := recoveryErrNormalized(t, 2048, 4, 1e-4, examples); err > 0.3 {
+		t.Fatalf("normalized recovery error %g too large at generous size", err)
+	}
+}
+
+func TestOnlineOrderSensitivity(t *testing.T) {
+	// Theorem 2 guarantees recovery in expectation over random orderings
+	// but NOT for adversarial ones. Verify the benign direction: two
+	// random shuffles of the same example multiset recover similar
+	// estimates for the planted heavy features.
+	base := theoryExamples(20000, 61)
+	shuffleTrain := func(seed int64) *WMSketch {
+		rng := rand.New(rand.NewSource(seed))
+		perm := rng.Perm(len(base))
+		w := NewWMSketch(Config{Width: 512, Depth: 2, HeapSize: 16,
+			Lambda: 1e-4, Seed: 77})
+		for _, idx := range perm {
+			w.Update(base[idx].X, base[idx].Y)
+		}
+		return w
+	}
+	a, b := shuffleTrain(1), shuffleTrain(2)
+	for i := range defaultPlantedWeights() {
+		ea, eb := a.Estimate(i), b.Estimate(i)
+		if math.Abs(ea-eb) > 0.3*(1+math.Abs(ea)) {
+			t.Fatalf("feature %d: order-sensitive estimates %g vs %g", i, ea, eb)
+		}
+		if ea*eb < 0 {
+			t.Fatalf("feature %d: sign flipped across orderings", i)
+		}
+	}
+}
+
+func TestJLInnerProductPreservation(t *testing.T) {
+	// The analysis rests on the scaled Count-Sketch matrix R = A/√s having
+	// the JL property (Lemma 4: |v₁ᵀv₂ − (Rv₁)ᵀ(Rv₂)| ≤ 2ε‖v₁‖₁‖v₂‖₁).
+	// Verify empirically that sparse unit vectors keep their norms and
+	// inner products through the projection.
+	const d = 1000
+	const depth = 8
+	const width = 1024
+	w := NewWMSketch(Config{Width: width, Depth: depth, HeapSize: 4, Seed: 91})
+	cs := w.Sketch()
+	rng := rand.New(rand.NewSource(92))
+
+	// Project 30 random sparse vectors by feeding them as updates to a
+	// fresh sketch each (using the shared hash family via manual bucket
+	// computation would duplicate code; instead use the linearity of the
+	// structure: project v by zeroing and applying Update-like increments).
+	project := func(v map[uint32]float64) []float64 {
+		cs.Reset()
+		for i, val := range v {
+			cs.Update(i, val/math.Sqrt(depth))
+		}
+		flat := make([]float64, 0, depth*width)
+		for j := 0; j < depth; j++ {
+			flat = append(flat, cs.Row(j)...)
+		}
+		return flat
+	}
+	dot := func(a, b []float64) float64 {
+		s := 0.0
+		for i := range a {
+			s += a[i] * b[i]
+		}
+		return s
+	}
+	for trial := 0; trial < 30; trial++ {
+		v1 := map[uint32]float64{}
+		v2 := map[uint32]float64{}
+		for n := 0; n < 10; n++ {
+			v1[uint32(rng.Intn(d))] = rng.NormFloat64()
+			v2[uint32(rng.Intn(d))] = rng.NormFloat64()
+		}
+		trueDot := 0.0
+		norm1, norm2 := 0.0, 0.0
+		for i, a := range v1 {
+			trueDot += a * v2[i]
+			norm1 += a * a
+		}
+		for _, b := range v2 {
+			norm2 += b * b
+		}
+		p1 := project(v1)
+		p2 := project(v2)
+		got := dot(p1, p2)
+		scale := math.Sqrt(norm1 * norm2)
+		if math.Abs(got-trueDot) > 0.5*scale {
+			t.Fatalf("trial %d: projected dot %g vs true %g (scale %g)",
+				trial, got, trueDot, scale)
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"math"
+
+	"wmsketch/internal/linear"
+	"wmsketch/internal/sketch"
+	"wmsketch/internal/stream"
+	"wmsketch/internal/topk"
+)
+
+// WMSketch is the Weight-Median Sketch of Algorithm 1: a Count-Sketch
+// data structure updated by online gradient descent on the projected
+// classification objective, supporting median-query recovery of individual
+// weights. A passive magnitude heap tracks the heaviest estimates seen so
+// far so that TopK queries do not require enumerating the feature space.
+type WMSketch struct {
+	cfg      Config
+	cs       *sketch.CountSketch
+	loss     linear.Loss
+	schedule linear.Schedule
+	sqrtS    float64
+	scale    float64 // global decay factor α; true z = scale · stored z
+	t        int64
+	heap     *topk.Heap // passive top-weight tracking (unscaled scores)
+}
+
+// NewWMSketch returns a WM-Sketch with the given configuration.
+func NewWMSketch(cfg Config) *WMSketch {
+	cfg.fill()
+	return &WMSketch{
+		cfg:      cfg,
+		cs:       sketch.NewCountSketch(cfg.Depth, cfg.Width, cfg.Seed),
+		loss:     cfg.Loss,
+		schedule: cfg.Schedule,
+		sqrtS:    math.Sqrt(float64(cfg.Depth)),
+		scale:    1,
+		heap:     topk.New(cfg.HeapSize),
+	}
+}
+
+// Predict returns the margin τ = zᵀRx of the compressed classifier.
+// Expanding the projection, τ = (α/√s)·Σ_f x_f · Σⱼ σⱼ(f)·z[j][hⱼ(f)].
+func (w *WMSketch) Predict(x stream.Vector) float64 {
+	dot := 0.0
+	for _, f := range x {
+		dot += f.Value * w.cs.SumSigned(f.Index)
+	}
+	return dot * w.scale / w.sqrtS
+}
+
+// Update applies one online gradient descent step on example (x, y):
+//
+//	z ← (1−ληₜ)z − ηₜ·y·ℓ'(y·zᵀRx)·Rx
+//
+// using the lazy global-scale trick for the decay term, so the cost is
+// O(s·nnz(x)) (plus heap maintenance).
+func (w *WMSketch) Update(x stream.Vector, y int) {
+	ys := sgn(y)
+	w.t++
+	eta := w.schedule.Rate(w.t)
+	margin := ys * w.Predict(x)
+	g := w.loss.Deriv(margin)
+
+	if w.cfg.Lambda > 0 {
+		if w.cfg.NoScaleTrick {
+			w.cs.Scale(1 - eta*w.cfg.Lambda)
+			w.heap.ScaleWeights(1 - eta*w.cfg.Lambda)
+		} else {
+			w.scale *= 1 - eta*w.cfg.Lambda
+			if w.scale < minScale {
+				w.renormalize()
+			}
+		}
+	}
+	if g != 0 {
+		// Gradient term: each feature f contributes −η·y·g·x_f·(1/√s) to its
+		// signed buckets; divide by scale because buckets store unscaled z.
+		step := eta * ys * g / (w.sqrtS * w.scale)
+		if w.cfg.NoScaleTrick {
+			step = eta * ys * g / w.sqrtS
+		}
+		for _, f := range x {
+			w.cs.Update(f.Index, -step*f.Value)
+		}
+	}
+	// Passively refresh the heap with the touched features' new estimates.
+	for _, f := range x {
+		w.offerToHeap(f.Index)
+	}
+}
+
+// offerToHeap inserts or refreshes feature i with its current unscaled
+// estimate. Unscaled values keep heap ordering consistent across decay.
+func (w *WMSketch) offerToHeap(i uint32) {
+	est := w.queryUnscaled(i)
+	if w.heap.Contains(i) {
+		w.heap.UpdateMagnitude(i, est)
+		return
+	}
+	if !w.heap.Full() {
+		w.heap.InsertMagnitude(i, est)
+		return
+	}
+	if min, _ := w.heap.Min(); absf(est) > min.Score {
+		w.heap.PopMin()
+		w.heap.InsertMagnitude(i, est)
+	}
+}
+
+// queryUnscaled is the Count-Sketch median query scaled by √s but not by the
+// global decay factor.
+func (w *WMSketch) queryUnscaled(i uint32) float64 {
+	return w.sqrtS * w.cs.Estimate(i)
+}
+
+// Estimate returns the recovered weight ŵᵢ: the median over rows of
+// √s·σⱼ(i)·z[j][hⱼ(i)], times the global scale (Algorithm 1's Query).
+func (w *WMSketch) Estimate(i uint32) float64 {
+	return w.scale * w.queryUnscaled(i)
+}
+
+// TopK returns the k heaviest features tracked by the passive heap, with
+// fresh sketch estimates, in descending |weight| order.
+func (w *WMSketch) TopK(k int) []stream.Weighted {
+	entries := w.heap.Entries()
+	out := make([]stream.Weighted, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, stream.Weighted{Index: e.Key, Weight: w.Estimate(e.Key)})
+	}
+	stream.SortWeighted(out)
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+// renormalize folds the global scale into the bucket array; O(k).
+func (w *WMSketch) renormalize() {
+	w.cs.Scale(w.scale)
+	w.heap.ScaleWeights(w.scale)
+	w.scale = 1
+}
+
+// Steps returns the number of updates applied.
+func (w *WMSketch) Steps() int64 { return w.t }
+
+// Scale exposes the current global decay factor (diagnostics and tests).
+func (w *WMSketch) Scale() float64 { return w.scale }
+
+// Sketch exposes the backing Count-Sketch (white-box tests, ablations).
+func (w *WMSketch) Sketch() *sketch.CountSketch { return w.cs }
+
+// MemoryBytes reports the Section 7.1 cost-model footprint: 4 bytes per
+// sketch bucket plus id+weight per heap slot.
+func (w *WMSketch) MemoryBytes() int {
+	return w.cs.MemoryBytes() + w.heap.MemoryBytes(false)
+}

@@ -1,0 +1,183 @@
+package datagen
+
+import (
+	"math"
+	"math/rand"
+)
+
+// CorpusConfig parameterizes the newswire-corpus substitute for the
+// streaming PMI experiment (Section 8.3): a Zipf unigram distribution with
+// planted associated token pairs spanning the frequency spectrum, mirroring
+// natural language where frequent collocations ("of the") have modest PMI
+// and rare collocations ("prime minister") have high PMI.
+type CorpusConfig struct {
+	// Vocab is the vocabulary size.
+	Vocab int
+	// ZipfS is the Zipf exponent of token frequency.
+	ZipfS float64
+	// NumPairs is the number of planted associated pairs. Pair i draws its
+	// members from popularity rank ≈ PairMinRank·(PairMaxRank/PairMinRank)^(i/N)
+	// (geometric spacing), and is emitted with probability proportional to
+	// 1/(i+1)^PairZipfS — so early pairs are frequent with moderate PMI and
+	// late pairs are rare with high PMI.
+	NumPairs int
+	// PairRate is the probability that a generation step emits a planted
+	// pair (two adjacent tokens) instead of a single independent token.
+	PairRate float64
+	// PairZipfS skews emission probability across planted pairs.
+	PairZipfS float64
+	// PairMinRank/PairMaxRank bound the popularity ranks of pair members.
+	PairMinRank int
+	PairMaxRank int
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// DefaultCorpusConfig mirrors the PMI experiment at laptop scale.
+func DefaultCorpusConfig(seed int64) CorpusConfig {
+	return CorpusConfig{
+		Vocab:       50_000,
+		ZipfS:       1.15,
+		NumPairs:    1_000,
+		PairRate:    0.3,
+		PairZipfS:   0.8,
+		PairMinRank: 50,
+		PairMaxRank: 20_000,
+		Seed:        seed,
+	}
+}
+
+// TokenPair is an ordered planted pair.
+type TokenPair struct {
+	U, V uint32
+}
+
+// Corpus generates a token stream with planted co-occurrences.
+type Corpus struct {
+	cfg     CorpusConfig
+	rng     *rand.Rand
+	zipf    *rand.Zipf
+	pairs   []TokenPair
+	pairSet map[TokenPair]bool
+	pairCum []float64 // cumulative emission weights over pairs
+	// pending holds the second token of a planted pair awaiting emission.
+	pending uint32
+	hasPend bool
+}
+
+// NewCorpus returns a generator for the given configuration.
+func NewCorpus(cfg CorpusConfig) *Corpus {
+	if cfg.Vocab <= 0 {
+		panic("datagen: Vocab must be positive")
+	}
+	if cfg.ZipfS <= 1 {
+		panic("datagen: ZipfS must exceed 1")
+	}
+	if cfg.PairRate < 0 || cfg.PairRate >= 1 {
+		panic("datagen: PairRate must be in [0,1)")
+	}
+	if cfg.PairZipfS <= 0 {
+		cfg.PairZipfS = 0.8
+	}
+	if cfg.PairMaxRank <= cfg.PairMinRank || cfg.PairMaxRank > cfg.Vocab {
+		panic("datagen: bad pair rank range")
+	}
+	if cfg.NumPairs < 1 {
+		panic("datagen: NumPairs must be positive")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	c := &Corpus{
+		cfg:     cfg,
+		rng:     rng,
+		zipf:    rand.NewZipf(rng, cfg.ZipfS, 1, uint64(cfg.Vocab-1)),
+		pairSet: make(map[TokenPair]bool, cfg.NumPairs),
+	}
+	// Pair i draws members near geometric rank r_i; a small jitter keeps
+	// members distinct across pairs.
+	span := float64(cfg.PairMaxRank) / float64(cfg.PairMinRank)
+	weights := make([]float64, 0, cfg.NumPairs)
+	for i := 0; i < cfg.NumPairs; i++ {
+		frac := float64(i) / float64(cfg.NumPairs)
+		base := float64(cfg.PairMinRank) * math.Pow(span, frac)
+		u := uint32(base * (1 + 0.2*rng.Float64()))
+		v := uint32(base * (1.2 + 0.2*rng.Float64()))
+		p := TokenPair{U: u, V: v}
+		if c.pairSet[p] || u == v {
+			continue
+		}
+		c.pairs = append(c.pairs, p)
+		c.pairSet[p] = true
+		weights = append(weights, math.Pow(float64(len(c.pairs)), -cfg.PairZipfS))
+	}
+	c.pairCum = cumulative(weights)
+	return c
+}
+
+// NextToken emits the next token of the stream. Planted pairs are emitted
+// as two consecutive tokens, which concentrates their joint probability far
+// above the product of their marginals (positive PMI).
+func (c *Corpus) NextToken() uint32 {
+	if c.hasPend {
+		c.hasPend = false
+		return c.pending
+	}
+	if c.rng.Float64() < c.cfg.PairRate {
+		p := c.pairs[sampleCum(c.rng, c.pairCum)]
+		c.pending = p.V
+		c.hasPend = true
+		return p.U
+	}
+	return uint32(c.zipf.Uint64())
+}
+
+// Tokens returns the next n tokens.
+func (c *Corpus) Tokens(n int) []uint32 {
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = c.NextToken()
+	}
+	return out
+}
+
+// PlantedPairs returns the planted high-PMI pairs.
+func (c *Corpus) PlantedPairs() []TokenPair {
+	out := make([]TokenPair, len(c.pairs))
+	copy(out, c.pairs)
+	return out
+}
+
+// IsPlanted reports whether (u, v) is a planted pair.
+func (c *Corpus) IsPlanted(u, v uint32) bool {
+	return c.pairSet[TokenPair{U: u, V: v}]
+}
+
+// BigramWindow iterates sliding-window bigrams over a token stream,
+// mirroring the paper's 5-6 token co-occurrence windows. For each new token
+// t it yields (prev, t) for every prev in the preceding window.
+type BigramWindow struct {
+	window  int
+	history []uint32
+}
+
+// NewBigramWindow returns a sliding window of the given width.
+func NewBigramWindow(window int) *BigramWindow {
+	if window <= 0 {
+		panic("datagen: window must be positive")
+	}
+	return &BigramWindow{window: window}
+}
+
+// Push adds a token and invokes fn for each (prev, token) bigram formed
+// with the current window contents.
+func (b *BigramWindow) Push(token uint32, fn func(u, v uint32)) {
+	for _, prev := range b.history {
+		fn(prev, token)
+	}
+	b.history = append(b.history, token)
+	if len(b.history) > b.window {
+		b.history = b.history[1:]
+	}
+}
+
+// Reset clears the window (e.g. at document boundaries).
+func (b *BigramWindow) Reset() { b.history = b.history[:0] }

@@ -1,0 +1,345 @@
+package datagen
+
+import (
+	"math"
+	"testing"
+
+	"wmsketch/internal/metrics"
+)
+
+func TestClassificationDeterministic(t *testing.T) {
+	a := RCV1Like(1)
+	b := RCV1Like(1)
+	for i := 0; i < 100; i++ {
+		ea, eb := a.Next(), b.Next()
+		if ea.Y != eb.Y || len(ea.X) != len(eb.X) {
+			t.Fatal("same seed produced different streams")
+		}
+		for j := range ea.X {
+			if ea.X[j] != eb.X[j] {
+				t.Fatal("same seed produced different features")
+			}
+		}
+	}
+}
+
+func TestClassificationShape(t *testing.T) {
+	g := RCV1Like(2)
+	for i := 0; i < 200; i++ {
+		ex := g.Next()
+		if len(ex.X) != 20 {
+			t.Fatalf("nnz = %d, want 20", len(ex.X))
+		}
+		if ex.Y != 1 && ex.Y != -1 {
+			t.Fatalf("label = %d", ex.Y)
+		}
+		seen := map[uint32]bool{}
+		for _, f := range ex.X {
+			if f.Value != 1 {
+				t.Fatalf("feature value %g, want 1", f.Value)
+			}
+			if int(f.Index) >= g.Dim() {
+				t.Fatalf("index %d out of range", f.Index)
+			}
+			if seen[f.Index] {
+				t.Fatal("duplicate feature index in example")
+			}
+			seen[f.Index] = true
+		}
+	}
+}
+
+func TestClassificationLabelsCorrelateWithWeights(t *testing.T) {
+	g := NewClassification(ClassificationConfig{
+		Name: "t", D: 1000, NNZ: 5, ZipfS: 1.3,
+		NumSignal: 20, SignalMinRank: 0, SignalMaxRank: 100,
+		WeightScale: 6, Seed: 3,
+	})
+	weights := g.TrueWeights()
+	if len(weights) != 20 {
+		t.Fatalf("planted %d weights, want 20", len(weights))
+	}
+	// Labels must agree with the sign of the planted margin far more often
+	// than chance.
+	agree, total := 0, 0
+	for i := 0; i < 20000; i++ {
+		ex := g.Next()
+		margin := 0.0
+		for _, f := range ex.X {
+			margin += weights[f.Index]
+		}
+		if math.Abs(margin) < 2 {
+			continue // low-confidence examples are noisy by design
+		}
+		total++
+		if (margin > 0) == (ex.Y == 1) {
+			agree++
+		}
+	}
+	if total < 100 {
+		t.Fatalf("too few confident examples (%d) — generator mis-tuned", total)
+	}
+	if rate := float64(agree) / float64(total); rate < 0.85 {
+		t.Fatalf("label agreement %.3f, want ≥ 0.85", rate)
+	}
+}
+
+func TestClassificationZipfSkew(t *testing.T) {
+	g := RCV1Like(4)
+	counts := map[uint32]int{}
+	for i := 0; i < 5000; i++ {
+		for _, f := range g.Next().X {
+			counts[f.Index]++
+		}
+	}
+	// Rank 0 must be far more frequent than rank 1000.
+	if counts[0] < 10*counts[1000]+1 {
+		t.Fatalf("frequency skew too weak: rank0=%d rank1000=%d", counts[0], counts[1000])
+	}
+}
+
+func TestURLLikeSignalIsRare(t *testing.T) {
+	g := URLLike(5)
+	weights := g.TrueWeights()
+	for i := range weights {
+		if i < 3000 {
+			t.Fatalf("URL-like signal feature %d below min rank 3000", i)
+		}
+	}
+}
+
+func TestClassificationConfigValidation(t *testing.T) {
+	bad := []ClassificationConfig{
+		{D: 0, NNZ: 1, ZipfS: 1.2, SignalMaxRank: 1},
+		{D: 10, NNZ: 20, ZipfS: 1.2, SignalMaxRank: 5},
+		{D: 10, NNZ: 2, ZipfS: 0.9, SignalMaxRank: 5},
+		{D: 10, NNZ: 2, ZipfS: 1.2, SignalMinRank: 5, SignalMaxRank: 5},
+		{D: 10, NNZ: 2, ZipfS: 1.2, SignalMinRank: 0, SignalMaxRank: 4, NumSignal: 10},
+	}
+	for i, cfg := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %d: expected panic", i)
+				}
+			}()
+			NewClassification(cfg)
+		}()
+	}
+}
+
+func TestExplanationPlantedRisks(t *testing.T) {
+	e := NewExplanation(DefaultExplanationConfig(7))
+	tracker := metrics.NewRiskTracker()
+	for i := 0; i < 60000; i++ {
+		row := e.Next()
+		for _, a := range row.Attrs {
+			tracker.Observe(a, row.Y)
+		}
+	}
+	// Planted high-risk features should have median empirical risk well
+	// above 1; low-risk well below 1.
+	var hi, lo []float64
+	for f := range e.HighRiskFeatures() {
+		if r := tracker.RelativeRisk(f); !math.IsNaN(r) && !math.IsInf(r, 0) {
+			hi = append(hi, r)
+		}
+	}
+	for f := range e.LowRiskFeatures() {
+		if r := tracker.RelativeRisk(f); !math.IsNaN(r) && !math.IsInf(r, 0) {
+			lo = append(lo, r)
+		}
+	}
+	if len(hi) < 50 || len(lo) < 50 {
+		t.Fatalf("too few measurable planted features: %d hi, %d lo", len(hi), len(lo))
+	}
+	if m := median(hi); m < 2 {
+		t.Fatalf("median high-risk %g, want ≥ 2", m)
+	}
+	if m := median(lo); m > 0.7 {
+		t.Fatalf("median low-risk %g, want ≤ 0.7", m)
+	}
+}
+
+func TestExplanationOutlierRate(t *testing.T) {
+	e := NewExplanation(DefaultExplanationConfig(8))
+	pos := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if e.Next().Y == 1 {
+			pos++
+		}
+	}
+	rate := float64(pos) / n
+	if math.Abs(rate-0.2) > 0.02 {
+		t.Fatalf("outlier rate %.3f, want ≈0.2", rate)
+	}
+}
+
+func TestExplanationRowEncoding(t *testing.T) {
+	e := NewExplanation(DefaultExplanationConfig(9))
+	row := e.Next()
+	if len(row.Attrs) != 6 {
+		t.Fatalf("fields = %d", len(row.Attrs))
+	}
+	for f, a := range row.Attrs {
+		if int(a)/2000 != f {
+			t.Fatalf("attr %d encoded into wrong field block: %d", f, a)
+		}
+	}
+	exs := row.Examples()
+	if len(exs) != 6 {
+		t.Fatalf("examples = %d", len(exs))
+	}
+	for i, ex := range exs {
+		if len(ex.X) != 1 || ex.X[0].Value != 1 || ex.Y != row.Y {
+			t.Fatalf("example %d malformed: %+v", i, ex)
+		}
+	}
+}
+
+func TestPacketTracePlantedRatios(t *testing.T) {
+	pt := NewPacketTrace(DefaultPacketTraceConfig(10))
+	out := map[uint32]int{}
+	in := map[uint32]int{}
+	for i := 0; i < 400000; i++ {
+		p := pt.Next()
+		if p.Outbound {
+			out[p.IP]++
+		} else {
+			in[p.IP]++
+		}
+	}
+	// Measured ratios of well-observed planted deltoids must be large.
+	good, checked := 0, 0
+	for ip := range pt.OutboundDeltoids() {
+		o, i := out[ip], in[ip]
+		if o+i < 50 {
+			continue
+		}
+		checked++
+		ratio := float64(o) / math.Max(float64(i), 0.5)
+		if ratio > 8 {
+			good++
+		}
+	}
+	if checked < 20 {
+		t.Fatalf("too few observable deltoids (%d)", checked)
+	}
+	if float64(good)/float64(checked) < 0.9 {
+		t.Fatalf("only %d/%d planted deltoids show ratio > 8", good, checked)
+	}
+	// Non-planted IPs should be near 1:1.
+	if o, i := out[0], in[0]; o+i > 1000 {
+		ratio := float64(o) / float64(i)
+		if ratio > 1.3 || ratio < 0.77 {
+			t.Fatalf("non-deltoid rank-0 ratio %.2f, want ≈1", ratio)
+		}
+	}
+}
+
+func TestPacketTraceDisjointDeltoidSets(t *testing.T) {
+	pt := NewPacketTrace(DefaultPacketTraceConfig(11))
+	for ip := range pt.OutboundDeltoids() {
+		if pt.InboundDeltoids()[ip] {
+			t.Fatalf("ip %d planted on both sides", ip)
+		}
+	}
+}
+
+func TestCorpusPlantedPairsHavePositivePMI(t *testing.T) {
+	c := NewCorpus(DefaultCorpusConfig(12))
+	tracker := metrics.NewPMITracker()
+	win := NewBigramWindow(2)
+	for i := 0; i < 300000; i++ {
+		tok := c.NextToken()
+		tracker.ObserveUnigram(tok)
+		win.Push(tok, tracker.ObserveBigram)
+	}
+	measurable, positive := 0, 0
+	for _, p := range c.PlantedPairs() {
+		pmi := tracker.PMI(p.U, p.V)
+		if math.IsNaN(pmi) {
+			continue
+		}
+		measurable++
+		if pmi > 1 {
+			positive++
+		}
+	}
+	if measurable < 30 {
+		t.Fatalf("too few measurable pairs (%d)", measurable)
+	}
+	if float64(positive)/float64(measurable) < 0.9 {
+		t.Fatalf("only %d/%d planted pairs have PMI > 1", positive, measurable)
+	}
+}
+
+func TestCorpusIsPlanted(t *testing.T) {
+	c := NewCorpus(DefaultCorpusConfig(13))
+	pairs := c.PlantedPairs()
+	// A few of the nominal 1000 pairs are dropped as duplicates.
+	if len(pairs) < 900 || len(pairs) > 1000 {
+		t.Fatalf("planted %d pairs", len(pairs))
+	}
+	if !c.IsPlanted(pairs[0].U, pairs[0].V) {
+		t.Fatal("IsPlanted false for planted pair")
+	}
+	if c.IsPlanted(pairs[0].V, pairs[0].U) && pairs[0].U != pairs[0].V {
+		t.Fatal("IsPlanted must be order-sensitive")
+	}
+}
+
+func TestBigramWindow(t *testing.T) {
+	win := NewBigramWindow(3)
+	var got [][2]uint32
+	record := func(u, v uint32) { got = append(got, [2]uint32{u, v}) }
+	for _, tok := range []uint32{1, 2, 3, 4, 5} {
+		win.Push(tok, record)
+	}
+	// Expected: (1,2) (1,3)(2,3) (1,4)(2,4)(3,4) (2,5)(3,5)(4,5).
+	want := [][2]uint32{{1, 2}, {1, 3}, {2, 3}, {1, 4}, {2, 4}, {3, 4}, {2, 5}, {3, 5}, {4, 5}}
+	if len(got) != len(want) {
+		t.Fatalf("got %d bigrams, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bigram %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	win.Reset()
+	got = nil
+	win.Push(9, record)
+	if len(got) != 0 {
+		t.Fatal("Reset did not clear history")
+	}
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	cp := append([]float64(nil), xs...)
+	for i := 1; i < len(cp); i++ {
+		for j := i; j > 0 && cp[j] < cp[j-1]; j-- {
+			cp[j], cp[j-1] = cp[j-1], cp[j]
+		}
+	}
+	return cp[len(cp)/2]
+}
+
+func BenchmarkClassificationNext(b *testing.B) {
+	g := RCV1Like(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Next()
+	}
+}
+
+func BenchmarkPacketTraceNext(b *testing.B) {
+	pt := NewPacketTrace(DefaultPacketTraceConfig(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pt.Next()
+	}
+}

@@ -1,0 +1,212 @@
+package datagen
+
+import (
+	"math"
+	"math/rand"
+
+	"wmsketch/internal/stream"
+)
+
+// ExplanationConfig parameterizes the FEC-disbursements substitute for the
+// streaming-explanation experiment (Section 8.1): rows of categorical
+// attributes where a subset of attribute values is predictive of the
+// outlier label (high relative risk), a subset is anti-predictive (risk
+// < 1), and some values are frequent in BOTH classes — the case that wastes
+// heavy-hitter capacity.
+type ExplanationConfig struct {
+	// Fields is the number of categorical attributes per row.
+	Fields int
+	// Cardinality is the number of distinct values per attribute field.
+	Cardinality int
+	// OutlierRate is p(y=+1), the fraction of outlier rows (the paper uses
+	// the top-20% of disbursements by amount).
+	OutlierRate float64
+	// HighRiskPerField is the number of values per field boosted in the
+	// outlier class (relative risk > 1).
+	HighRiskPerField int
+	// LowRiskPerField is the number of values per field boosted in the
+	// inlier class (relative risk < 1).
+	LowRiskPerField int
+	// Boost multiplies the within-class probability of planted values.
+	// Larger boosts produce more extreme relative risks, mirroring the
+	// near-deterministic attributes (e.g. recipient names) of the FEC data.
+	Boost float64
+	// BaseSkew is the exponent of the 1/(rank+1)^skew base popularity; a
+	// mild skew keeps some values frequent in both classes without making
+	// the tail unobservably rare.
+	BaseSkew float64
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// DefaultExplanationConfig mirrors the FEC experiment's scale at laptop
+// size: 6 fields of 2000 values, 20% outliers, strongly boosted planted
+// values spread across the whole popularity spectrum.
+func DefaultExplanationConfig(seed int64) ExplanationConfig {
+	return ExplanationConfig{
+		Fields:           6,
+		Cardinality:      2_000,
+		OutlierRate:      0.2,
+		HighRiskPerField: 50,
+		LowRiskPerField:  50,
+		Boost:            20,
+		BaseSkew:         0.6,
+		Seed:             seed,
+	}
+}
+
+// Explanation generates labeled attribute rows. Feature identifiers encode
+// (field, value) pairs as field*Cardinality + value.
+type Explanation struct {
+	cfg ExplanationConfig
+	rng *rand.Rand
+	// cumulative per-class samplers, one pair per field.
+	posCum [][]float64
+	negCum [][]float64
+	// planted sets for ground-truth checks.
+	highRisk map[uint32]bool
+	lowRisk  map[uint32]bool
+}
+
+// NewExplanation returns a generator for the given configuration.
+func NewExplanation(cfg ExplanationConfig) *Explanation {
+	if cfg.Fields <= 0 || cfg.Cardinality <= 1 {
+		panic("datagen: bad explanation shape")
+	}
+	if cfg.OutlierRate <= 0 || cfg.OutlierRate >= 1 {
+		panic("datagen: OutlierRate must be in (0,1)")
+	}
+	if cfg.HighRiskPerField+cfg.LowRiskPerField >= cfg.Cardinality {
+		panic("datagen: planted values exceed cardinality")
+	}
+	if cfg.Boost <= 1 {
+		panic("datagen: Boost must exceed 1")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	e := &Explanation{
+		cfg:      cfg,
+		rng:      rng,
+		posCum:   make([][]float64, cfg.Fields),
+		negCum:   make([][]float64, cfg.Fields),
+		highRisk: make(map[uint32]bool),
+		lowRisk:  make(map[uint32]bool),
+	}
+	skew := cfg.BaseSkew
+	if skew <= 0 {
+		skew = 0.6
+	}
+	for f := 0; f < cfg.Fields; f++ {
+		// Base popularity: mildly skewed 1/(rank+1)^skew so the head is
+		// frequent in both classes but the tail remains observable.
+		base := make([]float64, cfg.Cardinality)
+		for v := range base {
+			base[v] = math.Pow(float64(v+1), -skew)
+		}
+		pos := append([]float64(nil), base...)
+		neg := append([]float64(nil), base...)
+		// Plant boosted values across the entire popularity spectrum, as in
+		// the FEC data where frequent attributes (states, categories) also
+		// carry extreme risks.
+		perm := rng.Perm(cfg.Cardinality)
+		idx := 0
+		for i := 0; i < cfg.HighRiskPerField; i++ {
+			v := perm[idx]
+			idx++
+			pos[v] *= cfg.Boost
+			e.highRisk[e.Encode(f, v)] = true
+		}
+		for i := 0; i < cfg.LowRiskPerField; i++ {
+			v := perm[idx]
+			idx++
+			neg[v] *= cfg.Boost
+			e.lowRisk[e.Encode(f, v)] = true
+		}
+		e.posCum[f] = cumulative(pos)
+		e.negCum[f] = cumulative(neg)
+	}
+	return e
+}
+
+func cumulative(ws []float64) []float64 {
+	out := make([]float64, len(ws))
+	sum := 0.0
+	for i, w := range ws {
+		sum += w
+		out[i] = sum
+	}
+	return out
+}
+
+// sampleCum draws an index from a cumulative weight table.
+func sampleCum(rng *rand.Rand, cum []float64) int {
+	u := rng.Float64() * cum[len(cum)-1]
+	lo, hi := 0, len(cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cum[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Encode maps (field, value) to a feature identifier.
+func (e *Explanation) Encode(field, value int) uint32 {
+	return uint32(field*e.cfg.Cardinality + value)
+}
+
+// Row is one generated disbursement-like record.
+type Row struct {
+	// Attrs holds one encoded feature per field.
+	Attrs []uint32
+	// Y is +1 for outlier rows, −1 for inliers.
+	Y int
+}
+
+// Next draws one labeled row.
+func (e *Explanation) Next() Row {
+	y := -1
+	cums := e.negCum
+	if e.rng.Float64() < e.cfg.OutlierRate {
+		y = 1
+		cums = e.posCum
+	}
+	attrs := make([]uint32, e.cfg.Fields)
+	for f := 0; f < e.cfg.Fields; f++ {
+		attrs[f] = e.Encode(f, sampleCum(e.rng, cums[f]))
+	}
+	return Row{Attrs: attrs, Y: y}
+}
+
+// Examples expands a row into the paper's 1-sparse encoding: one unit
+// feature vector per attribute, all sharing the row label (footnote 4).
+func (r Row) Examples() []stream.Example {
+	out := make([]stream.Example, len(r.Attrs))
+	for i, a := range r.Attrs {
+		out[i] = stream.Example{X: stream.OneHot(a), Y: r.Y}
+	}
+	return out
+}
+
+// HighRiskFeatures returns the planted high-relative-risk feature set.
+func (e *Explanation) HighRiskFeatures() map[uint32]bool {
+	return copySet(e.highRisk)
+}
+
+// LowRiskFeatures returns the planted low-relative-risk feature set.
+func (e *Explanation) LowRiskFeatures() map[uint32]bool {
+	return copySet(e.lowRisk)
+}
+
+// NumFeatures returns the size of the encoded feature space.
+func (e *Explanation) NumFeatures() int { return e.cfg.Fields * e.cfg.Cardinality }
+
+func copySet(s map[uint32]bool) map[uint32]bool {
+	out := make(map[uint32]bool, len(s))
+	for k := range s {
+		out[k] = true
+	}
+	return out
+}

@@ -1,0 +1,126 @@
+package datagen
+
+import (
+	"math/rand"
+)
+
+// PacketTraceConfig parameterizes the CAIDA-trace substitute for the
+// network-monitoring experiment (Section 8.2): two concurrently-observed
+// packet streams over a shared IP population with a planted set of
+// relative deltoids — addresses whose occurrence ratio between the streams
+// is large.
+type PacketTraceConfig struct {
+	// NumIPs is the size of the address population.
+	NumIPs int
+	// ZipfS is the Zipf exponent of base address popularity.
+	ZipfS float64
+	// NumDeltoids is the number of planted high-ratio addresses per side.
+	NumDeltoids int
+	// Ratio is the planted occurrence ratio n₁/n₂ (and its reciprocal for
+	// the negative side).
+	Ratio float64
+	// DeltoidMinRank/DeltoidMaxRank bound the popularity ranks used for
+	// planting, so deltoids span the frequency spectrum.
+	DeltoidMinRank int
+	DeltoidMaxRank int
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// DefaultPacketTraceConfig mirrors the trace experiment at laptop scale.
+// Deltoids are planted on ranks 20-500 so that each accumulates enough
+// observations within a few hundred thousand packets to have a measurable
+// empirical ratio (rank ~500 of a ZipfS=1.2 distribution over 100k
+// addresses receives ≈1 observation per 10k packets).
+func DefaultPacketTraceConfig(seed int64) PacketTraceConfig {
+	return PacketTraceConfig{
+		NumIPs:         100_000,
+		ZipfS:          1.2,
+		NumDeltoids:    100,
+		Ratio:          64,
+		DeltoidMinRank: 20,
+		DeltoidMaxRank: 500,
+		Seed:           seed,
+	}
+}
+
+// Packet is one observation: an address and which stream it appeared on.
+type Packet struct {
+	IP uint32
+	// Outbound is true for the positive stream (source addresses on the
+	// outbound link) and false for the negative stream.
+	Outbound bool
+}
+
+// PacketTrace generates interleaved packets from the two streams.
+type PacketTrace struct {
+	cfg    PacketTraceConfig
+	rng    *rand.Rand
+	zipf   *rand.Zipf
+	posSet map[uint32]bool // deltoids heavy on the outbound stream
+	negSet map[uint32]bool // deltoids heavy on the inbound stream
+}
+
+// NewPacketTrace returns a generator for the given configuration.
+func NewPacketTrace(cfg PacketTraceConfig) *PacketTrace {
+	if cfg.NumIPs <= 0 {
+		panic("datagen: NumIPs must be positive")
+	}
+	if cfg.ZipfS <= 1 {
+		panic("datagen: ZipfS must exceed 1")
+	}
+	if cfg.Ratio <= 1 {
+		panic("datagen: Ratio must exceed 1")
+	}
+	if cfg.DeltoidMaxRank <= cfg.DeltoidMinRank || cfg.DeltoidMaxRank > cfg.NumIPs {
+		panic("datagen: bad deltoid rank range")
+	}
+	if 2*cfg.NumDeltoids > cfg.DeltoidMaxRank-cfg.DeltoidMinRank {
+		panic("datagen: deltoid set larger than rank range")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	pt := &PacketTrace{
+		cfg:    cfg,
+		rng:    rng,
+		zipf:   rand.NewZipf(rng, cfg.ZipfS, 1, uint64(cfg.NumIPs-1)),
+		posSet: make(map[uint32]bool, cfg.NumDeltoids),
+		negSet: make(map[uint32]bool, cfg.NumDeltoids),
+	}
+	perm := rng.Perm(cfg.DeltoidMaxRank - cfg.DeltoidMinRank)
+	for i := 0; i < cfg.NumDeltoids; i++ {
+		pt.posSet[uint32(cfg.DeltoidMinRank+perm[2*i])] = true
+		pt.negSet[uint32(cfg.DeltoidMinRank+perm[2*i+1])] = true
+	}
+	return pt
+}
+
+// Next draws one packet. The base address distribution is shared; planted
+// deltoids are routed to their heavy side with probability
+// Ratio/(Ratio+1), producing an expected occurrence ratio of Ratio.
+func (pt *PacketTrace) Next() Packet {
+	ip := uint32(pt.zipf.Uint64())
+	pHeavy := pt.cfg.Ratio / (pt.cfg.Ratio + 1)
+	switch {
+	case pt.posSet[ip]:
+		return Packet{IP: ip, Outbound: pt.rng.Float64() < pHeavy}
+	case pt.negSet[ip]:
+		return Packet{IP: ip, Outbound: pt.rng.Float64() >= pHeavy}
+	default:
+		return Packet{IP: ip, Outbound: pt.rng.Float64() < 0.5}
+	}
+}
+
+// Take returns the next n packets.
+func (pt *PacketTrace) Take(n int) []Packet {
+	out := make([]Packet, n)
+	for i := range out {
+		out[i] = pt.Next()
+	}
+	return out
+}
+
+// OutboundDeltoids returns the planted outbound-heavy address set.
+func (pt *PacketTrace) OutboundDeltoids() map[uint32]bool { return copySet(pt.posSet) }
+
+// InboundDeltoids returns the planted inbound-heavy address set.
+func (pt *PacketTrace) InboundDeltoids() map[uint32]bool { return copySet(pt.negSet) }

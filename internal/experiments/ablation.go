@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"fmt"
+
+	"wmsketch/internal/core"
+	"wmsketch/internal/memory"
+	"wmsketch/internal/metrics"
+	"wmsketch/internal/stream"
+)
+
+// RunAblation extends the paper's evaluation with ablations of the design
+// choices DESIGN.md calls out: (a) sketch depth versus width at a fixed
+// bucket count, (b) the active-set mechanism (AWM vs WM at matched memory),
+// (c) the heap/sketch budget split within the AWM-Sketch, and (d) the lazy
+// global-scale regularization trick versus explicit per-bucket decay.
+func RunAblation(opt Options) *Table {
+	t := &Table{
+		ID:      "ablation",
+		Title:   "Design-choice ablations (rcv1, 8KB, K=128)",
+		Columns: []string{"ablation", "variant", "relerr", "error_rate", "ns_per_update"},
+		Notes: "expected shape: depth 1-2 best for AWM-style recovery at fixed size; " +
+			"active set strictly improves recovery; ~1/2 heap split optimal; " +
+			"scale trick changes runtime, not accuracy",
+	}
+	const budget = 8 * 1024
+	const lambda = 1e-6
+	const k = 128
+	gen := classificationStream("rcv1", opt.Seed)
+	examples := gen.Take(opt.Examples)
+	ref := trainReference(examples, lambda)
+	truth := ref.Weights()
+
+	evaluate := func(l stream.Learner) (relerr, errRate, nsPerUpdate float64) {
+		var er metrics.ErrorRate
+		nsPerUpdate = timeUpdatesWithErrors(l, examples, &er)
+		return metrics.RelErr(l.TopK(k), truth), er.Rate(), nsPerUpdate
+	}
+
+	// (a) Depth vs width at fixed total buckets (no heap interference:
+	// modest fixed heap).
+	const totalBuckets = 1024
+	for _, depth := range []int{1, 2, 4, 8} {
+		l := core.NewWMSketch(core.Config{
+			Width: totalBuckets / depth, Depth: depth, HeapSize: 128,
+			Lambda: lambda, Seed: opt.Seed + 1,
+		})
+		re, er, ns := evaluate(l)
+		t.AddRow("depth_vs_width", fmt.Sprintf("depth=%d,width=%d", depth, totalBuckets/depth),
+			fmtF(re), fmtF(er), fmt.Sprintf("%.0f", ns))
+	}
+
+	// (b) Active set on/off at matched memory.
+	awmCfg := memory.PaperAWMConfig(budget)
+	awm := core.NewAWMSketch(core.Config{
+		Width: awmCfg.Width, Depth: 1, HeapSize: awmCfg.Heap,
+		Lambda: lambda, Seed: opt.Seed + 1,
+	})
+	re, er, ns := evaluate(awm)
+	t.AddRow("active_set", "on (AWM)", fmtF(re), fmtF(er), fmt.Sprintf("%.0f", ns))
+	wmCfg := memory.PaperWMConfig(budget)
+	wm := core.NewWMSketch(core.Config{
+		Width: wmCfg.Width, Depth: wmCfg.Depth, HeapSize: wmCfg.Heap,
+		Lambda: lambda, Seed: opt.Seed + 1,
+	})
+	re, er, ns = evaluate(wm)
+	t.AddRow("active_set", "off (WM)", fmtF(re), fmtF(er), fmt.Sprintf("%.0f", ns))
+
+	// (c) Heap/sketch budget split for the AWM-Sketch.
+	for _, frac := range []struct {
+		label string
+		heap  int
+	}{
+		{"1/4 heap", 256}, {"1/2 heap", 512}, {"3/4 heap", 768},
+	} {
+		width := (budget - frac.heap*8) / 4
+		l := core.NewAWMSketch(core.Config{
+			Width: width, Depth: 1, HeapSize: frac.heap,
+			Lambda: lambda, Seed: opt.Seed + 1,
+		})
+		re, er, ns := evaluate(l)
+		t.AddRow("heap_split", frac.label, fmtF(re), fmtF(er), fmt.Sprintf("%.0f", ns))
+	}
+
+	// (d) Per-bucket adaptive learning rates (Section 9's open question):
+	// AdaGrad WM-Sketch vs the plain schedule at matched sketch shape. Note
+	// the accumulators double the sketch's memory, so at equal BYTES the
+	// adaptive variant gets half the buckets.
+	ag := core.NewAdaGradWMSketch(core.Config{
+		Width: wmCfg.Width / 2, Depth: wmCfg.Depth, HeapSize: wmCfg.Heap,
+		Lambda: lambda, Seed: opt.Seed + 1,
+	})
+	re, er, ns = evaluate(ag)
+	t.AddRow("learning_rate", "adagrad (half width)", fmtF(re), fmtF(er), fmt.Sprintf("%.0f", ns))
+	wm2 := core.NewWMSketch(core.Config{
+		Width: wmCfg.Width, Depth: wmCfg.Depth, HeapSize: wmCfg.Heap,
+		Lambda: lambda, Seed: opt.Seed + 1,
+	})
+	re, er, ns = evaluate(wm2)
+	t.AddRow("learning_rate", "eta0/sqrt(t)", fmtF(re), fmtF(er), fmt.Sprintf("%.0f", ns))
+
+	// (e) Lazy scale trick vs explicit decay: identical model, different
+	// update cost.
+	for _, variant := range []struct {
+		label   string
+		noTrick bool
+	}{
+		{"lazy scale", false}, {"explicit decay", true},
+	} {
+		l := core.NewAWMSketch(core.Config{
+			Width: awmCfg.Width, Depth: 1, HeapSize: awmCfg.Heap,
+			Lambda: 1e-4, Seed: opt.Seed + 1, NoScaleTrick: variant.noTrick,
+		})
+		re, er, ns := evaluate(l)
+		t.AddRow("scale_trick", variant.label, fmtF(re), fmtF(er), fmt.Sprintf("%.0f", ns))
+	}
+	return t
+}
+
+// timeUpdatesWithErrors trains l while recording online errors and returns
+// mean ns/update.
+func timeUpdatesWithErrors(l stream.Learner, examples []stream.Example, er *metrics.ErrorRate) float64 {
+	start := nowNanos()
+	for _, ex := range examples {
+		er.Record(l.Predict(ex.X), ex.Y)
+		l.Update(ex.X, ex.Y)
+	}
+	return float64(nowNanos()-start) / float64(len(examples))
+}

@@ -1,0 +1,184 @@
+// Package experiments contains one harness per table and figure in the
+// paper's evaluation (Sections 7 and 8). Each Run function trains the
+// relevant methods on the synthetic substitute workloads under the Section
+// 7.1 memory cost model and returns a Table whose rows mirror the series
+// the paper plots. cmd/wmbench exposes every harness behind -exp flags, and
+// bench_test.go wraps each in a testing.B benchmark.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"wmsketch/internal/baselines"
+	"wmsketch/internal/core"
+	"wmsketch/internal/linear"
+	"wmsketch/internal/memory"
+	"wmsketch/internal/stream"
+)
+
+// Table is a printable experiment result.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	// Notes carries the expected qualitative shape from the paper for
+	// side-by-side comparison in EXPERIMENTS.md.
+	Notes string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) != len(t.Columns) {
+		panic(fmt.Sprintf("experiments: row has %d cells, table %q has %d columns",
+			len(cells), t.ID, len(t.Columns)))
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %s ==\n", t.ID, t.Title)
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], cell)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		sb.WriteString(strings.Repeat("-", w))
+	}
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	if t.Notes != "" {
+		fmt.Fprintf(&sb, "note: %s\n", t.Notes)
+	}
+	return sb.String()
+}
+
+// CSV renders the table as RFC-4180-ish comma-separated values (cells in
+// this repository never contain commas or quotes) for downstream plotting.
+func (t *Table) CSV() string {
+	var sb strings.Builder
+	sb.WriteString(strings.Join(t.Columns, ","))
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		sb.WriteString(strings.Join(row, ","))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Options scales experiments between quick (tests, benches) and full
+// (cmd/wmbench) runs.
+type Options struct {
+	// Examples is the stream length per dataset.
+	Examples int
+	// Seed derives all dataset and sketch seeds.
+	Seed int64
+}
+
+// Quick returns options sized for unit tests and benchmarks.
+func Quick() Options { return Options{Examples: 30_000, Seed: 42} }
+
+// Full returns options sized for the full experiment run.
+func Full() Options { return Options{Examples: 300_000, Seed: 42} }
+
+// Method identifies one of the compared algorithms.
+type Method string
+
+// The methods compared in Section 7's figures, plus the CM-frequent variant.
+const (
+	MethodTrun  Method = "Trun"
+	MethodPTrun Method = "PTrun"
+	MethodSS    Method = "SS"
+	MethodHash  Method = "Hash"
+	MethodWM    Method = "WM"
+	MethodAWM   Method = "AWM"
+	MethodCM    Method = "CMFreq"
+	MethodLR    Method = "LR"
+)
+
+// RecoveryMethods are the budgeted methods compared in Figures 3-5.
+var RecoveryMethods = []Method{MethodTrun, MethodPTrun, MethodSS, MethodHash, MethodWM, MethodAWM}
+
+// ClassificationMethods adds the unconstrained LR reference of Figure 6.
+var ClassificationMethods = []Method{MethodTrun, MethodPTrun, MethodSS, MethodHash, MethodWM, MethodAWM, MethodLR}
+
+// NewLearner constructs the named method sized for a memory budget in bytes
+// under the Section 7.1 cost model. λ and seed are shared across methods so
+// comparisons isolate the data-structure choice.
+func NewLearner(m Method, budget int, lambda float64, seed int64) stream.Learner {
+	base := baselines.Config{Lambda: lambda, Seed: seed}
+	switch m {
+	case MethodTrun:
+		base.Budget = memory.TruncationEntries(budget)
+		return baselines.NewSimpleTruncation(base)
+	case MethodPTrun:
+		base.Budget = memory.ProbTruncationEntries(budget)
+		return baselines.NewProbTruncation(base)
+	case MethodSS:
+		base.Budget = memory.SpaceSavingEntries(budget)
+		return baselines.NewSSFrequent(base)
+	case MethodHash:
+		base.Budget = memory.HashBuckets(budget)
+		return baselines.NewFeatureHashTracked(base)
+	case MethodWM:
+		cfg := memory.PaperWMConfig(budget)
+		return core.NewWMSketch(core.Config{
+			Width: cfg.Width, Depth: cfg.Depth, HeapSize: cfg.Heap,
+			Lambda: lambda, Seed: seed,
+		})
+	case MethodAWM:
+		cfg := memory.PaperAWMConfig(budget)
+		return core.NewAWMSketch(core.Config{
+			Width: cfg.Width, Depth: cfg.Depth, HeapSize: cfg.Heap,
+			Lambda: lambda, Seed: seed,
+		})
+	case MethodCM:
+		entries := budget / 2 / (memory.BytesPerID + memory.BytesPerWeight + memory.BytesPerAux)
+		width := (budget / 2) / (2 * memory.BytesPerWeight)
+		if entries < 1 {
+			entries = 1
+		}
+		if width < 1 {
+			width = 1
+		}
+		base.Budget = entries
+		return baselines.NewCMFrequent(baselines.CMFrequentConfig{
+			Config: base, Depth: 2, Width: width,
+		})
+	case MethodLR:
+		return linear.NewLogReg(linear.LogRegConfig{Lambda: lambda})
+	default:
+		panic(fmt.Sprintf("experiments: unknown method %q", m))
+	}
+}
+
+// fmtF renders a float compactly for table cells.
+func fmtF(v float64) string { return fmt.Sprintf("%.4g", v) }
+
+// fmtBudget renders a byte budget as the paper's KB labels.
+func fmtBudget(b int) string { return fmt.Sprintf("%dKB", b/1024) }

@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// nowNanos wraps the monotonic clock for timing helpers.
+func nowNanos() int64 { return time.Now().UnixNano() }
+
+// Runner is a harness that produces one experiment table.
+type Runner func(Options) *Table
+
+// Registry maps experiment ids to their harnesses, covering every table
+// and figure in the paper's evaluation plus the ablation extension.
+var Registry = map[string]Runner{
+	"table1":   RunTable1,
+	"table2":   RunTable2,
+	"table3":   RunTable3,
+	"fig3":     RunFig3,
+	"fig4":     RunFig4,
+	"fig5":     RunFig5,
+	"fig6":     RunFig6,
+	"fig7":     RunFig7,
+	"fig8":     RunFig8,
+	"fig9":     RunFig9,
+	"fig10":    RunFig10,
+	"fig11":    RunFig11,
+	"ablation": RunAblation,
+}
+
+// IDs returns all registered experiment ids, sorted.
+func IDs() []string {
+	out := make([]string, 0, len(Registry))
+	for id := range Registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes the experiment with the given id.
+func Run(id string, opt Options) (*Table, error) {
+	r, ok := Registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown id %q (known: %v)", id, IDs())
+	}
+	return r(opt), nil
+}

@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"wmsketch/internal/stream"
+)
+
+// RunFig7 reproduces Figure 7: per-update runtime of each method normalized
+// against memory-unconstrained logistic regression, using the
+// recovery-optimal configurations across budgets on the rcv1-like dataset.
+func RunFig7(opt Options) *Table {
+	t := &Table{
+		ID:      "fig7",
+		Title:   "Normalized update runtime vs unconstrained LR (rcv1)",
+		Columns: []string{"budget", "method", "ns_per_update", "normalized"},
+		Notes: "expected shape: Hash ~2x LR (extra hashing per access); AWM ~2x Hash " +
+			"(heap maintenance); WM grows with depth; heavy-hitter baselines in between",
+	}
+	const lambda = 1e-6
+	gen := classificationStream("rcv1", opt.Seed)
+	examples := gen.Take(opt.Examples)
+
+	// Baseline: unconstrained LR.
+	lrNs := timeUpdates(NewLearner(MethodLR, 0, lambda, opt.Seed+1), examples)
+
+	for _, budget := range []int{2 * 1024, 4 * 1024, 8 * 1024, 16 * 1024, 32 * 1024} {
+		for _, m := range RecoveryMethods {
+			l := NewLearner(m, budget, lambda, opt.Seed+1)
+			ns := timeUpdates(l, examples)
+			t.AddRow(fmtBudget(budget), string(m),
+				fmt.Sprintf("%.0f", ns), fmt.Sprintf("%.2f", ns/lrNs))
+		}
+		t.AddRow(fmtBudget(budget), string(MethodLR),
+			fmt.Sprintf("%.0f", lrNs), "1.00")
+	}
+	return t
+}
+
+// timeUpdates trains l on examples and returns mean wall-clock nanoseconds
+// per update (including the prediction each update makes internally).
+func timeUpdates(l stream.Learner, examples []stream.Example) float64 {
+	start := time.Now()
+	for _, ex := range examples {
+		l.Update(ex.X, ex.Y)
+	}
+	elapsed := time.Since(start)
+	return float64(elapsed.Nanoseconds()) / float64(len(examples))
+}

@@ -1,0 +1,164 @@
+// Package featurize converts raw text into the sparse hashed feature
+// vectors the sketches consume. This is the paper's motivating pipeline
+// (Section 1): an online spam/text classifier over n-gram features whose
+// vocabulary grows without bound — the setting where feature identifiers
+// must be hashed and the model kept in sub-linear space.
+//
+// Tokens are lowercased words; features are word n-grams (and optionally
+// skip-grams within a window, matching the paper's "word pairs that
+// co-occur within 5-word spans"). Each feature string is mapped to a
+// 32-bit identifier with MurmurHash3, exactly as the paper's PMI pipeline
+// does.
+package featurize
+
+import (
+	"strings"
+
+	"wmsketch/internal/hashing"
+	"wmsketch/internal/stream"
+)
+
+// Config controls feature extraction.
+type Config struct {
+	// NGrams is the maximum n-gram order: 1 = unigrams only, 2 adds
+	// bigrams, etc. Values < 1 default to 1.
+	NGrams int
+	// SkipWindow, when positive, additionally emits unordered word-pair
+	// features for words co-occurring within the window (the paper's
+	// 5-word-span pairs). 0 disables.
+	SkipWindow int
+	// HashSeed seeds the string hash.
+	HashSeed uint32
+	// Binary emits {0,1} feature values; otherwise values are term counts.
+	Binary bool
+}
+
+// Extractor converts documents to feature vectors. Safe for reuse across
+// documents; not safe for concurrent use.
+type Extractor struct {
+	cfg Config
+	// names optionally records id → feature string for diagnostics.
+	names     map[uint32]string
+	keepNames bool
+}
+
+// New returns an extractor with the given configuration.
+func New(cfg Config) *Extractor {
+	if cfg.NGrams < 1 {
+		cfg.NGrams = 1
+	}
+	return &Extractor{cfg: cfg}
+}
+
+// NewRecording returns an extractor that also records the feature string
+// for every id it emits, retrievable via Name. Recording memory grows with
+// the vocabulary; it is intended for debugging and result presentation,
+// not for the memory-constrained path.
+func NewRecording(cfg Config) *Extractor {
+	e := New(cfg)
+	e.keepNames = true
+	e.names = make(map[uint32]string)
+	return e
+}
+
+// Name returns the feature string recorded for id, if any.
+func (e *Extractor) Name(id uint32) (string, bool) {
+	if !e.keepNames {
+		return "", false
+	}
+	s, ok := e.names[id]
+	return s, ok
+}
+
+// Tokenize lowercases and splits text into word tokens. Punctuation splits
+// tokens; digits and letters are kept.
+func Tokenize(text string) []string {
+	var tokens []string
+	var sb strings.Builder
+	flush := func() {
+		if sb.Len() > 0 {
+			tokens = append(tokens, sb.String())
+			sb.Reset()
+		}
+	}
+	for _, r := range text {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9':
+			sb.WriteRune(r)
+		case r >= 'A' && r <= 'Z':
+			sb.WriteRune(r + ('a' - 'A'))
+		default:
+			flush()
+		}
+	}
+	flush()
+	return tokens
+}
+
+// feature hashes a feature string and records its name when enabled.
+func (e *Extractor) feature(s string) uint32 {
+	id := hashing.HashString(s, e.cfg.HashSeed)
+	if e.keepNames {
+		e.names[id] = s
+	}
+	return id
+}
+
+// Extract converts a document into a sparse feature vector. Duplicate
+// features are merged by summing values (or capped at 1 when Binary).
+func (e *Extractor) Extract(text string) stream.Vector {
+	tokens := Tokenize(text)
+	counts := make(map[uint32]float64)
+
+	// Word n-grams up to the configured order.
+	for i := range tokens {
+		gram := tokens[i]
+		counts[e.feature(gram)]++
+		for n := 2; n <= e.cfg.NGrams && i+n <= len(tokens); n++ {
+			gram = gram + " " + tokens[i+n-1]
+			counts[e.feature(gram)]++
+		}
+	}
+	// Skip-gram pairs within the window, unordered (sorted lexically so
+	// "a b" and "b a" share a feature), mirroring the paper's co-occurring
+	// word pairs.
+	if e.cfg.SkipWindow > 0 {
+		for i := range tokens {
+			hi := i + e.cfg.SkipWindow
+			if hi >= len(tokens) {
+				hi = len(tokens) - 1
+			}
+			for j := i + 1; j <= hi; j++ {
+				a, b := tokens[i], tokens[j]
+				if a > b {
+					a, b = b, a
+				}
+				counts[e.feature("pair:"+a+"|"+b)]++
+			}
+		}
+	}
+
+	out := make(stream.Vector, 0, len(counts))
+	for id, c := range counts {
+		if e.cfg.Binary && c > 1 {
+			c = 1
+		}
+		out = append(out, stream.Feature{Index: id, Value: c})
+	}
+	return out.Sorted()
+}
+
+// ExtractLabeled parses a "label<TAB>text" line (label "+1"/"1" positive,
+// anything else negative) into a training example.
+func (e *Extractor) ExtractLabeled(line string) (stream.Example, bool) {
+	tab := strings.IndexByte(line, '\t')
+	if tab < 0 {
+		return stream.Example{}, false
+	}
+	label := strings.TrimSpace(line[:tab])
+	y := -1
+	if label == "+1" || label == "1" {
+		y = 1
+	}
+	return stream.Example{X: e.Extract(line[tab+1:]), Y: y}, true
+}

@@ -1,0 +1,223 @@
+package featurize
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"wmsketch/internal/core"
+	"wmsketch/internal/stream"
+)
+
+func TestTokenize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"Hello, World!", []string{"hello", "world"}},
+		{"  spaced   out  ", []string{"spaced", "out"}},
+		{"a1b2 C3", []string{"a1b2", "c3"}},
+		{"", nil},
+		{"!!!", nil},
+		{"don't stop", []string{"don", "t", "stop"}},
+	}
+	for _, c := range cases {
+		got := Tokenize(c.in)
+		if len(got) != len(c.want) {
+			t.Fatalf("Tokenize(%q) = %v, want %v", c.in, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("Tokenize(%q)[%d] = %q, want %q", c.in, i, got[i], c.want[i])
+			}
+		}
+	}
+}
+
+func TestExtractUnigramCounts(t *testing.T) {
+	e := NewRecording(Config{NGrams: 1})
+	v := e.Extract("spam spam ham")
+	if len(v) != 2 {
+		t.Fatalf("got %d features, want 2", len(v))
+	}
+	byName := map[string]float64{}
+	for _, f := range v {
+		name, ok := e.Name(f.Index)
+		if !ok {
+			t.Fatalf("no recorded name for id %d", f.Index)
+		}
+		byName[name] = f.Value
+	}
+	if byName["spam"] != 2 || byName["ham"] != 1 {
+		t.Fatalf("counts = %v", byName)
+	}
+}
+
+func TestExtractBinary(t *testing.T) {
+	e := New(Config{NGrams: 1, Binary: true})
+	v := e.Extract("x x x y")
+	for _, f := range v {
+		if f.Value != 1 {
+			t.Fatalf("binary value %g", f.Value)
+		}
+	}
+}
+
+func TestExtractBigrams(t *testing.T) {
+	e := NewRecording(Config{NGrams: 2})
+	v := e.Extract("free money now")
+	names := map[string]bool{}
+	for _, f := range v {
+		n, _ := e.Name(f.Index)
+		names[n] = true
+	}
+	for _, want := range []string{"free", "money", "now", "free money", "money now"} {
+		if !names[want] {
+			t.Fatalf("missing feature %q in %v", want, names)
+		}
+	}
+	if names["free now"] {
+		t.Fatal("non-adjacent bigram emitted")
+	}
+}
+
+func TestExtractSkipPairsUnordered(t *testing.T) {
+	e := NewRecording(Config{NGrams: 1, SkipWindow: 5})
+	a := e.Extract("alpha beta")
+	b := e.Extract("beta alpha")
+	// The pair feature must be shared between both orders.
+	ids := func(v stream.Vector) map[uint32]bool {
+		m := map[uint32]bool{}
+		for _, f := range v {
+			if n, _ := e.Name(f.Index); strings.HasPrefix(n, "pair:") {
+				m[f.Index] = true
+			}
+		}
+		return m
+	}
+	ia, ib := ids(a), ids(b)
+	if len(ia) != 1 || len(ib) != 1 {
+		t.Fatalf("pair features: %d and %d, want 1 each", len(ia), len(ib))
+	}
+	for id := range ia {
+		if !ib[id] {
+			t.Fatal("pair feature differs between orders")
+		}
+	}
+}
+
+func TestExtractSkipWindowBounds(t *testing.T) {
+	e := NewRecording(Config{NGrams: 1, SkipWindow: 2})
+	v := e.Extract("a b c d")
+	pairs := 0
+	for _, f := range v {
+		if n, _ := e.Name(f.Index); strings.HasPrefix(n, "pair:") {
+			pairs++
+		}
+	}
+	// Window 2: (a,b)(a,c)(b,c)(b,d)(c,d) = 5 pairs.
+	if pairs != 5 {
+		t.Fatalf("pairs = %d, want 5", pairs)
+	}
+}
+
+func TestExtractSortedAndDeterministic(t *testing.T) {
+	e := New(Config{NGrams: 2, SkipWindow: 3})
+	a := e.Extract("the quick brown fox")
+	b := e.Extract("the quick brown fox")
+	if len(a) != len(b) {
+		t.Fatal("non-deterministic extraction")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("non-deterministic extraction")
+		}
+		if i > 0 && a[i].Index <= a[i-1].Index {
+			t.Fatal("vector not sorted by index")
+		}
+	}
+}
+
+func TestExtractLabeled(t *testing.T) {
+	e := New(Config{NGrams: 1})
+	ex, ok := e.ExtractLabeled("+1\tbuy cheap pills")
+	if !ok || ex.Y != 1 || len(ex.X) != 3 {
+		t.Fatalf("parse: ok=%v %+v", ok, ex)
+	}
+	ex, ok = e.ExtractLabeled("-1\thello friend")
+	if !ok || ex.Y != -1 {
+		t.Fatalf("negative parse: ok=%v y=%d", ok, ex.Y)
+	}
+	if _, ok := e.ExtractLabeled("no tab here"); ok {
+		t.Fatal("missing tab must fail")
+	}
+}
+
+func TestEndToEndSpamFilter(t *testing.T) {
+	// The paper's motivating scenario: an online spam classifier over
+	// hashed n-gram features in fixed memory. Synthesize spam/ham from
+	// word pools and verify a 4KB AWM-Sketch separates them and surfaces
+	// spam-indicative n-grams.
+	spamWords := []string{"free", "money", "winner", "pills", "offer", "click"}
+	hamWords := []string{"meeting", "report", "lunch", "project", "review", "thanks"}
+	shared := []string{"the", "a", "and", "please", "today", "update"}
+
+	e := NewRecording(Config{NGrams: 2})
+	sketch := core.NewAWMSketch(core.Config{
+		Width: 512, Depth: 1, HeapSize: 256, Lambda: 1e-6, Seed: 5,
+	})
+	rng := rand.New(rand.NewSource(6))
+	doc := func(pool []string) string {
+		words := make([]string, 8)
+		for i := range words {
+			if rng.Float64() < 0.5 {
+				words[i] = shared[rng.Intn(len(shared))]
+			} else {
+				words[i] = pool[rng.Intn(len(pool))]
+			}
+		}
+		return strings.Join(words, " ")
+	}
+	mistakes, total := 0, 0
+	for i := 0; i < 4000; i++ {
+		y := 1
+		pool := spamWords
+		if i%2 == 0 {
+			y = -1
+			pool = hamWords
+		}
+		x := e.Extract(doc(pool))
+		if i > 1000 { // measure after warmup
+			total++
+			if sketch.Predict(x)*float64(y) <= 0 {
+				mistakes++
+			}
+		}
+		sketch.Update(x, y)
+	}
+	if rate := float64(mistakes) / float64(total); rate > 0.1 {
+		t.Fatalf("spam error rate %.3f", rate)
+	}
+	// The heaviest positive features should be spam words.
+	spamSet := map[string]bool{}
+	for _, w := range spamWords {
+		spamSet[w] = true
+	}
+	hits := 0
+	for _, w := range sketch.TopK(10) {
+		if w.Weight <= 0 {
+			continue
+		}
+		name, _ := e.Name(w.Index)
+		// Accept unigrams or bigrams containing a spam word.
+		for tok := range spamSet {
+			if strings.Contains(name, tok) {
+				hits++
+				break
+			}
+		}
+	}
+	if hits < 3 {
+		t.Fatalf("only %d spam-indicative features in top-10", hits)
+	}
+}

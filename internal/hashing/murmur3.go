@@ -1,0 +1,71 @@
+package hashing
+
+// Murmur3_32 implements the x86 32-bit variant of MurmurHash3. The paper's
+// PMI application (Section 8.3) hashes strings to 32-bit identifiers with
+// MurmurHash3 before sketching; we reproduce that pipeline exactly.
+func Murmur3_32(data []byte, seed uint32) uint32 {
+	const (
+		c1 = 0xcc9e2d51
+		c2 = 0x1b873593
+	)
+	h := seed
+	n := len(data)
+	// Body: process 4-byte blocks.
+	nblocks := n / 4
+	for i := 0; i < nblocks; i++ {
+		k := uint32(data[i*4]) | uint32(data[i*4+1])<<8 |
+			uint32(data[i*4+2])<<16 | uint32(data[i*4+3])<<24
+		k *= c1
+		k = k<<15 | k>>17
+		k *= c2
+		h ^= k
+		h = h<<13 | h>>19
+		h = h*5 + 0xe6546b64
+	}
+	// Tail: up to 3 remaining bytes.
+	var k uint32
+	tail := data[nblocks*4:]
+	switch len(tail) {
+	case 3:
+		k ^= uint32(tail[2]) << 16
+		fallthrough
+	case 2:
+		k ^= uint32(tail[1]) << 8
+		fallthrough
+	case 1:
+		k ^= uint32(tail[0])
+		k *= c1
+		k = k<<15 | k>>17
+		k *= c2
+		h ^= k
+	}
+	// Finalization mix.
+	h ^= uint32(n)
+	h ^= h >> 16
+	h *= 0x85ebca6b
+	h ^= h >> 13
+	h *= 0xc2b2ae35
+	h ^= h >> 16
+	return h
+}
+
+// HashString maps a string to a 32-bit feature identifier using MurmurHash3
+// with the given seed. This is the string-keying front end used by the PMI
+// and explanation applications.
+func HashString(s string, seed uint32) uint32 {
+	return Murmur3_32([]byte(s), seed)
+}
+
+// HashPair maps an ordered pair of 32-bit identifiers (e.g. a bigram of
+// hashed tokens) to a single 32-bit identifier by mixing both halves through
+// the Murmur3 finalizer. Used to key bigram features in the PMI application.
+func HashPair(a, b uint32) uint32 {
+	x := uint64(a)<<32 | uint64(b)
+	// 64-bit Murmur3 finalizer (fmix64), then fold to 32 bits.
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return uint32(x) ^ uint32(x>>32)
+}

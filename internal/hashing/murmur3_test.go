@@ -1,0 +1,97 @@
+package hashing
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Reference vectors for MurmurHash3 x86 32-bit, cross-checked against the
+// canonical C++ implementation (smhasher).
+func TestMurmur3KnownVectors(t *testing.T) {
+	cases := []struct {
+		data string
+		seed uint32
+		want uint32
+	}{
+		{"", 0, 0},
+		{"", 1, 0x514e28b7},
+		{"", 0xffffffff, 0x81f16f39},
+		{"a", 0, 0x3c2569b2},
+		{"ab", 0, 0x9bbfd75f},
+		{"abc", 0, 0xb3dd93fa},
+		{"abcd", 0, 0x43ed676a},
+		{"hello", 0, 0x248bfa47},
+		{"hello, world", 0, 0x149bbb7f},
+		{"The quick brown fox jumps over the lazy dog", 0x9747b28c, 0x2fa826cd},
+	}
+	for _, c := range cases {
+		got := Murmur3_32([]byte(c.data), c.seed)
+		if got != c.want {
+			t.Errorf("Murmur3_32(%q, %#x) = %#x, want %#x", c.data, c.seed, got, c.want)
+		}
+	}
+}
+
+func TestMurmur3AllTailLengths(t *testing.T) {
+	// Exercise every tail length (0-3 bytes) to cover the fallthrough cases.
+	data := []byte("0123456789abcdef")
+	seen := map[uint32]bool{}
+	for n := 0; n <= len(data); n++ {
+		h := Murmur3_32(data[:n], 42)
+		if n > 0 && seen[h] {
+			t.Errorf("collision for prefix length %d", n)
+		}
+		seen[h] = true
+	}
+}
+
+func TestHashStringMatchesBytes(t *testing.T) {
+	f := func(s string, seed uint32) bool {
+		return HashString(s, seed) == Murmur3_32([]byte(s), seed)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashStringDeterministic(t *testing.T) {
+	if HashString("prime minister", 7) != HashString("prime minister", 7) {
+		t.Fatal("HashString not deterministic")
+	}
+	if HashString("prime minister", 7) == HashString("prime minister", 8) {
+		t.Fatal("HashString ignores seed")
+	}
+}
+
+func TestHashPairOrderSensitive(t *testing.T) {
+	if HashPair(1, 2) == HashPair(2, 1) {
+		t.Fatal("HashPair must be order sensitive")
+	}
+}
+
+func TestHashPairSpread(t *testing.T) {
+	// Sequential ids should produce well-spread hashes; count low-byte
+	// duplicates as a crude dispersion check.
+	counts := make([]int, 256)
+	const n = 256 * 64
+	for i := uint32(0); i < n; i++ {
+		counts[byte(HashPair(i, i+1))]++
+	}
+	for b, c := range counts {
+		if c == 0 {
+			t.Fatalf("low byte %d never produced", b)
+		}
+		if c > 64*4 {
+			t.Fatalf("low byte %d over-produced: %d", b, c)
+		}
+	}
+}
+
+func BenchmarkMurmur3Short(b *testing.B) {
+	data := []byte("src_ip=10.1.2.3")
+	var sink uint32
+	for i := 0; i < b.N; i++ {
+		sink ^= Murmur3_32(data, uint32(i))
+	}
+	_ = sink
+}

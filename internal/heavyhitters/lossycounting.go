@@ -1,0 +1,119 @@
+package heavyhitters
+
+import (
+	"math"
+	"sort"
+)
+
+// LossyCounting is the Manku–Motwani deterministic frequent-items summary
+// (VLDB 2002), the third counter-based method from the related-work family
+// in Section 2. The stream is processed in buckets of width ⌈1/ε⌉; at each
+// bucket boundary, items whose count plus error bound falls below the
+// current bucket id are pruned. Guarantees: estimated counts underestimate
+// by at most εN, and all items with true frequency ≥ φN are reported for
+// any φ > ε.
+type LossyCounting struct {
+	epsilon     float64
+	bucketWidth int64
+	current     int64 // current bucket id
+	seen        int64
+	counts      map[uint32]lcEntry
+}
+
+type lcEntry struct {
+	count float64
+	// delta is the maximum undercount at insertion time (bucket id - 1).
+	delta float64
+}
+
+// NewLossyCounting returns a summary with error parameter epsilon in (0,1).
+func NewLossyCounting(epsilon float64) *LossyCounting {
+	if epsilon <= 0 || epsilon >= 1 {
+		panic("heavyhitters: epsilon must be in (0,1)")
+	}
+	return &LossyCounting{
+		epsilon:     epsilon,
+		bucketWidth: int64(math.Ceil(1 / epsilon)),
+		current:     1,
+		counts:      make(map[uint32]lcEntry),
+	}
+}
+
+// Observe records one occurrence of key.
+func (lc *LossyCounting) Observe(key uint32) {
+	lc.seen++
+	if e, ok := lc.counts[key]; ok {
+		e.count++
+		lc.counts[key] = e
+	} else {
+		lc.counts[key] = lcEntry{count: 1, delta: float64(lc.current - 1)}
+	}
+	if lc.seen%lc.bucketWidth == 0 {
+		lc.prune()
+		lc.current++
+	}
+}
+
+// prune removes entries whose maximum possible count falls below the
+// current bucket id.
+func (lc *LossyCounting) prune() {
+	for key, e := range lc.counts {
+		if e.count+e.delta <= float64(lc.current) {
+			delete(lc.counts, key)
+		}
+	}
+}
+
+// Estimate returns the (under-)estimated count of key; zero when pruned.
+func (lc *LossyCounting) Estimate(key uint32) float64 {
+	return lc.counts[key].count
+}
+
+// Seen returns the number of observations.
+func (lc *LossyCounting) Seen() int64 { return lc.seen }
+
+// Len returns the number of live counters. Manku–Motwani bound this by
+// (1/ε)·log(εN).
+func (lc *LossyCounting) Len() int { return len(lc.counts) }
+
+// HeavyHitters returns all items with estimated count ≥ (phi−ε)·N; this
+// contains every item with true frequency ≥ phi·N.
+func (lc *LossyCounting) HeavyHitters(phi float64) []Counter {
+	threshold := (phi - lc.epsilon) * float64(lc.seen)
+	var out []Counter
+	for key, e := range lc.counts {
+		if e.count >= threshold {
+			out = append(out, Counter{Key: key, Count: e.count, Error: e.delta})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// TopK returns up to k live counters by descending estimated count.
+func (lc *LossyCounting) TopK(k int) []Counter {
+	out := make([]Counter, 0, len(lc.counts))
+	for key, e := range lc.counts {
+		out = append(out, Counter{Key: key, Count: e.count, Error: e.delta})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key < out[j].Key
+	})
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+// MemoryBytes charges key + count + delta per live counter. Unlike the
+// fixed-capacity summaries, Lossy Counting's footprint varies with the
+// stream; this reports the current size.
+func (lc *LossyCounting) MemoryBytes() int { return 12 * len(lc.counts) }

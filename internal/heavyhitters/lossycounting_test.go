@@ -1,0 +1,121 @@
+package heavyhitters
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestLossyCountingNeverOverestimates(t *testing.T) {
+	lc := NewLossyCounting(0.01)
+	truth := map[uint32]float64{}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 50000; i++ {
+		key := uint32(rng.Intn(1000))
+		lc.Observe(key)
+		truth[key]++
+	}
+	for key, v := range truth {
+		if got := lc.Estimate(key); got > v+1e-9 {
+			t.Fatalf("key %d: estimate %g exceeds true %g", key, got, v)
+		}
+	}
+}
+
+func TestLossyCountingUnderestimateBound(t *testing.T) {
+	const eps = 0.005
+	lc := NewLossyCounting(eps)
+	truth := map[uint32]float64{}
+	rng := rand.New(rand.NewSource(2))
+	zipfGen := rand.NewZipf(rng, 1.3, 1, 5000)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		key := uint32(zipfGen.Uint64())
+		lc.Observe(key)
+		truth[key]++
+	}
+	for key, v := range truth {
+		if v-lc.Estimate(key) > eps*n+1e-9 {
+			t.Fatalf("key %d: undercount %g exceeds εN=%g", key, v-lc.Estimate(key), eps*n)
+		}
+	}
+}
+
+func TestLossyCountingHeavyHittersComplete(t *testing.T) {
+	const eps = 0.01
+	lc := NewLossyCounting(eps)
+	truth := map[uint32]float64{}
+	rng := rand.New(rand.NewSource(3))
+	const n = 50000
+	for i := 0; i < n; i++ {
+		var key uint32
+		switch {
+		case rng.Float64() < 0.25:
+			key = 1
+		case rng.Float64() < 0.10:
+			key = 2
+		default:
+			key = uint32(10 + rng.Intn(5000))
+		}
+		lc.Observe(key)
+		truth[key]++
+	}
+	const phi = 0.05
+	got := map[uint32]bool{}
+	for _, c := range lc.HeavyHitters(phi) {
+		got[c.Key] = true
+	}
+	for key, v := range truth {
+		if v >= phi*n && !got[key] {
+			t.Fatalf("true %g-heavy item %d missing", phi, key)
+		}
+	}
+}
+
+func TestLossyCountingPrunesTail(t *testing.T) {
+	lc := NewLossyCounting(0.01)
+	rng := rand.New(rand.NewSource(4))
+	// A stream of mostly-unique keys: the summary must stay far below the
+	// number of distinct items thanks to pruning.
+	const n = 100000
+	for i := 0; i < n; i++ {
+		lc.Observe(uint32(rng.Intn(n)))
+	}
+	if lc.Len() > n/10 {
+		t.Fatalf("summary holds %d counters for %d near-unique items", lc.Len(), n)
+	}
+	if lc.Seen() != n {
+		t.Fatalf("Seen = %d", lc.Seen())
+	}
+}
+
+func TestLossyCountingTopKOrder(t *testing.T) {
+	lc := NewLossyCounting(0.1)
+	for i := 0; i < 30; i++ {
+		lc.Observe(1)
+	}
+	for i := 0; i < 10; i++ {
+		lc.Observe(2)
+	}
+	top := lc.TopK(2)
+	if len(top) == 0 || top[0].Key != 1 {
+		t.Fatalf("TopK = %+v", top)
+	}
+	for i := 1; i < len(top); i++ {
+		if top[i].Count > top[i-1].Count {
+			t.Fatal("TopK not descending")
+		}
+	}
+}
+
+func TestLossyCountingValidation(t *testing.T) {
+	for _, eps := range []float64{0, 1, -0.5, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("epsilon %g: expected panic", eps)
+				}
+			}()
+			NewLossyCounting(eps)
+		}()
+	}
+}

@@ -1,0 +1,106 @@
+package heavyhitters
+
+import "sort"
+
+// MisraGries is the classic deterministic frequent-items summary: k counters
+// where an untracked item either claims a free counter or decrements all
+// counters by the incoming weight. Estimates underestimate true counts by at
+// most Total/(k+1).
+type MisraGries struct {
+	capacity int
+	total    float64
+	counts   map[uint32]float64
+}
+
+// NewMisraGries returns a summary with the given counter budget.
+func NewMisraGries(capacity int) *MisraGries {
+	if capacity <= 0 {
+		panic("heavyhitters: capacity must be positive")
+	}
+	return &MisraGries{capacity: capacity, counts: make(map[uint32]float64, capacity)}
+}
+
+// Len returns the number of live counters.
+func (mg *MisraGries) Len() int { return len(mg.counts) }
+
+// Total returns the total observed weight.
+func (mg *MisraGries) Total() float64 { return mg.total }
+
+// Observe records one occurrence of key with weight 1.
+func (mg *MisraGries) Observe(key uint32) { mg.ObserveWeighted(key, 1) }
+
+// ObserveWeighted records weight occurrences of key.
+func (mg *MisraGries) ObserveWeighted(key uint32, weight float64) {
+	if weight < 0 {
+		panic("heavyhitters: negative weight")
+	}
+	mg.total += weight
+	if _, ok := mg.counts[key]; ok {
+		mg.counts[key] += weight
+		return
+	}
+	if len(mg.counts) < mg.capacity {
+		mg.counts[key] = weight
+		return
+	}
+	// Decrement-all step: reduce every counter by the smaller of weight and
+	// the current minimum, repeatedly, until the new item fits or its weight
+	// is exhausted. For unit weights this is the textbook single decrement.
+	for weight > 0 {
+		min := minValue(mg.counts)
+		if min > weight {
+			for k := range mg.counts {
+				mg.counts[k] -= weight
+			}
+			return
+		}
+		for k, v := range mg.counts {
+			if v-min <= 0 {
+				delete(mg.counts, k)
+			} else {
+				mg.counts[k] = v - min
+			}
+		}
+		weight -= min
+		if weight > 0 && len(mg.counts) < mg.capacity {
+			mg.counts[key] = weight
+			return
+		}
+	}
+}
+
+func minValue(m map[uint32]float64) float64 {
+	first := true
+	min := 0.0
+	for _, v := range m {
+		if first || v < min {
+			min = v
+			first = false
+		}
+	}
+	return min
+}
+
+// Estimate returns the (under-)estimated count for key.
+func (mg *MisraGries) Estimate(key uint32) float64 { return mg.counts[key] }
+
+// TopK returns up to k tracked items by descending counter value.
+func (mg *MisraGries) TopK(k int) []Counter {
+	out := make([]Counter, 0, len(mg.counts))
+	for key, c := range mg.counts {
+		out = append(out, Counter{Key: key, Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key < out[j].Key
+	})
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+// MemoryBytes is the cost-model footprint: key + count per counter.
+func (mg *MisraGries) MemoryBytes() int { return 8 * mg.capacity }

@@ -1,0 +1,187 @@
+// Package heavyhitters implements counter-based frequent-item summaries:
+// the Space Saving algorithm of Metwally, Agrawal and El Abbadi (the paper's
+// primary frequent-features baseline and the MacroBase-style heavy-hitters
+// comparator in Section 8.1) and the Misra–Gries summary, an additional
+// counter-based method from the related-work family (Section 2).
+package heavyhitters
+
+import "sort"
+
+// Counter is one tracked item in a Space Saving summary.
+type Counter struct {
+	Key   uint32
+	Count float64
+	// Error is the maximum overestimation of Count: when the item replaced a
+	// previous minimum its true count may be as low as Count-Error.
+	Error float64
+}
+
+// SpaceSaving maintains at most capacity counters. On observing an untracked
+// item when full, the minimum counter is reassigned to the new item and its
+// count inherited (the defining Space Saving move). Guarantees: tracked
+// counts never underestimate, and any item with true count > N/capacity is
+// tracked.
+type SpaceSaving struct {
+	capacity int
+	total    float64
+	pos      map[uint32]int
+	items    []Counter // min-heap on Count
+}
+
+// NewSpaceSaving returns a summary tracking at most capacity items.
+func NewSpaceSaving(capacity int) *SpaceSaving {
+	if capacity <= 0 {
+		panic("heavyhitters: capacity must be positive")
+	}
+	return &SpaceSaving{
+		capacity: capacity,
+		pos:      make(map[uint32]int, capacity),
+		items:    make([]Counter, 0, capacity),
+	}
+}
+
+// Len returns the number of tracked items.
+func (ss *SpaceSaving) Len() int { return len(ss.items) }
+
+// Cap returns the capacity.
+func (ss *SpaceSaving) Cap() int { return ss.capacity }
+
+// Total returns the total weight observed.
+func (ss *SpaceSaving) Total() float64 { return ss.total }
+
+// Contains reports whether key is currently tracked.
+func (ss *SpaceSaving) Contains(key uint32) bool {
+	_, ok := ss.pos[key]
+	return ok
+}
+
+// Observe records one occurrence of key with the given weight (typically 1).
+// It returns the key that was evicted to make room, with evicted=false when
+// no eviction occurred.
+func (ss *SpaceSaving) Observe(key uint32, weight float64) (evictedKey uint32, evicted bool) {
+	if weight < 0 {
+		panic("heavyhitters: negative weight")
+	}
+	ss.total += weight
+	if i, ok := ss.pos[key]; ok {
+		ss.items[i].Count += weight
+		ss.down(i)
+		return 0, false
+	}
+	if len(ss.items) < ss.capacity {
+		ss.items = append(ss.items, Counter{Key: key, Count: weight})
+		i := len(ss.items) - 1
+		ss.pos[key] = i
+		ss.up(i)
+		return 0, false
+	}
+	// Replace the minimum counter: new item inherits min count as error.
+	min := ss.items[0]
+	delete(ss.pos, min.Key)
+	ss.items[0] = Counter{Key: key, Count: min.Count + weight, Error: min.Count}
+	ss.pos[key] = 0
+	ss.down(0)
+	return min.Key, true
+}
+
+// Estimate returns the (over-)estimated count for key; zero when untracked.
+func (ss *SpaceSaving) Estimate(key uint32) float64 {
+	if i, ok := ss.pos[key]; ok {
+		return ss.items[i].Count
+	}
+	return 0
+}
+
+// GuaranteedCount returns the count minus the maximum possible
+// overestimation for key (a certified lower bound), zero when untracked.
+func (ss *SpaceSaving) GuaranteedCount(key uint32) float64 {
+	if i, ok := ss.pos[key]; ok {
+		return ss.items[i].Count - ss.items[i].Error
+	}
+	return 0
+}
+
+// MinCount returns the smallest tracked count (0 when not yet full); this
+// bounds the count of every untracked item.
+func (ss *SpaceSaving) MinCount() float64 {
+	if len(ss.items) < ss.capacity || len(ss.items) == 0 {
+		return 0
+	}
+	return ss.items[0].Count
+}
+
+// Counters returns all tracked counters sorted by descending count.
+func (ss *SpaceSaving) Counters() []Counter {
+	out := make([]Counter, len(ss.items))
+	copy(out, ss.items)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// TopK returns up to k counters with the largest counts, descending.
+func (ss *SpaceSaving) TopK(k int) []Counter {
+	out := ss.Counters()
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+// HeavyHitters returns all tracked items whose guaranteed count exceeds
+// phi*Total; the answer contains every true phi-heavy hitter (possibly with
+// false positives when guaranteed bounds are loose).
+func (ss *SpaceSaving) HeavyHitters(phi float64) []Counter {
+	threshold := phi * ss.total
+	var out []Counter
+	for _, c := range ss.Counters() {
+		if c.Count > threshold {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// MemoryBytes is the cost-model footprint: 4 bytes each for key, count and
+// the per-entry error bound (an auxiliary value under Section 7.1's model).
+func (ss *SpaceSaving) MemoryBytes() int { return 12 * ss.capacity }
+
+func (ss *SpaceSaving) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if ss.items[parent].Count <= ss.items[i].Count {
+			break
+		}
+		ss.swap(parent, i)
+		i = parent
+	}
+}
+
+func (ss *SpaceSaving) down(i int) {
+	n := len(ss.items)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		smallest := left
+		if right := left + 1; right < n && ss.items[right].Count < ss.items[left].Count {
+			smallest = right
+		}
+		if ss.items[i].Count <= ss.items[smallest].Count {
+			break
+		}
+		ss.swap(i, smallest)
+		i = smallest
+	}
+}
+
+func (ss *SpaceSaving) swap(i, j int) {
+	ss.items[i], ss.items[j] = ss.items[j], ss.items[i]
+	ss.pos[ss.items[i].Key] = i
+	ss.pos[ss.items[j].Key] = j
+}

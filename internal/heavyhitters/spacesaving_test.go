@@ -1,0 +1,244 @@
+package heavyhitters
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSpaceSavingExactBelowCapacity(t *testing.T) {
+	ss := NewSpaceSaving(16)
+	truth := map[uint32]float64{}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		key := uint32(rng.Intn(10)) // only 10 distinct < 16 capacity
+		ss.Observe(key, 1)
+		truth[key]++
+	}
+	for key, v := range truth {
+		if got := ss.Estimate(key); got != v {
+			t.Fatalf("key %d: estimate %g, want exact %g", key, got, v)
+		}
+		if got := ss.GuaranteedCount(key); got != v {
+			t.Fatalf("key %d: guaranteed %g, want %g (no evictions)", key, got, v)
+		}
+	}
+}
+
+func TestSpaceSavingNeverUnderestimates(t *testing.T) {
+	ss := NewSpaceSaving(20)
+	truth := map[uint32]float64{}
+	rng := rand.New(rand.NewSource(2))
+	zipfGen := rand.NewZipf(rng, 1.3, 1, 5000)
+	for i := 0; i < 50000; i++ {
+		key := uint32(zipfGen.Uint64())
+		ss.Observe(key, 1)
+		truth[key]++
+	}
+	for key, v := range truth {
+		if !ss.Contains(key) {
+			continue
+		}
+		if got := ss.Estimate(key); got < v-1e-9 {
+			t.Fatalf("key %d: estimate %g under true %g", key, got, v)
+		}
+		if lo := ss.GuaranteedCount(key); lo > v+1e-9 {
+			t.Fatalf("key %d: guaranteed lower bound %g exceeds true %g", key, lo, v)
+		}
+	}
+}
+
+func TestSpaceSavingHeavyItemsTracked(t *testing.T) {
+	// Any item with frequency > N/capacity is guaranteed to be tracked.
+	const capacity = 10
+	ss := NewSpaceSaving(capacity)
+	const n = 10000
+	// Key 1 gets 30% of the stream; the rest is spread over many keys.
+	rng := rand.New(rand.NewSource(3))
+	heavyCount := 0
+	for i := 0; i < n; i++ {
+		if rng.Float64() < 0.3 {
+			ss.Observe(1, 1)
+			heavyCount++
+		} else {
+			ss.Observe(uint32(2+rng.Intn(5000)), 1)
+		}
+	}
+	if !ss.Contains(1) {
+		t.Fatal("30% heavy hitter not tracked with capacity 10")
+	}
+	est := ss.Estimate(1)
+	if est < float64(heavyCount) {
+		t.Fatalf("estimate %g below true %d", est, heavyCount)
+	}
+	if est > float64(heavyCount)+float64(n)/capacity {
+		t.Fatalf("estimate %g exceeds true+N/k bound", est)
+	}
+}
+
+func TestSpaceSavingOverestimateBound(t *testing.T) {
+	// Overestimation of any tracked item is at most Total/capacity.
+	const capacity = 25
+	ss := NewSpaceSaving(capacity)
+	truth := map[uint32]float64{}
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 30000; i++ {
+		key := uint32(rng.Intn(1000))
+		ss.Observe(key, 1)
+		truth[key]++
+	}
+	bound := ss.Total() / capacity
+	for _, c := range ss.Counters() {
+		over := c.Count - truth[c.Key]
+		if over > bound+1e-9 {
+			t.Fatalf("key %d: overestimate %g exceeds N/k=%g", c.Key, over, bound)
+		}
+		if c.Error > bound+1e-9 {
+			t.Fatalf("key %d: error bound %g exceeds N/k=%g", c.Key, c.Error, bound)
+		}
+	}
+}
+
+func TestSpaceSavingEvictionReporting(t *testing.T) {
+	ss := NewSpaceSaving(2)
+	if _, ev := ss.Observe(1, 1); ev {
+		t.Fatal("eviction reported while below capacity")
+	}
+	ss.Observe(2, 5)
+	evicted, ev := ss.Observe(3, 1)
+	if !ev || evicted != 1 {
+		t.Fatalf("expected eviction of key 1, got %d,%v", evicted, ev)
+	}
+	// Key 3 inherited key 1's count (1) + its own weight (1) = 2, error 1.
+	if got := ss.Estimate(3); got != 2 {
+		t.Fatalf("inherited estimate %g, want 2", got)
+	}
+	if got := ss.GuaranteedCount(3); got != 1 {
+		t.Fatalf("guaranteed %g, want 1", got)
+	}
+}
+
+func TestSpaceSavingMinCount(t *testing.T) {
+	ss := NewSpaceSaving(3)
+	if ss.MinCount() != 0 {
+		t.Fatal("MinCount should be 0 before full")
+	}
+	ss.Observe(1, 5)
+	ss.Observe(2, 3)
+	ss.Observe(3, 7)
+	if got := ss.MinCount(); got != 3 {
+		t.Fatalf("MinCount = %g, want 3", got)
+	}
+}
+
+func TestSpaceSavingTopKOrder(t *testing.T) {
+	ss := NewSpaceSaving(8)
+	counts := map[uint32]int{1: 50, 2: 30, 3: 20, 4: 10}
+	for key, n := range counts {
+		for i := 0; i < n; i++ {
+			ss.Observe(key, 1)
+		}
+	}
+	top := ss.TopK(2)
+	if len(top) != 2 || top[0].Key != 1 || top[1].Key != 2 {
+		t.Fatalf("TopK(2) = %+v", top)
+	}
+}
+
+func TestSpaceSavingHeavyHittersContainsAllTrue(t *testing.T) {
+	ss := NewSpaceSaving(50)
+	rng := rand.New(rand.NewSource(5))
+	truth := map[uint32]float64{}
+	const n = 20000
+	for i := 0; i < n; i++ {
+		var key uint32
+		switch {
+		case rng.Float64() < 0.2:
+			key = 100
+		case rng.Float64() < 0.15:
+			key = 200
+		default:
+			key = uint32(rng.Intn(3000))
+		}
+		ss.Observe(key, 1)
+		truth[key]++
+	}
+	const phi = 0.1
+	hh := ss.HeavyHitters(phi)
+	got := map[uint32]bool{}
+	for _, c := range hh {
+		got[c.Key] = true
+	}
+	for key, v := range truth {
+		if v > phi*float64(n) && !got[key] {
+			t.Fatalf("true heavy hitter %d (count %g) missing", key, v)
+		}
+	}
+}
+
+func TestSpaceSavingPanics(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic for capacity 0")
+			}
+		}()
+		NewSpaceSaving(0)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic for negative weight")
+			}
+		}()
+		NewSpaceSaving(2).Observe(1, -1)
+	}()
+}
+
+func TestSpaceSavingMemoryBytes(t *testing.T) {
+	if got := NewSpaceSaving(100).MemoryBytes(); got != 1200 {
+		t.Fatalf("MemoryBytes = %d, want 1200", got)
+	}
+}
+
+func TestSpaceSavingHeapConsistency(t *testing.T) {
+	ss := NewSpaceSaving(32)
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 50000; i++ {
+		ss.Observe(uint32(rng.Intn(500)), 1+rng.Float64())
+	}
+	// Min-heap property on counts.
+	for i := 1; i < len(ss.items); i++ {
+		parent := (i - 1) / 2
+		if ss.items[parent].Count > ss.items[i].Count {
+			t.Fatalf("heap violated at index %d", i)
+		}
+	}
+	for key, i := range ss.pos {
+		if ss.items[i].Key != key {
+			t.Fatalf("stale index for key %d", key)
+		}
+	}
+	// MinCount equals the true minimum.
+	min := math.Inf(1)
+	for _, c := range ss.items {
+		min = math.Min(min, c.Count)
+	}
+	if ss.MinCount() != min {
+		t.Fatalf("MinCount %g != true min %g", ss.MinCount(), min)
+	}
+}
+
+func BenchmarkSpaceSavingObserve(b *testing.B) {
+	ss := NewSpaceSaving(1024)
+	rng := rand.New(rand.NewSource(1))
+	zipfGen := rand.NewZipf(rng, 1.2, 1, 1<<20)
+	keys := make([]uint32, 1<<16)
+	for i := range keys {
+		keys[i] = uint32(zipfGen.Uint64())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ss.Observe(keys[i&(1<<16-1)], 1)
+	}
+}

@@ -1,0 +1,181 @@
+package linear
+
+import (
+	"wmsketch/internal/stream"
+	"wmsketch/internal/topk"
+)
+
+// minScale is the global-scale renormalization threshold; below it the scale
+// is folded into the stored weights to avoid floating-point underflow.
+const minScale = 1e-9
+
+// LogReg is the memory-unconstrained online linear classifier ("LR" in the
+// paper's plots): exact per-feature weights, ℓ2 regularization applied
+// lazily through a global scale factor, and a size-K magnitude heap tracking
+// the heaviest weights exactly as the paper's timing baseline does
+// (Section 7.4, K=128).
+type LogReg struct {
+	loss     Loss
+	schedule Schedule
+	lambda   float64
+	dim      int // declared dimensionality, for the cost model
+
+	weights map[uint32]float64 // stored unscaled; true weight = scale·w
+	scale   float64
+	t       int64
+	heap    *topk.Heap
+}
+
+// LogRegConfig configures NewLogReg. Zero values select the paper's
+// defaults: logistic loss, η₀=0.1 inverse-sqrt schedule, K=128 heap.
+type LogRegConfig struct {
+	Loss     Loss
+	Schedule Schedule
+	Lambda   float64
+	Dim      int
+	HeapK    int
+}
+
+// NewLogReg returns an unconstrained online linear classifier.
+func NewLogReg(cfg LogRegConfig) *LogReg {
+	if cfg.Loss == nil {
+		cfg.Loss = Logistic{}
+	}
+	if cfg.Schedule == nil {
+		cfg.Schedule = DefaultSchedule()
+	}
+	if cfg.HeapK <= 0 {
+		cfg.HeapK = 128
+	}
+	return &LogReg{
+		loss:     cfg.Loss,
+		schedule: cfg.Schedule,
+		lambda:   cfg.Lambda,
+		dim:      cfg.Dim,
+		weights:  make(map[uint32]float64),
+		scale:    1,
+		heap:     topk.New(cfg.HeapK),
+	}
+}
+
+// Predict returns the margin wᵀx.
+func (lr *LogReg) Predict(x stream.Vector) float64 {
+	dot := 0.0
+	for _, f := range x {
+		dot += lr.weights[f.Index] * f.Value
+	}
+	return dot * lr.scale
+}
+
+// Update performs one OGD step on (x, y) with lazy ℓ2 decay.
+func (lr *LogReg) Update(x stream.Vector, y int) {
+	lr.t++
+	eta := lr.schedule.Rate(lr.t)
+	margin := float64(y) * lr.Predict(x)
+	g := lr.loss.Deriv(margin)
+
+	// Lazy decay: scale ← (1−ηλ)·scale.
+	if lr.lambda > 0 {
+		lr.scale *= 1 - eta*lr.lambda
+		if lr.scale < minScale {
+			lr.renormalize()
+		}
+	}
+	if g != 0 {
+		step := eta * float64(y) * g
+		for _, f := range x {
+			// True update wᵢ ← wᵢ − η·y·g·xᵢ; divide by scale because the
+			// stored value is unscaled.
+			lr.weights[f.Index] -= step * f.Value / lr.scale
+		}
+	}
+	// Maintain the top-K heap over touched features.
+	for _, f := range x {
+		lr.offerToHeap(f.Index)
+	}
+}
+
+func (lr *LogReg) offerToHeap(i uint32) {
+	w := lr.weights[i] // unscaled; heap stores unscaled too (order preserved)
+	if lr.heap.Contains(i) {
+		lr.heap.UpdateMagnitude(i, w)
+		return
+	}
+	if !lr.heap.Full() {
+		lr.heap.InsertMagnitude(i, w)
+		return
+	}
+	min, _ := lr.heap.Min()
+	if absf(w) > min.Score {
+		lr.heap.PopMin()
+		lr.heap.InsertMagnitude(i, w)
+	}
+}
+
+// renormalize folds the global scale into the stored weights.
+func (lr *LogReg) renormalize() {
+	for i, w := range lr.weights {
+		lr.weights[i] = w * lr.scale
+	}
+	lr.heap.ScaleWeights(lr.scale)
+	lr.scale = 1
+}
+
+// Estimate returns the exact current weight of feature i.
+func (lr *LogReg) Estimate(i uint32) float64 {
+	return lr.weights[i] * lr.scale
+}
+
+// TopK returns the K heaviest weights tracked by the heap, descending.
+func (lr *LogReg) TopK(k int) []stream.Weighted {
+	entries := lr.heap.TopK(k)
+	out := make([]stream.Weighted, len(entries))
+	for i, e := range entries {
+		out[i] = stream.Weighted{Index: e.Key, Weight: e.Weight * lr.scale}
+	}
+	return out
+}
+
+// ExactTopK scans all stored weights (not just the heap) and returns the
+// true top-k; used as ground truth w* when computing recovery error.
+func (lr *LogReg) ExactTopK(k int) []stream.Weighted {
+	out := make([]stream.Weighted, 0, len(lr.weights))
+	for i, w := range lr.weights {
+		out = append(out, stream.Weighted{Index: i, Weight: w * lr.scale})
+	}
+	stream.SortWeighted(out)
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+// Weights returns a snapshot of all nonzero weights (rescaled).
+func (lr *LogReg) Weights() map[uint32]float64 {
+	out := make(map[uint32]float64, len(lr.weights))
+	for i, w := range lr.weights {
+		out[i] = w * lr.scale
+	}
+	return out
+}
+
+// Steps returns the number of updates applied.
+func (lr *LogReg) Steps() int64 { return lr.t }
+
+// MemoryBytes reports the cost-model footprint of a dense weight array of
+// the declared dimension plus the top-K heap (Section 7.4's baseline
+// layout). When Dim was not declared, the live feature count is used.
+func (lr *LogReg) MemoryBytes() int {
+	d := lr.dim
+	if d == 0 {
+		d = len(lr.weights)
+	}
+	return 4*d + lr.heap.MemoryBytes(false)
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

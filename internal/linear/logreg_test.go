@@ -1,0 +1,209 @@
+package linear
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"wmsketch/internal/stream"
+)
+
+// synthExample draws (x, y) from a 2-feature linear model for smoke tests.
+func synthStream(n int, seed int64) []stream.Example {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]stream.Example, n)
+	for i := range out {
+		x := stream.Vector{
+			{Index: 0, Value: rng.NormFloat64()},
+			{Index: 1, Value: rng.NormFloat64()},
+		}
+		// True weights (2, -1).
+		margin := 2*x[0].Value - x[1].Value
+		y := 1
+		if margin < 0 {
+			y = -1
+		}
+		out[i] = stream.Example{X: x, Y: y}
+	}
+	return out
+}
+
+func TestLogRegLearnsSeparableData(t *testing.T) {
+	lr := NewLogReg(LogRegConfig{Lambda: 1e-6})
+	examples := synthStream(5000, 1)
+	for _, ex := range examples {
+		lr.Update(ex.X, ex.Y)
+	}
+	// Evaluate on fresh data.
+	test := synthStream(1000, 2)
+	mistakes := 0
+	for _, ex := range test {
+		if lr.Predict(ex.X)*float64(ex.Y) <= 0 {
+			mistakes++
+		}
+	}
+	if rate := float64(mistakes) / 1000; rate > 0.05 {
+		t.Fatalf("error rate %.3f on separable data", rate)
+	}
+	// Weight signs must match the generating model.
+	if lr.Estimate(0) <= 0 || lr.Estimate(1) >= 0 {
+		t.Fatalf("weights (%g, %g) have wrong signs", lr.Estimate(0), lr.Estimate(1))
+	}
+}
+
+func TestLogRegGradientStep(t *testing.T) {
+	// Single update with constant rate: w = -η·y·ℓ'(0)·x.
+	lr := NewLogReg(LogRegConfig{Schedule: Constant{Eta0: 0.5}})
+	x := stream.Vector{{Index: 3, Value: 2}}
+	lr.Update(x, 1)
+	// ℓ'(0) = -0.5 for logistic; w = -0.5·1·(-0.5)·2 = 0.5.
+	if got := lr.Estimate(3); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("weight after one step = %g, want 0.5", got)
+	}
+	if lr.Steps() != 1 {
+		t.Fatalf("Steps = %d", lr.Steps())
+	}
+}
+
+func TestLogRegLazyDecayMatchesExplicit(t *testing.T) {
+	// The lazily-scaled model must match a reference that applies decay
+	// explicitly to every weight at each step.
+	lambda := 0.01
+	lr := NewLogReg(LogRegConfig{Lambda: lambda, Schedule: Constant{Eta0: 0.1}})
+	ref := map[uint32]float64{}
+	loss := Logistic{}
+	rng := rand.New(rand.NewSource(3))
+	for step := 0; step < 500; step++ {
+		x := stream.Vector{
+			{Index: uint32(rng.Intn(10)), Value: rng.NormFloat64()},
+			{Index: uint32(10 + rng.Intn(10)), Value: rng.NormFloat64()},
+		}
+		y := 2*rng.Intn(2) - 1
+		// Reference explicit update.
+		margin := 0.0
+		for _, f := range x {
+			margin += ref[f.Index] * f.Value
+		}
+		margin *= float64(y)
+		g := loss.Deriv(margin)
+		for i := range ref {
+			ref[i] *= 1 - 0.1*lambda
+		}
+		for _, f := range x {
+			ref[f.Index] -= 0.1 * float64(y) * g * f.Value
+		}
+		lr.Update(x, y)
+	}
+	for i, w := range ref {
+		if got := lr.Estimate(i); math.Abs(got-w) > 1e-9 {
+			t.Fatalf("feature %d: lazy %g vs explicit %g", i, got, w)
+		}
+	}
+}
+
+func TestLogRegRenormalization(t *testing.T) {
+	// Huge λ drives the scale below the renormalization threshold quickly;
+	// the model must stay finite and consistent.
+	lr := NewLogReg(LogRegConfig{Lambda: 0.9, Schedule: Constant{Eta0: 1.0}})
+	x := stream.Vector{{Index: 1, Value: 1}}
+	for i := 0; i < 300; i++ {
+		lr.Update(x, 1)
+	}
+	w := lr.Estimate(1)
+	if math.IsNaN(w) || math.IsInf(w, 0) {
+		t.Fatalf("weight diverged: %g", w)
+	}
+	if w <= 0 || w > 10 {
+		t.Fatalf("weight %g out of plausible range", w)
+	}
+}
+
+func TestLogRegTopKTracksHeaviest(t *testing.T) {
+	lr := NewLogReg(LogRegConfig{HeapK: 4, Schedule: Constant{Eta0: 0.1}})
+	// Train so features 0..9 get monotonically increasing weights: feature i
+	// appears with value proportional to i+1 and always label +1. Few enough
+	// steps that margins stay small and logistic saturation cannot invert
+	// the ordering.
+	for step := 0; step < 20; step++ {
+		for i := uint32(0); i < 10; i++ {
+			lr.Update(stream.Vector{{Index: i, Value: float64(i+1) / 10}}, 1)
+		}
+	}
+	top := lr.TopK(4)
+	if len(top) != 4 {
+		t.Fatalf("TopK returned %d", len(top))
+	}
+	want := map[uint32]bool{6: true, 7: true, 8: true, 9: true}
+	for _, w := range top {
+		if !want[w.Index] {
+			t.Fatalf("unexpected top-4 feature %d (weights should grow with index)", w.Index)
+		}
+	}
+	// Heap TopK must agree with the exact scan.
+	exact := lr.ExactTopK(4)
+	for i := range top {
+		if top[i].Index != exact[i].Index {
+			t.Fatalf("heap top-%d = %d, exact = %d", i, top[i].Index, exact[i].Index)
+		}
+		if math.Abs(top[i].Weight-exact[i].Weight) > 1e-12 {
+			t.Fatalf("weight mismatch at %d", i)
+		}
+	}
+}
+
+func TestLogRegWeightsSnapshot(t *testing.T) {
+	lr := NewLogReg(LogRegConfig{Schedule: Constant{Eta0: 0.5}})
+	lr.Update(stream.Vector{{Index: 5, Value: 1}}, 1)
+	ws := lr.Weights()
+	if len(ws) != 1 {
+		t.Fatalf("Weights has %d entries", len(ws))
+	}
+	if math.Abs(ws[5]-lr.Estimate(5)) > 1e-15 {
+		t.Fatal("snapshot differs from Estimate")
+	}
+	ws[5] = 999
+	if lr.Estimate(5) == 999 {
+		t.Fatal("Weights not a copy")
+	}
+}
+
+func TestLogRegMemoryBytes(t *testing.T) {
+	lr := NewLogReg(LogRegConfig{Dim: 1000, HeapK: 128})
+	want := 4*1000 + 8*128
+	if got := lr.MemoryBytes(); got != want {
+		t.Fatalf("MemoryBytes = %d, want %d", got, want)
+	}
+	// Without Dim, falls back to live features.
+	lr2 := NewLogReg(LogRegConfig{HeapK: 16})
+	lr2.Update(stream.Vector{{Index: 1, Value: 1}, {Index: 2, Value: 1}}, 1)
+	if got := lr2.MemoryBytes(); got != 4*2+8*16 {
+		t.Fatalf("MemoryBytes fallback = %d", got)
+	}
+}
+
+func TestLogRegSmoothedHinge(t *testing.T) {
+	lr := NewLogReg(LogRegConfig{Loss: NewSmoothedHinge(), Lambda: 1e-5})
+	for _, ex := range synthStream(3000, 5) {
+		lr.Update(ex.X, ex.Y)
+	}
+	mistakes := 0
+	test := synthStream(500, 6)
+	for _, ex := range test {
+		if lr.Predict(ex.X)*float64(ex.Y) <= 0 {
+			mistakes++
+		}
+	}
+	if rate := float64(mistakes) / 500; rate > 0.06 {
+		t.Fatalf("smoothed hinge error rate %.3f", rate)
+	}
+}
+
+func BenchmarkLogRegUpdate(b *testing.B) {
+	lr := NewLogReg(LogRegConfig{Lambda: 1e-6})
+	examples := synthStream(4096, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ex := examples[i&4095]
+		lr.Update(ex.X, ex.Y)
+	}
+}

@@ -1,0 +1,99 @@
+// Package linear provides the online-learning machinery of Section 3.2:
+// margin-based convex losses (logistic, smoothed hinge), learning-rate
+// schedules for online gradient descent, and the memory-unconstrained
+// logistic regression baseline ("LR" in the paper's figures) with lazy ℓ2
+// decay and top-K weight tracking.
+package linear
+
+import "math"
+
+// Loss is a convex, differentiable margin loss ℓ(τ) where τ = y·wᵀx.
+// Deriv returns dℓ/dτ. All losses here are β-strongly smooth with β ≤ 1,
+// matching the assumption of Theorems 1 and 2.
+type Loss interface {
+	Value(margin float64) float64
+	Deriv(margin float64) float64
+	Name() string
+}
+
+// Logistic is ℓ(τ) = log(1 + exp(−τ)), the loss defining logistic
+// regression; its weights admit the log-odds interpretation used by the
+// PMI application (Section 8.3).
+type Logistic struct{}
+
+// Value returns log(1+exp(−τ)) computed stably for large |τ|.
+func (Logistic) Value(margin float64) float64 {
+	if margin < -30 {
+		return -margin
+	}
+	return math.Log1p(math.Exp(-margin))
+}
+
+// Deriv returns −σ(−τ) = −1/(1+exp(τ)).
+func (Logistic) Deriv(margin float64) float64 {
+	return -Sigmoid(-margin)
+}
+
+// Name implements Loss.
+func (Logistic) Name() string { return "logistic" }
+
+// SmoothedHinge is the quadratically-smoothed hinge loss with smoothing
+// parameter gamma (β = 1/gamma strongly smooth):
+//
+//	ℓ(τ) = 0                        τ ≥ 1
+//	     = (1-τ)²/(2γ)              1-γ < τ < 1
+//	     = 1 - τ - γ/2              τ ≤ 1-γ
+//
+// With γ=1 this is the common "smooth hinge" defining an SVM relative.
+type SmoothedHinge struct {
+	Gamma float64
+}
+
+// NewSmoothedHinge returns a smoothed hinge with γ=1.
+func NewSmoothedHinge() SmoothedHinge { return SmoothedHinge{Gamma: 1} }
+
+// Value implements Loss.
+func (s SmoothedHinge) Value(margin float64) float64 {
+	g := s.gamma()
+	switch {
+	case margin >= 1:
+		return 0
+	case margin > 1-g:
+		d := 1 - margin
+		return d * d / (2 * g)
+	default:
+		return 1 - margin - g/2
+	}
+}
+
+// Deriv implements Loss.
+func (s SmoothedHinge) Deriv(margin float64) float64 {
+	g := s.gamma()
+	switch {
+	case margin >= 1:
+		return 0
+	case margin > 1-g:
+		return (margin - 1) / g
+	default:
+		return -1
+	}
+}
+
+// Name implements Loss.
+func (s SmoothedHinge) Name() string { return "smoothed_hinge" }
+
+func (s SmoothedHinge) gamma() float64 {
+	if s.Gamma <= 0 {
+		return 1
+	}
+	return s.Gamma
+}
+
+// Sigmoid returns 1/(1+exp(−z)), computed stably at both tails.
+func Sigmoid(z float64) float64 {
+	if z >= 0 {
+		return 1 / (1 + math.Exp(-z))
+	}
+	e := math.Exp(z)
+	return e / (1 + e)
+}

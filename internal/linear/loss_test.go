@@ -1,0 +1,190 @@
+package linear
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLogisticValues(t *testing.T) {
+	l := Logistic{}
+	if got := l.Value(0); math.Abs(got-math.Ln2) > 1e-12 {
+		t.Fatalf("Value(0) = %g, want ln 2", got)
+	}
+	if got := l.Deriv(0); math.Abs(got+0.5) > 1e-12 {
+		t.Fatalf("Deriv(0) = %g, want -0.5", got)
+	}
+	// Large positive margin: near-zero loss and derivative.
+	if got := l.Value(50); got > 1e-20 {
+		t.Fatalf("Value(50) = %g, want ~0", got)
+	}
+	if got := l.Deriv(50); got < -1e-20 {
+		t.Fatalf("Deriv(50) = %g, want ~0", got)
+	}
+	// Large negative margin: loss ≈ -margin, derivative ≈ -1.
+	if got := l.Value(-100); math.Abs(got-100) > 1e-9 {
+		t.Fatalf("Value(-100) = %g, want ≈100", got)
+	}
+	if got := l.Deriv(-100); math.Abs(got+1) > 1e-9 {
+		t.Fatalf("Deriv(-100) = %g, want ≈-1", got)
+	}
+}
+
+func TestLogisticStableNoOverflow(t *testing.T) {
+	l := Logistic{}
+	for _, m := range []float64{-1e8, -745, 745, 1e8} {
+		v, d := l.Value(m), l.Deriv(m)
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("Value(%g) = %g", m, v)
+		}
+		if math.IsNaN(d) || math.IsInf(d, 0) {
+			t.Fatalf("Deriv(%g) = %g", m, d)
+		}
+	}
+}
+
+// numericDeriv estimates dℓ/dτ by central differences.
+func numericDeriv(l Loss, m float64) float64 {
+	const h = 1e-6
+	return (l.Value(m+h) - l.Value(m-h)) / (2 * h)
+}
+
+func TestDerivMatchesNumeric(t *testing.T) {
+	losses := []Loss{Logistic{}, NewSmoothedHinge(), SmoothedHinge{Gamma: 0.5}}
+	for _, l := range losses {
+		for m := -5.0; m <= 5.0; m += 0.37 {
+			want := numericDeriv(l, m)
+			got := l.Deriv(m)
+			if math.Abs(got-want) > 1e-4 {
+				t.Fatalf("%s: Deriv(%g) = %g, numeric %g", l.Name(), m, got, want)
+			}
+		}
+	}
+}
+
+func TestLossConvexity(t *testing.T) {
+	// Derivative must be non-decreasing (convexity) and in [-1, 0]
+	// (both losses are 1-Lipschitz and non-increasing).
+	losses := []Loss{Logistic{}, NewSmoothedHinge()}
+	for _, l := range losses {
+		prev := math.Inf(-1)
+		for m := -10.0; m <= 10.0; m += 0.01 {
+			d := l.Deriv(m)
+			if d < prev-1e-12 {
+				t.Fatalf("%s: derivative decreased at %g", l.Name(), m)
+			}
+			if d < -1-1e-12 || d > 1e-12 {
+				t.Fatalf("%s: derivative %g outside [-1,0] at %g", l.Name(), d, m)
+			}
+			prev = d
+		}
+	}
+}
+
+func TestSmoothedHingeRegions(t *testing.T) {
+	s := NewSmoothedHinge()
+	if got := s.Value(2); got != 0 {
+		t.Fatalf("Value(2) = %g, want 0", got)
+	}
+	if got := s.Deriv(2); got != 0 {
+		t.Fatalf("Deriv(2) = %g, want 0", got)
+	}
+	if got := s.Value(-1); math.Abs(got-1.5) > 1e-12 {
+		t.Fatalf("Value(-1) = %g, want 1.5", got)
+	}
+	if got := s.Deriv(-1); got != -1 {
+		t.Fatalf("Deriv(-1) = %g, want -1", got)
+	}
+	// Quadratic region midpoint.
+	if got := s.Value(0.5); math.Abs(got-0.125) > 1e-12 {
+		t.Fatalf("Value(0.5) = %g, want 0.125", got)
+	}
+}
+
+func TestSmoothedHingeZeroGammaDefaults(t *testing.T) {
+	s := SmoothedHinge{} // Gamma 0 must behave as gamma 1
+	ref := NewSmoothedHinge()
+	for m := -3.0; m <= 3.0; m += 0.5 {
+		if s.Value(m) != ref.Value(m) || s.Deriv(m) != ref.Deriv(m) {
+			t.Fatalf("gamma=0 differs from gamma=1 at %g", m)
+		}
+	}
+}
+
+func TestSmoothedHingeStrongSmoothness(t *testing.T) {
+	// β-strong smoothness: |ℓ'(a) − ℓ'(b)| ≤ (1/γ)|a−b|.
+	for _, g := range []float64{0.5, 1, 2} {
+		s := SmoothedHinge{Gamma: g}
+		beta := 1 / g
+		f := func(a, b float64) bool {
+			if math.IsNaN(a) || math.IsNaN(b) || math.Abs(a) > 1e6 || math.Abs(b) > 1e6 {
+				return true
+			}
+			return math.Abs(s.Deriv(a)-s.Deriv(b)) <= beta*math.Abs(a-b)+1e-9
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Fatalf("gamma=%g: %v", g, err)
+		}
+	}
+}
+
+func TestSigmoid(t *testing.T) {
+	if got := Sigmoid(0); got != 0.5 {
+		t.Fatalf("Sigmoid(0) = %g", got)
+	}
+	if got := Sigmoid(1000); got != 1 {
+		t.Fatalf("Sigmoid(1000) = %g", got)
+	}
+	if got := Sigmoid(-1000); got != 0 {
+		t.Fatalf("Sigmoid(-1000) = %g", got)
+	}
+	// Symmetry: σ(z) + σ(-z) = 1.
+	f := func(z float64) bool {
+		if math.IsNaN(z) || math.Abs(z) > 700 {
+			return true
+		}
+		return math.Abs(Sigmoid(z)+Sigmoid(-z)-1) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScheduleRates(t *testing.T) {
+	c := Constant{Eta0: 0.3}
+	if c.Rate(1) != 0.3 || c.Rate(1000) != 0.3 {
+		t.Fatal("Constant schedule not constant")
+	}
+	s := InvSqrt{Eta0: 0.1}
+	if got := s.Rate(1); got != 0.1 {
+		t.Fatalf("InvSqrt.Rate(1) = %g", got)
+	}
+	if got := s.Rate(100); math.Abs(got-0.01) > 1e-12 {
+		t.Fatalf("InvSqrt.Rate(100) = %g, want 0.01", got)
+	}
+	// Guard against t<1.
+	if got := s.Rate(0); got != 0.1 {
+		t.Fatalf("InvSqrt.Rate(0) = %g, want clamped 0.1", got)
+	}
+	il := InvLinear{Eta0: 1, Lambda: 0.1}
+	if got := il.Rate(1); math.Abs(got-1/1.1) > 1e-12 {
+		t.Fatalf("InvLinear.Rate(1) = %g", got)
+	}
+}
+
+func TestSchedulesDecreasing(t *testing.T) {
+	scheds := []Schedule{InvSqrt{Eta0: 0.1}, InvLinear{Eta0: 0.5, Lambda: 0.01}}
+	for _, s := range scheds {
+		prev := math.Inf(1)
+		for t64 := int64(1); t64 < 100000; t64 *= 3 {
+			r := s.Rate(t64)
+			if r > prev {
+				t.Fatalf("%s increased at t=%d", s.Name(), t64)
+			}
+			if r <= 0 {
+				t.Fatalf("%s non-positive at t=%d", s.Name(), t64)
+			}
+			prev = r
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package linear
+
+import "math"
+
+// Schedule yields the learning rate ηₜ for online gradient descent at step
+// t (1-based).
+type Schedule interface {
+	Rate(t int64) float64
+	Name() string
+}
+
+// Constant is ηₜ = η₀.
+type Constant struct{ Eta0 float64 }
+
+// Rate implements Schedule.
+func (c Constant) Rate(int64) float64 { return c.Eta0 }
+
+// Name implements Schedule.
+func (c Constant) Name() string { return "constant" }
+
+// InvSqrt is ηₜ = η₀/√t, the standard rate for general convex OGD with
+// O(√T) regret (Zinkevich 2003). This is the schedule used throughout the
+// paper's experiments with η₀ = 0.1.
+type InvSqrt struct{ Eta0 float64 }
+
+// Rate implements Schedule.
+func (s InvSqrt) Rate(t int64) float64 {
+	if t < 1 {
+		t = 1
+	}
+	return s.Eta0 / math.Sqrt(float64(t))
+}
+
+// Name implements Schedule.
+func (s InvSqrt) Name() string { return "inv_sqrt" }
+
+// InvLinear is ηₜ = η₀/(1 + η₀λt), the Bottou-style rate matched to
+// λ-strongly-convex objectives with O(log T) regret.
+type InvLinear struct {
+	Eta0   float64
+	Lambda float64
+}
+
+// Rate implements Schedule.
+func (s InvLinear) Rate(t int64) float64 {
+	if t < 1 {
+		t = 1
+	}
+	return s.Eta0 / (1 + s.Eta0*s.Lambda*float64(t))
+}
+
+// Name implements Schedule.
+func (s InvLinear) Name() string { return "inv_linear" }
+
+// DefaultSchedule is the paper's experimental setting: η₀=0.1, ηₜ = η₀/√t.
+func DefaultSchedule() Schedule { return InvSqrt{Eta0: 0.1} }

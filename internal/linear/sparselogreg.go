@@ -1,0 +1,167 @@
+package linear
+
+import (
+	"math"
+
+	"wmsketch/internal/stream"
+)
+
+// SparseLogReg is online logistic regression with elastic-net
+// regularization: the ℓ2 term of Eq. 1 plus the ℓ1 augmentation Section
+// 6.1 suggests for inducing sparsity ("this corresponds to elastic
+// net-style composite ℓ1/ℓ2 regularization"). The ℓ1 penalty is applied
+// with the cumulative-penalty method (Tsuruoka, Tsujii & Ananiadou 2009):
+// a global accumulator u tracks the total ℓ1 penalty each weight should
+// have absorbed, a per-feature ledger q_i tracks how much it actually has,
+// and the difference is settled lazily whenever the feature is touched —
+// exact sparsification at O(nnz(x)) per update.
+type SparseLogReg struct {
+	loss     Loss
+	schedule Schedule
+	lambda1  float64
+	lambda2  float64
+
+	weights map[uint32]float64
+	applied map[uint32]float64 // q_i: l1 penalty already absorbed by i
+	u       float64            // cumulative available l1 penalty
+	scale   float64            // lazy l2 decay
+	t       int64
+}
+
+// SparseLogRegConfig configures NewSparseLogReg.
+type SparseLogRegConfig struct {
+	Loss     Loss
+	Schedule Schedule
+	// Lambda1 is the ℓ1 strength (sparsity); Lambda2 the ℓ2 strength.
+	Lambda1 float64
+	Lambda2 float64
+}
+
+// NewSparseLogReg returns an elastic-net online logistic regression model.
+func NewSparseLogReg(cfg SparseLogRegConfig) *SparseLogReg {
+	if cfg.Loss == nil {
+		cfg.Loss = Logistic{}
+	}
+	if cfg.Schedule == nil {
+		cfg.Schedule = DefaultSchedule()
+	}
+	if cfg.Lambda1 < 0 || cfg.Lambda2 < 0 {
+		panic("linear: negative regularization")
+	}
+	return &SparseLogReg{
+		loss:     cfg.Loss,
+		schedule: cfg.Schedule,
+		lambda1:  cfg.Lambda1,
+		lambda2:  cfg.Lambda2,
+		weights:  make(map[uint32]float64),
+		applied:  make(map[uint32]float64),
+		scale:    1,
+	}
+}
+
+// settle applies feature i's outstanding ℓ1 penalty, clipping at zero (the
+// weight may not cross the origin due to a penalty). Weights driven to
+// exactly zero are deleted — this is where the sparsity comes from.
+func (s *SparseLogReg) settle(i uint32) {
+	w, ok := s.weights[i]
+	if !ok {
+		// An absent feature is at zero; mark it as fully settled so a
+		// future gradient re-entry doesn't inherit stale debt.
+		s.applied[i] = s.u
+		return
+	}
+	due := s.u - s.applied[i]
+	if due <= 0 {
+		return
+	}
+	// Work in true weight units (the stored value is unscaled).
+	trueW := w * s.scale
+	switch {
+	case trueW > 0:
+		trueW = math.Max(0, trueW-due)
+	case trueW < 0:
+		trueW = math.Min(0, trueW+due)
+	}
+	s.applied[i] = s.u
+	if trueW == 0 {
+		delete(s.weights, i)
+		delete(s.applied, i)
+		return
+	}
+	s.weights[i] = trueW / s.scale
+}
+
+// Predict returns the margin wᵀx after settling touched features.
+func (s *SparseLogReg) Predict(x stream.Vector) float64 {
+	dot := 0.0
+	for _, f := range x {
+		s.settle(f.Index)
+		dot += s.weights[f.Index] * f.Value
+	}
+	return dot * s.scale
+}
+
+// Update performs one elastic-net OGD step.
+func (s *SparseLogReg) Update(x stream.Vector, y int) {
+	s.t++
+	eta := s.schedule.Rate(s.t)
+	margin := float64(y) * s.Predict(x)
+	g := s.loss.Deriv(margin)
+
+	if s.lambda2 > 0 {
+		s.scale *= 1 - eta*s.lambda2
+		if s.scale < minScale {
+			for i, w := range s.weights {
+				s.weights[i] = w * s.scale
+			}
+			s.scale = 1
+		}
+	}
+	if g != 0 {
+		step := eta * float64(y) * g
+		for _, f := range x {
+			s.weights[f.Index] -= step * f.Value / s.scale
+			if _, ok := s.applied[f.Index]; !ok {
+				s.applied[f.Index] = s.u
+			}
+		}
+	}
+	// Accrue this step's l1 penalty for everyone; it is settled lazily.
+	s.u += eta * s.lambda1
+}
+
+// Estimate returns the settled weight of feature i.
+func (s *SparseLogReg) Estimate(i uint32) float64 {
+	s.settle(i)
+	return s.weights[i] * s.scale
+}
+
+// NNZ returns the number of currently-nonzero weights after settling all
+// outstanding penalties (an O(d_live) operation).
+func (s *SparseLogReg) NNZ() int {
+	for i := range s.weights {
+		s.settle(i)
+	}
+	return len(s.weights)
+}
+
+// TopK returns the k heaviest settled weights.
+func (s *SparseLogReg) TopK(k int) []stream.Weighted {
+	for i := range s.weights {
+		s.settle(i)
+	}
+	out := make([]stream.Weighted, 0, len(s.weights))
+	for i, w := range s.weights {
+		out = append(out, stream.Weighted{Index: i, Weight: w * s.scale})
+	}
+	stream.SortWeighted(out)
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+// MemoryBytes charges id + weight + penalty ledger per live feature.
+func (s *SparseLogReg) MemoryBytes() int { return 12 * len(s.weights) }
+
+var _ stream.Learner = (*SparseLogReg)(nil)

@@ -1,0 +1,117 @@
+package linear
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"wmsketch/internal/stream"
+)
+
+func TestSparseLogRegInducesSparsity(t *testing.T) {
+	// Noise features should be driven to exactly zero by the l1 penalty
+	// while signal features survive.
+	mk := func(l1 float64) *SparseLogReg {
+		return NewSparseLogReg(SparseLogRegConfig{
+			Lambda1: l1, Lambda2: 1e-6, Schedule: Constant{Eta0: 0.1},
+		})
+	}
+	plain := mk(0)
+	sparse := mk(0.02)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		// Feature 0 is the signal; features 1..200 are noise.
+		y := 2*rng.Intn(2) - 1
+		x := stream.Vector{
+			{Index: 0, Value: float64(y)},
+			{Index: uint32(1 + rng.Intn(200)), Value: rng.NormFloat64() * 0.3},
+		}
+		plain.Update(x, y)
+		sparse.Update(x, y)
+	}
+	if sp, pl := sparse.NNZ(), plain.NNZ(); sp >= pl/2 {
+		t.Fatalf("l1 model has %d nonzeros vs %d without — no sparsification", sp, pl)
+	}
+	if got := sparse.Estimate(0); got <= 0.5 {
+		t.Fatalf("signal weight %g too small under l1", got)
+	}
+}
+
+func TestSparseLogRegZeroL1MatchesLogReg(t *testing.T) {
+	a := NewSparseLogReg(SparseLogRegConfig{Lambda2: 1e-4, Schedule: Constant{Eta0: 0.1}})
+	b := NewLogReg(LogRegConfig{Lambda: 1e-4, Schedule: Constant{Eta0: 0.1}})
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 2000; i++ {
+		y := 2*rng.Intn(2) - 1
+		x := stream.Vector{
+			{Index: uint32(rng.Intn(20)), Value: rng.NormFloat64()},
+			{Index: uint32(rng.Intn(20)), Value: rng.NormFloat64()},
+		}
+		a.Update(x, y)
+		b.Update(x, y)
+	}
+	for i := uint32(0); i < 20; i++ {
+		if math.Abs(a.Estimate(i)-b.Estimate(i)) > 1e-9 {
+			t.Fatalf("feature %d: %g vs %g", i, a.Estimate(i), b.Estimate(i))
+		}
+	}
+}
+
+func TestSparseLogRegPenaltyDoesNotCrossZero(t *testing.T) {
+	// One positive update then heavy accumulated penalty: the weight must
+	// clip at zero, not go negative.
+	s := NewSparseLogReg(SparseLogRegConfig{Lambda1: 1.0, Schedule: Constant{Eta0: 1.0}})
+	s.Update(stream.OneHot(1), 1) // w1 = 0.5
+	// Penalty accrues on updates that don't touch feature 1.
+	for i := 0; i < 10; i++ {
+		s.Update(stream.OneHot(2), -1)
+	}
+	if got := s.Estimate(1); got != 0 {
+		t.Fatalf("weight %g, want exactly 0 (clipped)", got)
+	}
+}
+
+func TestSparseLogRegSettledLazily(t *testing.T) {
+	// A feature untouched for many steps absorbs exactly the accumulated
+	// penalty when next read, matching an eager implementation.
+	lazy := NewSparseLogReg(SparseLogRegConfig{Lambda1: 0.01, Schedule: Constant{Eta0: 0.1}})
+	lazy.Update(stream.OneHot(1), 1)
+	w0 := lazy.Estimate(1)
+	const steps = 30 // few enough that the weight does not clip at zero
+	for i := 0; i < steps; i++ {
+		lazy.Update(stream.OneHot(2), 1)
+	}
+	// Eager expectation: w0 minus steps × η·λ1 (all settled at once).
+	want := w0 - steps*0.1*0.01
+	if got := lazy.Estimate(1); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("lazy settle %g, eager expectation %g", got, want)
+	}
+}
+
+func TestSparseLogRegTopKSettled(t *testing.T) {
+	s := NewSparseLogReg(SparseLogRegConfig{Lambda1: 0.05, Schedule: Constant{Eta0: 0.5}})
+	s.Update(stream.OneHot(1), 1)
+	s.Update(stream.OneHot(2), 1)
+	for i := 0; i < 40; i++ {
+		s.Update(stream.OneHot(3), 1)
+	}
+	top := s.TopK(10)
+	for _, w := range top {
+		if w.Weight == 0 {
+			t.Fatalf("TopK returned a zero weight: %+v", w)
+		}
+	}
+	// Feature 3 (constantly refreshed) must be the heaviest survivor.
+	if len(top) == 0 || top[0].Index != 3 {
+		t.Fatalf("TopK = %+v, want feature 3 first", top)
+	}
+}
+
+func TestSparseLogRegValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative lambda")
+		}
+	}()
+	NewSparseLogReg(SparseLogRegConfig{Lambda1: -1})
+}

@@ -1,0 +1,153 @@
+// Package memory implements the Section 7.1 memory cost model: every
+// feature identifier, feature weight and auxiliary value (Space Saving
+// count, reservoir key, frequency score) is charged 4 bytes. Given a byte
+// budget it derives the capacity of each baseline and enumerates the sketch
+// configurations compatible with the budget, mirroring the paper's
+// per-budget configuration sweep.
+package memory
+
+// Cost-model unit sizes in bytes.
+const (
+	BytesPerID     = 4
+	BytesPerWeight = 4
+	BytesPerAux    = 4
+)
+
+// Standard budgets evaluated in the paper (Section 7.1).
+var StandardBudgets = []int{2 * 1024, 4 * 1024, 8 * 1024, 16 * 1024, 32 * 1024}
+
+// TruncationEntries returns the number of (id, weight) entries a simple
+// truncation instance can hold within budget bytes: budget / 8.
+func TruncationEntries(budget int) int {
+	return budget / (BytesPerID + BytesPerWeight)
+}
+
+// ProbTruncationEntries returns the entry count for probabilistic
+// truncation, which also stores a 4-byte reservoir key per entry.
+func ProbTruncationEntries(budget int) int {
+	return budget / (BytesPerID + BytesPerWeight + BytesPerAux)
+}
+
+// SpaceSavingEntries returns the counter count for the Space Saving
+// frequent-features baseline (id + count + weight per slot).
+func SpaceSavingEntries(budget int) int {
+	return budget / (BytesPerID + BytesPerWeight + BytesPerAux)
+}
+
+// HashBuckets returns the table size for feature hashing: the entire budget
+// goes to weights.
+func HashBuckets(budget int) int {
+	return budget / BytesPerWeight
+}
+
+// SketchConfig is one (heap, width, depth) configuration for a WM- or
+// AWM-Sketch.
+type SketchConfig struct {
+	Heap  int // heap capacity |S|
+	Width int // buckets per row (k/s)
+	Depth int // rows s
+}
+
+// Bytes returns the configuration's cost-model footprint.
+func (c SketchConfig) Bytes() int {
+	return c.Heap*(BytesPerID+BytesPerWeight) + c.Depth*c.Width*BytesPerWeight
+}
+
+// Fits reports whether the configuration fits within budget bytes.
+func (c SketchConfig) Fits(budget int) bool { return c.Bytes() <= budget }
+
+// EnumerateSketchConfigs lists the power-of-two (heap, width, depth)
+// configurations that fit within budget and use at least half of it,
+// matching the paper's configuration sweep. maxDepth caps the number of
+// rows considered (the paper explored depth up to ~32).
+func EnumerateSketchConfigs(budget, maxDepth int) []SketchConfig {
+	var out []SketchConfig
+	for heap := 16; heap*(BytesPerID+BytesPerWeight) <= budget; heap *= 2 {
+		remaining := budget - heap*(BytesPerID+BytesPerWeight)
+		totalBuckets := remaining / BytesPerWeight
+		if totalBuckets < 1 {
+			continue
+		}
+		for depth := 1; depth <= maxDepth; depth++ {
+			// Largest power-of-two width such that depth*width fits.
+			width := 1
+			for width*2*depth <= totalBuckets {
+				width *= 2
+			}
+			if width < 2 {
+				continue
+			}
+			cfg := SketchConfig{Heap: heap, Width: width, Depth: depth}
+			if cfg.Fits(budget) && cfg.Bytes()*2 >= budget {
+				out = append(out, cfg)
+			}
+		}
+	}
+	return out
+}
+
+// PaperAWMConfig returns the AWM-Sketch configuration the paper found
+// uniformly best (Section 7.3): half the budget to the active set, the
+// remainder to a depth-1 sketch. For a 2KB budget this yields |S|=128,
+// width=256, matching Table 2.
+func PaperAWMConfig(budget int) SketchConfig {
+	heap := roundPow2Down(budget / 2 / (BytesPerID + BytesPerWeight))
+	width := roundPow2Down((budget - heap*(BytesPerID+BytesPerWeight)) / BytesPerWeight)
+	return SketchConfig{Heap: heap, Width: width, Depth: 1}
+}
+
+// PaperWMConfig returns the WM-Sketch classification configuration from
+// Section 7.3: width 128 or 256 with depth scaling proportionally to the
+// budget and a 128-entry heap, matching Table 2's WM column.
+func PaperWMConfig(budget int) SketchConfig {
+	heap := 128
+	if budget <= 4*1024 {
+		heap = budget / 2 / (BytesPerID + BytesPerWeight)
+	}
+	remaining := budget - heap*(BytesPerID+BytesPerWeight)
+	width := 128
+	if budget >= 32*1024 {
+		width = 256
+	}
+	depth := remaining / (width * BytesPerWeight)
+	if depth < 1 {
+		depth = 1
+	}
+	return SketchConfig{Heap: heap, Width: width, Depth: depth}
+}
+
+// CMPairConfig sizes a pair of Count-Min sketches plus a top-K heap for the
+// deltoid baseline within budget: half the bucket budget per stream.
+type CMPairConfig struct {
+	Depth int
+	Width int
+	Heap  int
+}
+
+// PairedCMConfig splits budget across two CM sketches of the given depth
+// plus a heap of heapK (id + 2 aux counters per entry is approximated as
+// id + weight).
+func PairedCMConfig(budget, depth, heapK int) CMPairConfig {
+	heapBytes := heapK * (BytesPerID + BytesPerWeight)
+	remaining := budget - heapBytes
+	if remaining < 0 {
+		remaining = 0
+	}
+	perSketch := remaining / 2
+	width := roundPow2Down(perSketch / (depth * BytesPerWeight))
+	if width < 1 {
+		width = 1
+	}
+	return CMPairConfig{Depth: depth, Width: width, Heap: heapK}
+}
+
+func roundPow2Down(n int) int {
+	if n < 1 {
+		return 1
+	}
+	p := 1
+	for p*2 <= n {
+		p *= 2
+	}
+	return p
+}

@@ -1,0 +1,129 @@
+package memory
+
+import "testing"
+
+func TestBaselineCapacities(t *testing.T) {
+	// Section 7.1's example: a 128-entry truncation instance costs 1024 B.
+	if got := TruncationEntries(1024); got != 128 {
+		t.Errorf("TruncationEntries(1024) = %d, want 128", got)
+	}
+	if got := TruncationEntries(2048); got != 256 {
+		t.Errorf("TruncationEntries(2048) = %d, want 256", got)
+	}
+	if got := ProbTruncationEntries(12 * 100); got != 100 {
+		t.Errorf("ProbTruncationEntries = %d, want 100", got)
+	}
+	if got := SpaceSavingEntries(2048); got != 170 {
+		t.Errorf("SpaceSavingEntries(2048) = %d, want 170", got)
+	}
+	if got := HashBuckets(2048); got != 512 {
+		t.Errorf("HashBuckets(2048) = %d, want 512", got)
+	}
+}
+
+func TestPaperAWMConfigMatchesTable2(t *testing.T) {
+	// Table 2's AWM column: budget → (|S|, width, depth 1).
+	cases := []struct {
+		budget      int
+		heap, width int
+	}{
+		{2 * 1024, 128, 256},
+		{4 * 1024, 256, 512},
+		{8 * 1024, 512, 1024},
+		{16 * 1024, 1024, 2048},
+		{32 * 1024, 2048, 4096},
+	}
+	for _, c := range cases {
+		cfg := PaperAWMConfig(c.budget)
+		if cfg.Heap != c.heap || cfg.Width != c.width || cfg.Depth != 1 {
+			t.Errorf("PaperAWMConfig(%d) = %+v, want {%d %d 1}",
+				c.budget, cfg, c.heap, c.width)
+		}
+		if !cfg.Fits(c.budget) {
+			t.Errorf("PaperAWMConfig(%d) overflows: %d B", c.budget, cfg.Bytes())
+		}
+		if cfg.Bytes() != c.budget {
+			t.Errorf("PaperAWMConfig(%d) uses %d B, want exact fill", c.budget, cfg.Bytes())
+		}
+	}
+}
+
+func TestPaperWMConfigFitsAndUsesBudget(t *testing.T) {
+	for _, budget := range StandardBudgets {
+		cfg := PaperWMConfig(budget)
+		if !cfg.Fits(budget) {
+			t.Errorf("PaperWMConfig(%d) = %+v overflows (%d B)", budget, cfg, cfg.Bytes())
+		}
+		if cfg.Bytes()*2 < budget {
+			t.Errorf("PaperWMConfig(%d) = %+v wastes budget (%d B)", budget, cfg, cfg.Bytes())
+		}
+		if cfg.Depth < 1 {
+			t.Errorf("PaperWMConfig(%d): depth %d", budget, cfg.Depth)
+		}
+	}
+	// Larger budgets buy depth at fixed width (Section 7.3's finding).
+	small := PaperWMConfig(8 * 1024)
+	large := PaperWMConfig(16 * 1024)
+	if large.Depth <= small.Depth {
+		t.Errorf("depth should scale with budget: %+v vs %+v", small, large)
+	}
+}
+
+func TestEnumerateSketchConfigs(t *testing.T) {
+	configs := EnumerateSketchConfigs(8*1024, 16)
+	if len(configs) == 0 {
+		t.Fatal("no configurations enumerated")
+	}
+	seen := map[SketchConfig]bool{}
+	for _, c := range configs {
+		if !c.Fits(8 * 1024) {
+			t.Errorf("config %+v overflows 8KB: %d B", c, c.Bytes())
+		}
+		if c.Bytes()*2 < 8*1024 {
+			t.Errorf("config %+v uses less than half the budget", c)
+		}
+		if seen[c] {
+			t.Errorf("duplicate config %+v", c)
+		}
+		seen[c] = true
+	}
+	// The paper's best 8KB AWM config (512, 1024, 1) must be in the sweep.
+	want := SketchConfig{Heap: 512, Width: 1024, Depth: 1}
+	if !seen[want] {
+		t.Errorf("sweep missing the paper's best 8KB config %+v", want)
+	}
+}
+
+func TestSketchConfigBytes(t *testing.T) {
+	c := SketchConfig{Heap: 128, Width: 128, Depth: 2}
+	// 128·8 + 2·128·4 = 1024 + 1024 = 2048: the paper's 2KB WM config.
+	if got := c.Bytes(); got != 2048 {
+		t.Errorf("Bytes = %d, want 2048", got)
+	}
+	if !c.Fits(2048) || c.Fits(2047) {
+		t.Error("Fits boundary incorrect")
+	}
+}
+
+func TestPairedCMConfig(t *testing.T) {
+	cfg := PairedCMConfig(32*1024, 4, 2048)
+	// heap: 2048·8 = 16KB; remaining 16KB over two sketches = 8KB each;
+	// width = 8192/(4·4) = 512.
+	if cfg.Width != 512 || cfg.Depth != 4 || cfg.Heap != 2048 {
+		t.Errorf("PairedCMConfig = %+v", cfg)
+	}
+	// Degenerate: heap swallows the budget.
+	tiny := PairedCMConfig(1024, 4, 2048)
+	if tiny.Width < 1 {
+		t.Errorf("width must stay positive: %+v", tiny)
+	}
+}
+
+func TestRoundPow2Down(t *testing.T) {
+	cases := map[int]int{0: 1, 1: 1, 2: 2, 3: 2, 4: 4, 1000: 512, 1024: 1024}
+	for in, want := range cases {
+		if got := roundPow2Down(in); got != want {
+			t.Errorf("roundPow2Down(%d) = %d, want %d", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package metrics
+
+import "math"
+
+// PMITracker accumulates exact unigram and bigram counts so that sketched
+// PMI estimates (Section 8.3) can be validated against ground truth:
+//
+//	PMI(u,v) = log p(u,v) / (p(u)·p(v)).
+type PMITracker struct {
+	unigrams      map[uint32]int64
+	bigrams       map[uint64]int64
+	totalUnigrams int64
+	totalBigrams  int64
+}
+
+// NewPMITracker returns an empty tracker.
+func NewPMITracker() *PMITracker {
+	return &PMITracker{
+		unigrams: make(map[uint32]int64),
+		bigrams:  make(map[uint64]int64),
+	}
+}
+
+func pairKey(u, v uint32) uint64 { return uint64(u)<<32 | uint64(v) }
+
+// ObserveUnigram records one occurrence of token u.
+func (p *PMITracker) ObserveUnigram(u uint32) {
+	p.unigrams[u]++
+	p.totalUnigrams++
+}
+
+// ObserveBigram records one co-occurrence of the ordered pair (u, v).
+func (p *PMITracker) ObserveBigram(u, v uint32) {
+	p.bigrams[pairKey(u, v)]++
+	p.totalBigrams++
+}
+
+// UnigramCount returns the exact count of token u.
+func (p *PMITracker) UnigramCount(u uint32) int64 { return p.unigrams[u] }
+
+// BigramCount returns the exact count of pair (u, v).
+func (p *PMITracker) BigramCount(u, v uint32) int64 { return p.bigrams[pairKey(u, v)] }
+
+// BigramFrequency returns the empirical probability of pair (u, v).
+func (p *PMITracker) BigramFrequency(u, v uint32) float64 {
+	if p.totalBigrams == 0 {
+		return 0
+	}
+	return float64(p.bigrams[pairKey(u, v)]) / float64(p.totalBigrams)
+}
+
+// PMI returns the exact pointwise mutual information of (u, v) from the
+// accumulated counts, or NaN when any required count is zero.
+func (p *PMITracker) PMI(u, v uint32) float64 {
+	cuv := p.bigrams[pairKey(u, v)]
+	cu, cv := p.unigrams[u], p.unigrams[v]
+	if cuv == 0 || cu == 0 || cv == 0 || p.totalBigrams == 0 || p.totalUnigrams == 0 {
+		return math.NaN()
+	}
+	puv := float64(cuv) / float64(p.totalBigrams)
+	pu := float64(cu) / float64(p.totalUnigrams)
+	pv := float64(cv) / float64(p.totalUnigrams)
+	return math.Log(puv / (pu * pv))
+}
+
+// DistinctBigrams returns the number of distinct pairs observed.
+func (p *PMITracker) DistinctBigrams() int { return len(p.bigrams) }
+
+// DistinctUnigrams returns the number of distinct tokens observed.
+func (p *PMITracker) DistinctUnigrams() int { return len(p.unigrams) }

@@ -1,0 +1,95 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPMIIndependentPairsNearZero(t *testing.T) {
+	p := NewPMITracker()
+	// Two tokens each appearing half the time, pairs in exact proportion to
+	// the product distribution → PMI = 0.
+	for i := 0; i < 100; i++ {
+		p.ObserveUnigram(1)
+		p.ObserveUnigram(2)
+	}
+	// p(1)=p(2)=0.5; independent bigrams: (1,1) 25, (1,2) 25, (2,1) 25, (2,2) 25.
+	for i := 0; i < 25; i++ {
+		p.ObserveBigram(1, 1)
+		p.ObserveBigram(1, 2)
+		p.ObserveBigram(2, 1)
+		p.ObserveBigram(2, 2)
+	}
+	for _, pair := range [][2]uint32{{1, 1}, {1, 2}, {2, 1}, {2, 2}} {
+		if got := p.PMI(pair[0], pair[1]); math.Abs(got) > 1e-12 {
+			t.Fatalf("PMI(%d,%d) = %g, want 0", pair[0], pair[1], got)
+		}
+	}
+}
+
+func TestPMICorrelatedPairsPositive(t *testing.T) {
+	p := NewPMITracker()
+	// Tokens 1 and 2 rare but always together: strongly positive PMI.
+	for i := 0; i < 5; i++ {
+		p.ObserveUnigram(1)
+		p.ObserveUnigram(2)
+	}
+	for i := 0; i < 90; i++ {
+		p.ObserveUnigram(3)
+	}
+	for i := 0; i < 5; i++ {
+		p.ObserveBigram(1, 2)
+	}
+	for i := 0; i < 95; i++ {
+		p.ObserveBigram(3, 3)
+	}
+	pmi := p.PMI(1, 2)
+	// p(1,2)=0.05, p(1)=p(2)=0.05 → PMI = log(0.05/0.0025) = log 20.
+	if math.Abs(pmi-math.Log(20)) > 1e-12 {
+		t.Fatalf("PMI = %g, want log 20 = %g", pmi, math.Log(20))
+	}
+}
+
+func TestPMINegativeForAvoidantPairs(t *testing.T) {
+	p := NewPMITracker()
+	for i := 0; i < 50; i++ {
+		p.ObserveUnigram(1)
+		p.ObserveUnigram(2)
+	}
+	// They co-occur far less than independence predicts.
+	p.ObserveBigram(1, 2)
+	for i := 0; i < 99; i++ {
+		p.ObserveBigram(1, 1)
+	}
+	if got := p.PMI(1, 2); got >= 0 {
+		t.Fatalf("avoidant pair PMI = %g, want negative", got)
+	}
+}
+
+func TestPMIUnobservedNaN(t *testing.T) {
+	p := NewPMITracker()
+	p.ObserveUnigram(1)
+	if got := p.PMI(1, 2); !math.IsNaN(got) {
+		t.Fatalf("PMI with missing counts = %g, want NaN", got)
+	}
+}
+
+func TestPMITrackerCounts(t *testing.T) {
+	p := NewPMITracker()
+	p.ObserveUnigram(7)
+	p.ObserveUnigram(7)
+	p.ObserveBigram(7, 8)
+	if p.UnigramCount(7) != 2 || p.BigramCount(7, 8) != 1 {
+		t.Fatal("counts wrong")
+	}
+	if p.DistinctUnigrams() != 1 || p.DistinctBigrams() != 1 {
+		t.Fatal("distinct counts wrong")
+	}
+	if got := p.BigramFrequency(7, 8); got != 1 {
+		t.Fatalf("BigramFrequency = %g", got)
+	}
+	// Order sensitivity.
+	if p.BigramCount(8, 7) != 0 {
+		t.Fatal("bigram counts must be order-sensitive")
+	}
+}

@@ -1,0 +1,209 @@
+// Package metrics implements the evaluation measures used throughout the
+// paper: the relative ℓ2 recovery error of Section 7.2, recall of
+// threshold-exceeding items (Section 8.2), Pearson correlation (Figure 9),
+// exact relative-risk computation (Section 8.1), exact PMI from counts
+// (Section 8.3) and online classification error tracking (Section 7.3).
+package metrics
+
+import (
+	"math"
+
+	"wmsketch/internal/stream"
+)
+
+// RelErr computes the paper's relative ℓ2 error metric for top-K recovery:
+//
+//	RelErr(wK, w*) = ‖wK − w*‖₂ / ‖wK* − w*‖₂
+//
+// where wK is the K-sparse vector of the method's estimated top-K weights,
+// w* is the reference (uncompressed) weight vector, and wK* is the K-sparse
+// vector of the true top-K entries of w*. The metric is bounded below by 1;
+// 1 means the method's top-K exactly matches the true top-K in both
+// identity and value.
+//
+// estimated holds the method's top-K (index, estimated weight) pairs; truth
+// holds the full reference weight vector.
+func RelErr(estimated []stream.Weighted, truth map[uint32]float64) float64 {
+	// Deduplicate on index first: K is the number of distinct estimated
+	// coordinates, and only the first estimate per coordinate counts.
+	distinct := make([]stream.Weighted, 0, len(estimated))
+	dedup := make(map[uint32]bool, len(estimated))
+	for _, e := range estimated {
+		if dedup[e.Index] {
+			continue
+		}
+		dedup[e.Index] = true
+		distinct = append(distinct, e)
+	}
+	estimated = distinct
+	k := len(estimated)
+	if k == 0 {
+		return math.Inf(1)
+	}
+	// ‖w*‖² and the true top-K by magnitude.
+	norm2 := 0.0
+	mags := make([]float64, 0, len(truth))
+	for _, w := range truth {
+		norm2 += w * w
+		mags = append(mags, w*w)
+	}
+	// Denominator: ‖wK* − w*‖² = ‖w*‖² − Σ_{top-K} w*².
+	topSum := sumLargest(mags, k)
+	den2 := norm2 - topSum
+	// Numerator: ‖wK − w*‖² = Σ_{i∈est}[(wKᵢ − w*ᵢ)² − w*ᵢ²] + ‖w*‖².
+	num2 := norm2
+	for _, e := range estimated {
+		wt := truth[e.Index]
+		d := e.Weight - wt
+		num2 += d*d - wt*wt
+	}
+	if num2 < 0 {
+		num2 = 0 // guard tiny negative rounding
+	}
+	if den2 <= 0 {
+		// Fewer than K nonzero true weights: perfect recovery denominator is
+		// zero. Report the ratio against a tiny epsilon to stay finite when
+		// the numerator is also ~0.
+		if num2 < 1e-18 {
+			return 1
+		}
+		return math.Inf(1)
+	}
+	return math.Sqrt(num2 / den2)
+}
+
+// sumLargest returns the sum of the k largest values in xs (xs holds
+// squared magnitudes, all non-negative). xs is reordered.
+func sumLargest(xs []float64, k int) float64 {
+	if k >= len(xs) {
+		total := 0.0
+		for _, v := range xs {
+			total += v
+		}
+		return total
+	}
+	// Quickselect partition to find the k largest.
+	lo, hi := 0, len(xs)-1
+	for lo < hi {
+		p := partitionDesc(xs, lo, hi)
+		switch {
+		case p == k-1:
+			lo = hi // done
+		case p < k-1:
+			lo = p + 1
+		default:
+			hi = p - 1
+		}
+	}
+	total := 0.0
+	for i := 0; i < k; i++ {
+		total += xs[i]
+	}
+	return total
+}
+
+// partitionDesc partitions xs[lo..hi] descending around a pivot and returns
+// the pivot's final index.
+func partitionDesc(xs []float64, lo, hi int) int {
+	mid := lo + (hi-lo)/2
+	// Median-of-three pivot for adversarial orders.
+	if xs[mid] > xs[lo] {
+		xs[mid], xs[lo] = xs[lo], xs[mid]
+	}
+	if xs[hi] > xs[lo] {
+		xs[hi], xs[lo] = xs[lo], xs[hi]
+	}
+	if xs[hi] > xs[mid] {
+		xs[hi], xs[mid] = xs[mid], xs[hi]
+	}
+	pivot := xs[mid]
+	xs[mid], xs[hi] = xs[hi], xs[mid]
+	store := lo
+	for i := lo; i < hi; i++ {
+		if xs[i] > pivot {
+			xs[i], xs[store] = xs[store], xs[i]
+			store++
+		}
+	}
+	xs[store], xs[hi] = xs[hi], xs[store]
+	return store
+}
+
+// Recall returns |retrieved ∩ relevant| / |relevant|; 1 when relevant is
+// empty (vacuous truth).
+func Recall(retrieved []uint32, relevant map[uint32]bool) float64 {
+	if len(relevant) == 0 {
+		return 1
+	}
+	hit := 0
+	seen := make(map[uint32]bool, len(retrieved))
+	for _, r := range retrieved {
+		if seen[r] {
+			continue
+		}
+		seen[r] = true
+		if relevant[r] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(relevant))
+}
+
+// Pearson returns the sample Pearson correlation coefficient of (xs, ys).
+// It panics on length mismatch and returns 0 for degenerate inputs.
+func Pearson(xs, ys []float64) float64 {
+	if len(xs) != len(ys) {
+		panic("metrics: Pearson length mismatch")
+	}
+	n := float64(len(xs))
+	if n < 2 {
+		return 0
+	}
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/n, sy/n
+	var cov, vx, vy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		cov += dx * dy
+		vx += dx * dx
+		vy += dy * dy
+	}
+	if vx == 0 || vy == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(vx*vy)
+}
+
+// ErrorRate tracks the online classification error of Section 7.3: for each
+// example, record whether the prediction made before the update was wrong.
+type ErrorRate struct {
+	mistakes int64
+	total    int64
+}
+
+// Record notes one prediction outcome given the margin and true label.
+// Zero margins count as mistakes (no confident prediction).
+func (e *ErrorRate) Record(margin float64, y int) {
+	e.total++
+	if margin*float64(y) <= 0 {
+		e.mistakes++
+	}
+}
+
+// Rate returns mistakes/total, 0 before any example.
+func (e *ErrorRate) Rate() float64 {
+	if e.total == 0 {
+		return 0
+	}
+	return float64(e.mistakes) / float64(e.total)
+}
+
+// Count returns the number of recorded examples.
+func (e *ErrorRate) Count() int64 { return e.total }
+
+// Mistakes returns the cumulative number of errors.
+func (e *ErrorRate) Mistakes() int64 { return e.mistakes }

@@ -1,0 +1,246 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"wmsketch/internal/stream"
+)
+
+func TestRelErrPerfectRecoveryIsOne(t *testing.T) {
+	truth := map[uint32]float64{1: 5, 2: -4, 3: 3, 4: -2, 5: 1}
+	est := []stream.Weighted{{Index: 1, Weight: 5}, {Index: 2, Weight: -4}, {Index: 3, Weight: 3}}
+	if got := RelErr(est, truth); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("RelErr = %g, want 1 for exact top-3", got)
+	}
+}
+
+func TestRelErrBoundedBelowByOne(t *testing.T) {
+	// Any estimate is at least as far from w* as the true top-K.
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		truth := map[uint32]float64{}
+		for i := uint32(0); i < 50; i++ {
+			truth[i] = rng.NormFloat64() * 10
+		}
+		k := 1 + rng.Intn(20)
+		est := make([]stream.Weighted, k)
+		for i := range est {
+			est[i] = stream.Weighted{Index: uint32(rng.Intn(60)), Weight: rng.NormFloat64() * 10}
+		}
+		// Dedup indices (RelErr ignores duplicates, but keep the test clean).
+		if got := RelErr(est, truth); got < 1-1e-9 {
+			t.Fatalf("trial %d: RelErr = %g < 1", trial, got)
+		}
+	}
+}
+
+func TestRelErrMatchesDirectComputation(t *testing.T) {
+	// Cross-check the incremental formula against a dense reference.
+	rng := rand.New(rand.NewSource(2))
+	const d = 100
+	truth := map[uint32]float64{}
+	for i := uint32(0); i < d; i++ {
+		truth[i] = rng.NormFloat64()
+	}
+	const k = 10
+	est := make([]stream.Weighted, k)
+	for i := range est {
+		est[i] = stream.Weighted{Index: uint32(i * 7 % d), Weight: rng.NormFloat64()}
+	}
+	// Dense numerator: build wK and subtract.
+	wk := map[uint32]float64{}
+	for _, e := range est {
+		wk[e.Index] = e.Weight
+	}
+	num := 0.0
+	for i := uint32(0); i < d; i++ {
+		dv := wk[i] - truth[i]
+		num += dv * dv
+	}
+	// Dense denominator: true top-k.
+	type kv struct {
+		i uint32
+		w float64
+	}
+	all := make([]kv, 0, d)
+	for i, w := range truth {
+		all = append(all, kv{i, w})
+	}
+	sort.Slice(all, func(a, b int) bool {
+		return math.Abs(all[a].w) > math.Abs(all[b].w)
+	})
+	den := 0.0
+	topSet := map[uint32]bool{}
+	for _, e := range all[:k] {
+		topSet[e.i] = true
+	}
+	for i, w := range truth {
+		if !topSet[i] {
+			den += w * w
+		}
+	}
+	want := math.Sqrt(num / den)
+	got := RelErr(est, truth)
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("RelErr = %g, dense reference %g", got, want)
+	}
+	// Duplicate indices in the estimate must not change the result (the
+	// second occurrence is ignored).
+	dup := append(append([]stream.Weighted{}, est...), est[0])
+	if got2 := RelErr(dup, truth); math.Abs(got2-got) > 1e-9 {
+		t.Fatalf("duplicate handling changed RelErr: %g vs %g", got2, got)
+	}
+}
+
+func TestRelErrWorseEstimatesScoreHigher(t *testing.T) {
+	truth := map[uint32]float64{1: 10, 2: 8, 3: 6, 4: 1, 5: 0.5}
+	good := []stream.Weighted{{Index: 1, Weight: 10}, {Index: 2, Weight: 8}}
+	offValue := []stream.Weighted{{Index: 1, Weight: 7}, {Index: 2, Weight: 8}}
+	wrongID := []stream.Weighted{{Index: 4, Weight: 10}, {Index: 5, Weight: 8}}
+	g, o, w := RelErr(good, truth), RelErr(offValue, truth), RelErr(wrongID, truth)
+	if !(g <= o && o < w) {
+		t.Fatalf("ordering violated: good=%g offValue=%g wrongID=%g", g, o, w)
+	}
+}
+
+func TestRelErrEdgeCases(t *testing.T) {
+	if got := RelErr(nil, map[uint32]float64{1: 1}); !math.IsInf(got, 1) {
+		t.Fatalf("empty estimate: %g, want +Inf", got)
+	}
+	// K ≥ number of nonzero weights with perfect estimates → 1.
+	truth := map[uint32]float64{1: 2, 2: 3}
+	est := []stream.Weighted{{Index: 1, Weight: 2}, {Index: 2, Weight: 3}, {Index: 9, Weight: 0}}
+	if got := RelErr(est, truth); got != 1 {
+		t.Fatalf("over-complete exact recovery: %g, want 1", got)
+	}
+	// K ≥ nonzero truth with an error → +Inf (denominator zero).
+	bad := []stream.Weighted{{Index: 1, Weight: 5}, {Index: 2, Weight: 3}, {Index: 9, Weight: 0}}
+	if got := RelErr(bad, truth); !math.IsInf(got, 1) {
+		t.Fatalf("imperfect over-complete recovery: %g, want +Inf", got)
+	}
+}
+
+func TestSumLargest(t *testing.T) {
+	xs := []float64{4, 1, 9, 16, 25}
+	if got := sumLargest(append([]float64{}, xs...), 2); got != 41 {
+		t.Fatalf("sumLargest(2) = %g, want 41", got)
+	}
+	if got := sumLargest(append([]float64{}, xs...), 5); got != 55 {
+		t.Fatalf("sumLargest(all) = %g, want 55", got)
+	}
+	if got := sumLargest(append([]float64{}, xs...), 50); got != 55 {
+		t.Fatalf("sumLargest(k>n) = %g, want 55", got)
+	}
+}
+
+func TestSumLargestQuick(t *testing.T) {
+	f := func(raw []float64, k8 uint8) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			// Skip values whose sums could overflow — both the quickselect
+			// and the reference would produce ±Inf and compare as NaN.
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e300 {
+				continue
+			}
+			xs = append(xs, math.Abs(v))
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		k := int(k8)%len(xs) + 1
+		got := sumLargest(append([]float64{}, xs...), k)
+		sort.Sort(sort.Reverse(sort.Float64Slice(xs)))
+		want := 0.0
+		for i := 0; i < k; i++ {
+			want += xs[i]
+		}
+		return math.Abs(got-want) <= 1e-9*(1+math.Abs(want))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecall(t *testing.T) {
+	relevant := map[uint32]bool{1: true, 2: true, 3: true, 4: true}
+	if got := Recall([]uint32{1, 2, 99}, relevant); got != 0.5 {
+		t.Fatalf("Recall = %g, want 0.5", got)
+	}
+	if got := Recall([]uint32{1, 1, 1}, relevant); got != 0.25 {
+		t.Fatalf("duplicate retrieval Recall = %g, want 0.25", got)
+	}
+	if got := Recall(nil, relevant); got != 0 {
+		t.Fatalf("empty retrieval Recall = %g, want 0", got)
+	}
+	if got := Recall([]uint32{5}, map[uint32]bool{}); got != 1 {
+		t.Fatalf("vacuous Recall = %g, want 1", got)
+	}
+}
+
+func TestPearson(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	if got := Pearson(xs, ys); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("perfect positive: %g", got)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	if got := Pearson(xs, neg); math.Abs(got+1) > 1e-12 {
+		t.Fatalf("perfect negative: %g", got)
+	}
+	flat := []float64{3, 3, 3, 3, 3}
+	if got := Pearson(xs, flat); got != 0 {
+		t.Fatalf("degenerate: %g, want 0", got)
+	}
+	if got := Pearson(nil, nil); got != 0 {
+		t.Fatalf("empty: %g", got)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic on length mismatch")
+			}
+		}()
+		Pearson([]float64{1}, []float64{1, 2})
+	}()
+}
+
+func TestPearsonRangeQuick(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) < 4 {
+			return true
+		}
+		n := len(raw) / 2
+		xs, ys := raw[:n], raw[n:2*n]
+		for _, v := range raw[:2*n] {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e150 {
+				return true
+			}
+		}
+		r := Pearson(xs, ys)
+		return r >= -1-1e-9 && r <= 1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrorRate(t *testing.T) {
+	var e ErrorRate
+	if e.Rate() != 0 {
+		t.Fatal("empty rate should be 0")
+	}
+	e.Record(1.5, 1)   // correct
+	e.Record(-0.5, -1) // correct
+	e.Record(0.5, -1)  // wrong
+	e.Record(0, 1)     // zero margin counts as mistake
+	if e.Count() != 4 || e.Mistakes() != 2 {
+		t.Fatalf("count=%d mistakes=%d", e.Count(), e.Mistakes())
+	}
+	if got := e.Rate(); got != 0.5 {
+		t.Fatalf("Rate = %g, want 0.5", got)
+	}
+}

@@ -1,0 +1,95 @@
+package metrics
+
+import "math"
+
+// RiskTracker accumulates exact per-feature contingency counts over a
+// labeled stream of 1-sparse attribute observations (the Section 8.1
+// encoding: one feature vector per attribute of each row) and computes the
+// relative risk rₓ = p(y=1 | x=1) / p(y=1 | x=0).
+type RiskTracker struct {
+	pos      map[uint32]int64 // feature present, label +1
+	neg      map[uint32]int64 // feature present, label −1
+	totalPos int64
+	totalNeg int64
+}
+
+// NewRiskTracker returns an empty tracker.
+func NewRiskTracker() *RiskTracker {
+	return &RiskTracker{pos: make(map[uint32]int64), neg: make(map[uint32]int64)}
+}
+
+// Observe records one attribute occurrence with outlier label y ∈ {−1,+1}.
+func (r *RiskTracker) Observe(feature uint32, y int) {
+	if y > 0 {
+		r.pos[feature]++
+		r.totalPos++
+	} else {
+		r.neg[feature]++
+		r.totalNeg++
+	}
+}
+
+// Count returns (positive, negative) occurrence counts for feature.
+func (r *RiskTracker) Count(feature uint32) (pos, neg int64) {
+	return r.pos[feature], r.neg[feature]
+}
+
+// Total returns the total number of observations.
+func (r *RiskTracker) Total() int64 { return r.totalPos + r.totalNeg }
+
+// RelativeRisk returns rₓ for feature x. When the feature never occurs in
+// the negative-exposure group the risk is +Inf (conventional); features
+// never observed at all yield NaN.
+func (r *RiskTracker) RelativeRisk(feature uint32) float64 {
+	fp, fn := float64(r.pos[feature]), float64(r.neg[feature])
+	exposed := fp + fn
+	if exposed == 0 {
+		return math.NaN()
+	}
+	// p(y=1 | x=1)
+	pExposed := fp / exposed
+	// p(y=1 | x=0): positives and totals excluding this feature's rows.
+	unexposedPos := float64(r.totalPos) - fp
+	unexposed := float64(r.Total()) - exposed
+	if unexposed == 0 {
+		return math.NaN()
+	}
+	pUnexposed := unexposedPos / unexposed
+	if pUnexposed == 0 {
+		if pExposed == 0 {
+			return math.NaN()
+		}
+		return math.Inf(1)
+	}
+	return pExposed / pUnexposed
+}
+
+// LogOdds returns the empirical log-odds ratio for feature x with add-half
+// (Haldane–Anscombe) smoothing; logistic regression weights over 1-sparse
+// encodings converge to this quantity, which is what Figure 9 correlates
+// against relative risk.
+func (r *RiskTracker) LogOdds(feature uint32) float64 {
+	fp, fn := float64(r.pos[feature])+0.5, float64(r.neg[feature])+0.5
+	op := float64(r.totalPos) - float64(r.pos[feature]) + 0.5
+	on := float64(r.totalNeg) - float64(r.neg[feature]) + 0.5
+	return math.Log((fp / fn) / (op / on))
+}
+
+// Features returns every feature observed at least once.
+func (r *RiskTracker) Features() []uint32 {
+	seen := make(map[uint32]bool, len(r.pos)+len(r.neg))
+	out := make([]uint32, 0, len(r.pos)+len(r.neg))
+	for f := range r.pos {
+		if !seen[f] {
+			seen[f] = true
+			out = append(out, f)
+		}
+	}
+	for f := range r.neg {
+		if !seen[f] {
+			seen[f] = true
+			out = append(out, f)
+		}
+	}
+	return out
+}

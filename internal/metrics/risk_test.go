@@ -1,0 +1,121 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRelativeRiskBasic(t *testing.T) {
+	r := NewRiskTracker()
+	// Feature 1: 30 positive, 10 negative. Others: 10 positive, 50 negative.
+	for i := 0; i < 30; i++ {
+		r.Observe(1, 1)
+	}
+	for i := 0; i < 10; i++ {
+		r.Observe(1, -1)
+	}
+	for i := 0; i < 10; i++ {
+		r.Observe(2, 1)
+	}
+	for i := 0; i < 50; i++ {
+		r.Observe(2, -1)
+	}
+	// p(y=1|x1=1) = 30/40 = 0.75; p(y=1|x1=0) = 10/60 ≈ 0.1667.
+	want := 0.75 / (10.0 / 60.0)
+	if got := r.RelativeRisk(1); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("RelativeRisk(1) = %g, want %g", got, want)
+	}
+	// Feature 2 should have risk < 1 (anti-correlated with outliers).
+	if got := r.RelativeRisk(2); got >= 1 {
+		t.Fatalf("RelativeRisk(2) = %g, want < 1", got)
+	}
+}
+
+func TestRelativeRiskEdgeCases(t *testing.T) {
+	r := NewRiskTracker()
+	if got := r.RelativeRisk(9); !math.IsNaN(got) {
+		t.Fatalf("unobserved feature risk = %g, want NaN", got)
+	}
+	// Feature only ever appears with positives, and nothing else observed:
+	// unexposed group empty → NaN.
+	r.Observe(1, 1)
+	if got := r.RelativeRisk(1); !math.IsNaN(got) {
+		t.Fatalf("degenerate risk = %g, want NaN", got)
+	}
+	// Now another feature appears only with negatives: p(y=1|x1=0)=0 → +Inf.
+	r.Observe(2, -1)
+	if got := r.RelativeRisk(1); !math.IsInf(got, 1) {
+		t.Fatalf("risk = %g, want +Inf", got)
+	}
+}
+
+func TestRiskCountsAndFeatures(t *testing.T) {
+	r := NewRiskTracker()
+	r.Observe(5, 1)
+	r.Observe(5, 1)
+	r.Observe(5, -1)
+	r.Observe(7, -1)
+	pos, neg := r.Count(5)
+	if pos != 2 || neg != 1 {
+		t.Fatalf("Count(5) = %d,%d", pos, neg)
+	}
+	if r.Total() != 4 {
+		t.Fatalf("Total = %d", r.Total())
+	}
+	fs := r.Features()
+	if len(fs) != 2 {
+		t.Fatalf("Features = %v", fs)
+	}
+}
+
+func TestLogOddsOrdering(t *testing.T) {
+	r := NewRiskTracker()
+	// Feature 1 strongly positive, feature 2 strongly negative, feature 3
+	// balanced.
+	for i := 0; i < 100; i++ {
+		r.Observe(1, 1)
+		r.Observe(2, -1)
+		r.Observe(3, 1)
+		r.Observe(3, -1)
+	}
+	lo1, lo2, lo3 := r.LogOdds(1), r.LogOdds(2), r.LogOdds(3)
+	if !(lo1 > lo3 && lo3 > lo2) {
+		t.Fatalf("log-odds ordering violated: %g, %g, %g", lo1, lo3, lo2)
+	}
+	if math.Abs(lo3) > 0.2 {
+		t.Fatalf("balanced feature log-odds %g, want ≈0", lo3)
+	}
+	// Smoothing keeps everything finite.
+	if math.IsInf(lo1, 0) || math.IsInf(lo2, 0) {
+		t.Fatal("smoothed log-odds must be finite")
+	}
+}
+
+func TestLogOddsCorrelatesWithRisk(t *testing.T) {
+	// Over a spread of features with varying positive rates, log-odds and
+	// relative risk must be strongly positively correlated — the basis of
+	// Figure 9.
+	r := NewRiskTracker()
+	for f := uint32(0); f < 20; f++ {
+		posCount := int(f + 1)
+		negCount := 21 - int(f)
+		for i := 0; i < posCount*10; i++ {
+			r.Observe(f, 1)
+		}
+		for i := 0; i < negCount*10; i++ {
+			r.Observe(f, -1)
+		}
+	}
+	var lo, rr []float64
+	for f := uint32(0); f < 20; f++ {
+		risk := r.RelativeRisk(f)
+		if math.IsNaN(risk) || math.IsInf(risk, 0) {
+			continue
+		}
+		lo = append(lo, r.LogOdds(f))
+		rr = append(rr, risk)
+	}
+	if got := Pearson(lo, rr); got < 0.8 {
+		t.Fatalf("Pearson(logodds, risk) = %g, want > 0.8", got)
+	}
+}

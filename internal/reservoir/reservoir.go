@@ -1,0 +1,93 @@
+// Package reservoir implements reservoir sampling: the classic uniform
+// reservoir (Vitter's Algorithm R), used by the PMI application to sample
+// from the unigram distribution (Section 8.3), and exponential weighted
+// reservoir keys (Efraimidis–Spirakis A-ES), used by the Probabilistic
+// Truncation baseline (Algorithm 4) to retain features with probability
+// proportional to weight magnitude.
+package reservoir
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Uniform maintains a uniform random sample of fixed size over a stream.
+type Uniform struct {
+	capacity int
+	seen     int64
+	items    []uint32
+	rng      *rand.Rand
+}
+
+// NewUniform returns an empty reservoir of the given capacity and seed.
+func NewUniform(capacity int, seed int64) *Uniform {
+	if capacity <= 0 {
+		panic("reservoir: capacity must be positive")
+	}
+	return &Uniform{
+		capacity: capacity,
+		items:    make([]uint32, 0, capacity),
+		rng:      rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Observe offers item to the reservoir.
+func (r *Uniform) Observe(item uint32) {
+	r.seen++
+	if len(r.items) < r.capacity {
+		r.items = append(r.items, item)
+		return
+	}
+	// Replace a random slot with probability capacity/seen.
+	if j := r.rng.Int63n(r.seen); j < int64(r.capacity) {
+		r.items[j] = item
+	}
+}
+
+// Sample returns one uniformly random element of the reservoir.
+// ok is false when the reservoir is empty.
+func (r *Uniform) Sample() (uint32, bool) {
+	if len(r.items) == 0 {
+		return 0, false
+	}
+	return r.items[r.rng.Intn(len(r.items))], true
+}
+
+// Len returns the current number of stored items.
+func (r *Uniform) Len() int { return len(r.items) }
+
+// Seen returns the number of items offered so far.
+func (r *Uniform) Seen() int64 { return r.seen }
+
+// Items exposes the reservoir contents (a copy).
+func (r *Uniform) Items() []uint32 {
+	out := make([]uint32, len(r.items))
+	copy(out, r.items)
+	return out
+}
+
+// Key draws an Efraimidis–Spirakis reservoir key r^(1/w) for an item with
+// weight w, using the provided uniform variate u in (0,1). Items with larger
+// keys are retained; this yields inclusion probability proportional to
+// weight. Weight must be positive.
+func Key(u, w float64) float64 {
+	if w <= 0 {
+		return 0
+	}
+	return math.Pow(u, 1/w)
+}
+
+// Rekey adjusts an existing reservoir key when an item's weight changes from
+// oldW to newW without redrawing randomness, per Algorithm 4's update rule
+// W[i] ← W[i]^{|oldW/newW|}: the underlying uniform variate is preserved and
+// re-exponentiated, keeping inclusion probabilities proportional to the
+// current weights.
+func Rekey(key, oldW, newW float64) float64 {
+	if newW == 0 {
+		return 0
+	}
+	if oldW == 0 {
+		return key
+	}
+	return math.Pow(key, math.Abs(oldW/newW))
+}

@@ -1,0 +1,161 @@
+package reservoir
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestUniformFillsToCapacity(t *testing.T) {
+	r := NewUniform(10, 1)
+	for i := uint32(0); i < 5; i++ {
+		r.Observe(i)
+	}
+	if r.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", r.Len())
+	}
+	for i := uint32(5); i < 100; i++ {
+		r.Observe(i)
+	}
+	if r.Len() != 10 {
+		t.Fatalf("Len = %d, want 10 (capacity)", r.Len())
+	}
+	if r.Seen() != 100 {
+		t.Fatalf("Seen = %d, want 100", r.Seen())
+	}
+}
+
+func TestUniformInclusionProbability(t *testing.T) {
+	// Each of n items should be retained with probability capacity/n.
+	// Run many trials and check the inclusion rate of item 0.
+	const capacity = 8
+	const n = 64
+	const trials = 4000
+	hits := 0
+	for trial := 0; trial < trials; trial++ {
+		r := NewUniform(capacity, int64(trial))
+		for i := uint32(0); i < n; i++ {
+			r.Observe(i)
+		}
+		for _, it := range r.Items() {
+			if it == 0 {
+				hits++
+				break
+			}
+		}
+	}
+	want := float64(capacity) / n
+	got := float64(hits) / trials
+	// Binomial sd ≈ sqrt(p(1-p)/trials) ≈ 0.0052; allow 5 sigma.
+	if math.Abs(got-want) > 0.03 {
+		t.Fatalf("inclusion rate %.4f, want %.4f", got, want)
+	}
+}
+
+func TestUniformSampleFromContents(t *testing.T) {
+	r := NewUniform(4, 2)
+	if _, ok := r.Sample(); ok {
+		t.Fatal("Sample from empty reservoir should report !ok")
+	}
+	r.Observe(42)
+	for i := 0; i < 10; i++ {
+		v, ok := r.Sample()
+		if !ok || v != 42 {
+			t.Fatalf("Sample = %d,%v want 42,true", v, ok)
+		}
+	}
+}
+
+func TestUniformItemsIsCopy(t *testing.T) {
+	r := NewUniform(2, 3)
+	r.Observe(1)
+	items := r.Items()
+	items[0] = 999
+	if got := r.Items()[0]; got != 1 {
+		t.Fatalf("Items not a copy: internal state mutated to %d", got)
+	}
+}
+
+func TestUniformPanicsOnZeroCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewUniform(0, 1)
+}
+
+func TestKeyMonotoneInWeight(t *testing.T) {
+	// For a fixed uniform variate, larger weight → larger key, so heavier
+	// items survive preferentially.
+	f := func(u64 uint32) bool {
+		u := (float64(u64) + 1) / (math.MaxUint32 + 2.0) // in (0,1)
+		return Key(u, 2) >= Key(u, 1) && Key(u, 10) >= Key(u, 2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeyRange(t *testing.T) {
+	f := func(u64 uint32, w8 uint8) bool {
+		u := (float64(u64) + 1) / (math.MaxUint32 + 2.0)
+		w := float64(w8) + 0.5
+		k := Key(u, w)
+		return k > 0 && k <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if Key(0.5, 0) != 0 || Key(0.5, -1) != 0 {
+		t.Fatal("non-positive weights must key to 0")
+	}
+}
+
+func TestRekeyPreservesVariate(t *testing.T) {
+	// Rekey(Key(u,w1), w1, w2) must equal Key(u,w2): the uniform variate is
+	// carried through the exponent change.
+	us := []float64{0.1, 0.37, 0.5, 0.93}
+	ws := []float64{0.5, 1, 2, 7}
+	for _, u := range us {
+		for _, w1 := range ws {
+			for _, w2 := range ws {
+				got := Rekey(Key(u, w1), w1, w2)
+				want := Key(u, w2)
+				if math.Abs(got-want) > 1e-12 {
+					t.Fatalf("Rekey(Key(%g,%g),%g,%g) = %g, want %g", u, w1, w1, w2, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestRekeyZeroHandling(t *testing.T) {
+	if Rekey(0.7, 1, 0) != 0 {
+		t.Fatal("Rekey to zero weight must return 0")
+	}
+	if Rekey(0.7, 0, 1) != 0.7 {
+		t.Fatal("Rekey from zero weight must pass key through")
+	}
+}
+
+func TestWeightedSelectionBias(t *testing.T) {
+	// Simulate Algorithm 4's selection: keep the top-1 of two items by
+	// reservoir key, one with weight 4 and one with weight 1; the heavy item
+	// should win ~ 4/(4+1) = 80% of the time.
+	rng := rand.New(rand.NewSource(7))
+	const trials = 20000
+	heavyWins := 0
+	for i := 0; i < trials; i++ {
+		kHeavy := Key(rng.Float64(), 4)
+		kLight := Key(rng.Float64(), 1)
+		if kHeavy > kLight {
+			heavyWins++
+		}
+	}
+	rate := float64(heavyWins) / trials
+	if math.Abs(rate-0.8) > 0.02 {
+		t.Fatalf("heavy win rate %.3f, want ≈0.80", rate)
+	}
+}

@@ -1,0 +1,137 @@
+package sketch
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestCountMinNeverUnderestimates(t *testing.T) {
+	cm := NewCountMin(4, 64, 1)
+	truth := map[uint32]float64{}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 5000; i++ {
+		key := uint32(rng.Intn(500))
+		cm.Update(key, 1)
+		truth[key]++
+	}
+	for key, v := range truth {
+		if got := cm.Estimate(key); got < v-1e-9 {
+			t.Fatalf("key %d: estimate %g below true count %g", key, got, v)
+		}
+	}
+}
+
+func TestCountMinErrorBound(t *testing.T) {
+	// Estimate error ≤ (e/width)·total with probability 1-exp(-depth) per
+	// key; check no key wildly exceeds a loose multiple of total/width.
+	const width = 256
+	cm := NewCountMin(5, width, 3)
+	rng := rand.New(rand.NewSource(4))
+	truth := map[uint32]float64{}
+	total := 0.0
+	for i := 0; i < 20000; i++ {
+		key := uint32(rng.Intn(2000))
+		cm.Update(key, 1)
+		truth[key]++
+		total++
+	}
+	bound := 8 * total / width
+	for key, v := range truth {
+		if got := cm.Estimate(key); got-v > bound {
+			t.Fatalf("key %d: overestimate %g exceeds bound %g", key, got-v, bound)
+		}
+	}
+}
+
+func TestCountMinExactSingleKey(t *testing.T) {
+	cm := NewCountMin(3, 1024, 5)
+	for i := 0; i < 100; i++ {
+		cm.Update(42, 2.5)
+	}
+	if got := cm.Estimate(42); math.Abs(got-250) > 1e-9 {
+		t.Fatalf("estimate %g, want 250", got)
+	}
+	if got := cm.Total(); math.Abs(got-250) > 1e-9 {
+		t.Fatalf("total %g, want 250", got)
+	}
+}
+
+func TestCountMinUnseenKeySmall(t *testing.T) {
+	cm := NewCountMin(4, 1<<14, 6)
+	for i := 0; i < 100; i++ {
+		cm.Update(uint32(i), 1)
+	}
+	// An unseen key should estimate ~0 with a wide sketch.
+	if got := cm.Estimate(999999); got > 2 {
+		t.Fatalf("unseen key estimate %g too large", got)
+	}
+}
+
+func TestConservativeNeverWorseThanPlain(t *testing.T) {
+	plain := NewCountMin(3, 32, 7)
+	cons := NewConservativeCountMin(3, 32, 7)
+	rng := rand.New(rand.NewSource(8))
+	truth := map[uint32]float64{}
+	for i := 0; i < 5000; i++ {
+		key := uint32(rng.Intn(300))
+		plain.Update(key, 1)
+		cons.Update(key, 1)
+		truth[key]++
+	}
+	for key, v := range truth {
+		pe, ce := plain.Estimate(key), cons.Estimate(key)
+		if ce < v-1e-9 {
+			t.Fatalf("conservative underestimates key %d: %g < %g", key, ce, v)
+		}
+		if ce > pe+1e-9 {
+			t.Fatalf("conservative estimate %g exceeds plain %g for key %d", ce, pe, key)
+		}
+	}
+}
+
+func TestCountMinPanicsOnNegative(t *testing.T) {
+	cm := NewCountMin(2, 8, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative update")
+		}
+	}()
+	cm.Update(1, -1)
+}
+
+func TestCountMinPanicsOnBadShape(t *testing.T) {
+	for _, tc := range []struct{ depth, width int }{{0, 4}, {4, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("depth=%d width=%d: expected panic", tc.depth, tc.width)
+				}
+			}()
+			NewCountMin(tc.depth, tc.width, 1)
+		}()
+	}
+}
+
+func TestCountMinReset(t *testing.T) {
+	cm := NewCountMin(2, 16, 9)
+	cm.Update(5, 10)
+	cm.Reset()
+	if cm.Estimate(5) != 0 || cm.Total() != 0 {
+		t.Fatal("Reset did not clear sketch")
+	}
+}
+
+func TestCountMinMemoryBytes(t *testing.T) {
+	cm := NewCountMin(4, 256, 1)
+	if got := cm.MemoryBytes(); got != 4096 {
+		t.Fatalf("MemoryBytes = %d, want 4096", got)
+	}
+}
+
+func BenchmarkCountMinUpdate(b *testing.B) {
+	cm := NewCountMin(4, 4096, 1)
+	for i := 0; i < b.N; i++ {
+		cm.Update(uint32(i), 1)
+	}
+}

@@ -1,0 +1,168 @@
+// Package sketch implements the linear-projection sketches the paper builds
+// on: the Count-Sketch of Charikar, Chen and Farach-Colton (the backing data
+// structure of the Weight-Median Sketch) and the Count-Min Sketch of Cormode
+// and Muthukrishnan (used by the paired-sketch deltoid baseline in Section
+// 8.2 and the Count-Min Frequent Features baseline in Section 7).
+package sketch
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"wmsketch/internal/hashing"
+)
+
+// CountSketch is a depth × width array of float64 buckets with per-row
+// bucket and sign hashes. Each key i hashes to one bucket per row,
+// multiplied by a random ±1 sign; the point estimate for i is the median of
+// its signed bucket values (Section 3.1, Lemma 1).
+//
+// The value type is float64 rather than an integer counter because the
+// WM-Sketch applies real-valued gradient updates to the same structure.
+type CountSketch struct {
+	depth  int
+	width  int
+	seed   int64
+	rows   [][]float64
+	hashes *hashing.Family
+	// scratch buffer reused by Estimate to avoid per-query allocation.
+	scratch []float64
+}
+
+// NewCountSketch returns a Count-Sketch with the given depth (number of
+// independent rows) and width (buckets per row), seeded deterministically.
+func NewCountSketch(depth, width int, seed int64) *CountSketch {
+	if depth <= 0 {
+		panic(fmt.Sprintf("sketch: depth must be positive, got %d", depth))
+	}
+	if width <= 0 {
+		panic(fmt.Sprintf("sketch: width must be positive, got %d", width))
+	}
+	rows := make([][]float64, depth)
+	backing := make([]float64, depth*width)
+	for j := range rows {
+		rows[j], backing = backing[:width], backing[width:]
+	}
+	return &CountSketch{
+		depth:   depth,
+		width:   width,
+		seed:    seed,
+		rows:    rows,
+		hashes:  hashing.NewFamily(depth, seed),
+		scratch: make([]float64, depth),
+	}
+}
+
+// Depth returns the number of rows.
+func (cs *CountSketch) Depth() int { return cs.depth }
+
+// Width returns the number of buckets per row.
+func (cs *CountSketch) Width() int { return cs.width }
+
+// Size returns the total number of buckets (depth × width).
+func (cs *CountSketch) Size() int { return cs.depth * cs.width }
+
+// Update adds delta to key's bucket in every row, multiplied by the row sign.
+func (cs *CountSketch) Update(key uint32, delta float64) {
+	for j := 0; j < cs.depth; j++ {
+		b, sign := cs.hashes.BucketSign(j, key, cs.width)
+		cs.rows[j][b] += sign * delta
+	}
+}
+
+// Estimate returns the median-of-signs point estimate for key.
+func (cs *CountSketch) Estimate(key uint32) float64 {
+	for j := 0; j < cs.depth; j++ {
+		b, sign := cs.hashes.BucketSign(j, key, cs.width)
+		cs.scratch[j] = sign * cs.rows[j][b]
+	}
+	return median(cs.scratch)
+}
+
+// SumSigned returns Σⱼ σⱼ(key)·row[j][hⱼ(key)], the signed sum over rows of
+// key's buckets. The WM-Sketch prediction τ = zᵀRx expands into this per
+// feature: zᵀRx = (1/√s)·Σ_f x_f·SumSigned(f).
+func (cs *CountSketch) SumSigned(key uint32) float64 {
+	sum := 0.0
+	for j := 0; j < cs.depth; j++ {
+		b, sign := cs.hashes.BucketSign(j, key, cs.width)
+		sum += sign * cs.rows[j][b]
+	}
+	return sum
+}
+
+// Scale multiplies every bucket by c. Used by callers implementing explicit
+// (non-lazy) ℓ2 weight decay.
+func (cs *CountSketch) Scale(c float64) {
+	for j := range cs.rows {
+		row := cs.rows[j]
+		for b := range row {
+			row[b] *= c
+		}
+	}
+}
+
+// Reset zeroes every bucket, retaining the hash functions.
+func (cs *CountSketch) Reset() {
+	for j := range cs.rows {
+		row := cs.rows[j]
+		for b := range row {
+			row[b] = 0
+		}
+	}
+}
+
+// L2Norm returns the Euclidean norm of the flattened bucket array, averaged
+// over rows; for a Count-Sketch of a vector x this approximates ‖x‖₂.
+func (cs *CountSketch) L2Norm() float64 {
+	total := 0.0
+	for j := range cs.rows {
+		s := 0.0
+		for _, v := range cs.rows[j] {
+			s += v * v
+		}
+		total += s
+	}
+	return math.Sqrt(total / float64(cs.depth))
+}
+
+// Row exposes row j read-only for tests and white-box diagnostics.
+func (cs *CountSketch) Row(j int) []float64 { return cs.rows[j] }
+
+// Hashes exposes the underlying hash family; the WM-Sketch shares it so that
+// sketched feature projections and queries use identical bucket assignments.
+func (cs *CountSketch) Hashes() *hashing.Family { return cs.hashes }
+
+// MemoryBytes returns the cost-model size of the sketch: 4 bytes per bucket
+// (Section 7.1 charges 4 B per stored weight).
+func (cs *CountSketch) MemoryBytes() int { return 4 * cs.depth * cs.width }
+
+// median returns the median of xs, averaging the two central elements for
+// even lengths. xs is reordered in place.
+func median(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	if n == 1 {
+		return xs[0]
+	}
+	if n == 2 {
+		return midpoint(xs[0], xs[1])
+	}
+	sort.Float64s(xs)
+	if n%2 == 1 {
+		return xs[n/2]
+	}
+	return midpoint(xs[n/2-1], xs[n/2])
+}
+
+// midpoint returns (a+b)/2 without overflowing for extreme magnitudes.
+func midpoint(a, b float64) float64 {
+	return a/2 + b/2
+}
+
+// Median is the package-level median used by the Weight-Median query path.
+// The input slice is reordered.
+func Median(xs []float64) float64 { return median(xs) }

@@ -1,0 +1,240 @@
+package sketch
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestCountSketchExactWhenNoCollisions(t *testing.T) {
+	// With width far larger than the number of keys, collisions are unlikely
+	// and every estimate should be exact.
+	cs := NewCountSketch(3, 1<<16, 1)
+	want := map[uint32]float64{}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 50; i++ {
+		key := rng.Uint32()
+		v := rng.NormFloat64() * 10
+		cs.Update(key, v)
+		want[key] += v
+	}
+	for key, v := range want {
+		got := cs.Estimate(key)
+		if math.Abs(got-v) > 1e-9 {
+			t.Fatalf("key %d: estimate %g, want %g", key, got, v)
+		}
+	}
+}
+
+func TestCountSketchLinearity(t *testing.T) {
+	// The sketch is a linear projection: sketch(x) + sketch(y) = sketch(x+y).
+	a := NewCountSketch(5, 64, 9)
+	b := NewCountSketch(5, 64, 9)
+	c := NewCountSketch(5, 64, 9)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 500; i++ {
+		key := uint32(rng.Intn(200))
+		va, vb := rng.NormFloat64(), rng.NormFloat64()
+		a.Update(key, va)
+		b.Update(key, vb)
+		c.Update(key, va+vb)
+	}
+	for j := 0; j < 5; j++ {
+		ra, rb, rc := a.Row(j), b.Row(j), c.Row(j)
+		for i := range ra {
+			if math.Abs(ra[i]+rb[i]-rc[i]) > 1e-9 {
+				t.Fatalf("row %d bucket %d: not linear", j, i)
+			}
+		}
+	}
+}
+
+func TestCountSketchUnbiasedSingleRow(t *testing.T) {
+	// For a single row, E[sign * bucket] = true value. Average over many
+	// independent seeds to check (approximate) unbiasedness.
+	const trials = 400
+	sum := 0.0
+	for s := int64(0); s < trials; s++ {
+		cs := NewCountSketch(1, 8, s)
+		// Key 1 has value 5; keys 2..40 add noise.
+		cs.Update(1, 5)
+		rng := rand.New(rand.NewSource(s + 1000))
+		for k := uint32(2); k <= 40; k++ {
+			cs.Update(k, rng.NormFloat64())
+		}
+		sum += cs.Estimate(1)
+	}
+	mean := sum / trials
+	if math.Abs(mean-5) > 0.5 {
+		t.Fatalf("single-row estimator mean %.3f, want ≈5", mean)
+	}
+}
+
+func TestCountSketchRecoveryGuarantee(t *testing.T) {
+	// Lemma 1: with width Θ(1/ε²) and depth Θ(log(d/δ)), error ≤ ε‖x‖₂.
+	// Build a vector with a few heavy entries plus a light tail and check
+	// the heavy entries are recovered within the bound.
+	const d = 10000
+	x := make([]float64, d)
+	rng := rand.New(rand.NewSource(4))
+	heavy := []int{7, 77, 777, 7777}
+	for _, i := range heavy {
+		x[i] = 50 * (1 + rng.Float64())
+	}
+	for i := range x {
+		if x[i] == 0 {
+			x[i] = rng.NormFloat64() * 0.2
+		}
+	}
+	norm := 0.0
+	for _, v := range x {
+		norm += v * v
+	}
+	norm = math.Sqrt(norm)
+
+	cs := NewCountSketch(7, 1024, 5)
+	for i, v := range x {
+		cs.Update(uint32(i), v)
+	}
+	// width 1024 → ε ≈ sqrt(1/width)·c; allow error 0.15·‖x‖₂ generously.
+	for _, i := range heavy {
+		got := cs.Estimate(uint32(i))
+		if math.Abs(got-x[i]) > 0.15*norm {
+			t.Fatalf("heavy key %d: |%g - %g| > 0.15‖x‖₂=%g", i, got, x[i], 0.15*norm)
+		}
+	}
+}
+
+func TestCountSketchScaleAndReset(t *testing.T) {
+	cs := NewCountSketch(2, 16, 6)
+	cs.Update(3, 10)
+	cs.Scale(0.5)
+	if got := cs.Estimate(3); math.Abs(got-5) > 1e-9 {
+		t.Fatalf("after Scale(0.5): estimate %g, want 5", got)
+	}
+	cs.Reset()
+	if got := cs.Estimate(3); got != 0 {
+		t.Fatalf("after Reset: estimate %g, want 0", got)
+	}
+}
+
+func TestCountSketchNegativeValues(t *testing.T) {
+	// Unlike Count-Min, Count-Sketch handles signed updates.
+	cs := NewCountSketch(3, 1024, 8)
+	cs.Update(10, -42)
+	if got := cs.Estimate(10); math.Abs(got+42) > 1e-9 {
+		t.Fatalf("estimate %g, want -42", got)
+	}
+	cs.Update(10, 42)
+	if got := cs.Estimate(10); math.Abs(got) > 1e-9 {
+		t.Fatalf("estimate %g, want 0 after cancellation", got)
+	}
+}
+
+func TestCountSketchL2NormApproximation(t *testing.T) {
+	cs := NewCountSketch(5, 4096, 10)
+	rng := rand.New(rand.NewSource(11))
+	norm2 := 0.0
+	for i := 0; i < 2000; i++ {
+		v := rng.NormFloat64()
+		cs.Update(uint32(i), v)
+		norm2 += v * v
+	}
+	want := math.Sqrt(norm2)
+	got := cs.L2Norm()
+	if got < 0.8*want || got > 1.2*want {
+		t.Fatalf("L2Norm %g not within 20%% of true %g", got, want)
+	}
+}
+
+func TestCountSketchPanicsOnBadShape(t *testing.T) {
+	for _, tc := range []struct{ depth, width int }{{0, 4}, {4, 0}, {-1, 4}, {4, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("depth=%d width=%d: expected panic", tc.depth, tc.width)
+				}
+			}()
+			NewCountSketch(tc.depth, tc.width, 1)
+		}()
+	}
+}
+
+func TestCountSketchMemoryBytes(t *testing.T) {
+	cs := NewCountSketch(2, 128, 1)
+	if got := cs.MemoryBytes(); got != 1024 {
+		t.Fatalf("MemoryBytes = %d, want 1024", got)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{[]float64{}, 0},
+		{[]float64{3}, 3},
+		{[]float64{1, 3}, 2},
+		{[]float64{3, 1, 2}, 2},
+		{[]float64{4, 1, 3, 2}, 2.5},
+		{[]float64{-5, 100, 0}, 0},
+		{[]float64{2, 2, 2, 2, 2}, 2},
+	}
+	for _, c := range cases {
+		in := append([]float64(nil), c.in...)
+		if got := Median(in); got != c.want {
+			t.Errorf("Median(%v) = %g, want %g", c.in, got, c.want)
+		}
+	}
+}
+
+func TestMedianPropertyBetweenMinMax(t *testing.T) {
+	f := func(xs []float64) bool {
+		if len(xs) == 0 {
+			return Median(xs) == 0
+		}
+		for _, v := range xs {
+			if math.IsNaN(v) {
+				return true // skip NaN inputs
+			}
+		}
+		cp := append([]float64(nil), xs...)
+		m := Median(cp)
+		sort.Float64s(cp)
+		return m >= cp[0] && m <= cp[len(cp)-1]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMedianRobustToOutlier(t *testing.T) {
+	// The median should ignore a single corrupted row — this is the property
+	// that makes Count-Sketch estimates robust to one heavy collision.
+	vals := []float64{5, 5, 1e12, 5, 5}
+	if got := Median(vals); got != 5 {
+		t.Fatalf("Median = %g, want 5", got)
+	}
+}
+
+func BenchmarkCountSketchUpdate(b *testing.B) {
+	cs := NewCountSketch(4, 4096, 1)
+	for i := 0; i < b.N; i++ {
+		cs.Update(uint32(i), 1.0)
+	}
+}
+
+func BenchmarkCountSketchEstimate(b *testing.B) {
+	cs := NewCountSketch(4, 4096, 1)
+	for i := 0; i < 10000; i++ {
+		cs.Update(uint32(i), 1.0)
+	}
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += cs.Estimate(uint32(i % 10000))
+	}
+	_ = sink
+}

@@ -1,0 +1,153 @@
+package sketch
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Serialization format (little-endian):
+//
+//	magic   uint32  ('WMCS' for CountSketch, 'WMCM' for CountMin)
+//	version uint32
+//	seed    int64
+//	depth   uint32
+//	width   uint32
+//	flags   uint32  (CountMin: bit 0 = conservative)
+//	total   float64 (CountMin only)
+//	buckets depth*width float64
+//
+// The hash functions are reconstructed from the seed, so a deserialized
+// sketch answers queries identically to the original and remains mergeable
+// with sketches built from the same seed.
+
+const (
+	magicCountSketch = 0x574d4353 // "WMCS"
+	magicCountMin    = 0x574d434d // "WMCM"
+	serializeVersion = 1
+)
+
+// seed is retained by sketches solely so that serialization can rebuild
+// identical hash functions.
+
+// WriteTo serializes the sketch. It implements io.WriterTo.
+func (cs *CountSketch) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	n, err := writeHeader(bw, magicCountSketch, cs.seed, cs.depth, cs.width, 0)
+	if err != nil {
+		return n, err
+	}
+	for _, row := range cs.rows {
+		for _, v := range row {
+			if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+				return n, err
+			}
+			n += 8
+		}
+	}
+	return n, bw.Flush()
+}
+
+// ReadCountSketch deserializes a sketch written by WriteTo.
+func ReadCountSketch(r io.Reader) (*CountSketch, error) {
+	br := bufio.NewReader(r)
+	seed, depth, width, _, err := readHeader(br, magicCountSketch)
+	if err != nil {
+		return nil, err
+	}
+	cs := NewCountSketch(depth, width, seed)
+	for _, row := range cs.rows {
+		for i := range row {
+			if err := binary.Read(br, binary.LittleEndian, &row[i]); err != nil {
+				return nil, fmt.Errorf("sketch: truncated bucket data: %w", err)
+			}
+		}
+	}
+	return cs, nil
+}
+
+// WriteTo serializes the sketch. It implements io.WriterTo.
+func (cm *CountMin) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	flags := uint32(0)
+	if cm.conservative {
+		flags |= 1
+	}
+	n, err := writeHeader(bw, magicCountMin, cm.seed, cm.depth, cm.width, flags)
+	if err != nil {
+		return n, err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, cm.total); err != nil {
+		return n, err
+	}
+	n += 8
+	for _, row := range cm.rows {
+		for _, v := range row {
+			if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+				return n, err
+			}
+			n += 8
+		}
+	}
+	return n, bw.Flush()
+}
+
+// ReadCountMin deserializes a sketch written by WriteTo.
+func ReadCountMin(r io.Reader) (*CountMin, error) {
+	br := bufio.NewReader(r)
+	seed, depth, width, flags, err := readHeader(br, magicCountMin)
+	if err != nil {
+		return nil, err
+	}
+	cm := NewCountMin(depth, width, seed)
+	cm.conservative = flags&1 != 0
+	if err := binary.Read(br, binary.LittleEndian, &cm.total); err != nil {
+		return nil, fmt.Errorf("sketch: truncated total: %w", err)
+	}
+	for _, row := range cm.rows {
+		for i := range row {
+			if err := binary.Read(br, binary.LittleEndian, &row[i]); err != nil {
+				return nil, fmt.Errorf("sketch: truncated bucket data: %w", err)
+			}
+		}
+	}
+	if math.IsNaN(cm.total) {
+		return nil, fmt.Errorf("sketch: corrupt total")
+	}
+	return cm, nil
+}
+
+func writeHeader(w io.Writer, magic uint32, seed int64, depth, width int, flags uint32) (int64, error) {
+	hdr := []interface{}{
+		magic, uint32(serializeVersion), seed, uint32(depth), uint32(width), flags,
+	}
+	n := int64(0)
+	for _, v := range hdr {
+		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+			return n, err
+		}
+		n += int64(binary.Size(v))
+	}
+	return n, nil
+}
+
+func readHeader(r io.Reader, wantMagic uint32) (seed int64, depth, width int, flags uint32, err error) {
+	var magic, version, d32, w32 uint32
+	for _, p := range []interface{}{&magic, &version, &seed, &d32, &w32, &flags} {
+		if err = binary.Read(r, binary.LittleEndian, p); err != nil {
+			return 0, 0, 0, 0, fmt.Errorf("sketch: truncated header: %w", err)
+		}
+	}
+	if magic != wantMagic {
+		return 0, 0, 0, 0, fmt.Errorf("sketch: bad magic %#x", magic)
+	}
+	if version != serializeVersion {
+		return 0, 0, 0, 0, fmt.Errorf("sketch: unsupported version %d", version)
+	}
+	if d32 == 0 || w32 == 0 || d32 > 1<<16 || w32 > 1<<30 {
+		return 0, 0, 0, 0, fmt.Errorf("sketch: implausible shape %dx%d", d32, w32)
+	}
+	return seed, int(d32), int(w32), flags, nil
+}

@@ -1,0 +1,98 @@
+package stream
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseLibSVMLine parses one line of libsvm/svmlight format:
+//
+//	<label> <index>:<value> <index>:<value> ...
+//
+// Labels "1", "+1" map to +1; "-1", "0" map to -1 (0/1 datasets are common).
+// Indices are 1-based in the format and preserved as given.
+func ParseLibSVMLine(line string) (Example, error) {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return Example{}, fmt.Errorf("stream: empty line")
+	}
+	var y int
+	switch fields[0] {
+	case "1", "+1":
+		y = 1
+	case "-1", "0":
+		y = -1
+	default:
+		v, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			return Example{}, fmt.Errorf("stream: bad label %q: %v", fields[0], err)
+		}
+		if v > 0 {
+			y = 1
+		} else {
+			y = -1
+		}
+	}
+	x := make(Vector, 0, len(fields)-1)
+	for _, f := range fields[1:] {
+		if strings.HasPrefix(f, "#") {
+			break // trailing comment
+		}
+		colon := strings.IndexByte(f, ':')
+		if colon < 0 {
+			return Example{}, fmt.Errorf("stream: bad feature %q", f)
+		}
+		idx, err := strconv.ParseUint(f[:colon], 10, 32)
+		if err != nil {
+			return Example{}, fmt.Errorf("stream: bad index in %q: %v", f, err)
+		}
+		val, err := strconv.ParseFloat(f[colon+1:], 64)
+		if err != nil {
+			return Example{}, fmt.Errorf("stream: bad value in %q: %v", f, err)
+		}
+		x = append(x, Feature{Index: uint32(idx), Value: val})
+	}
+	return Example{X: x, Y: y}, nil
+}
+
+// ReadLibSVM reads a full libsvm-format stream, invoking fn for each parsed
+// example. Blank lines and lines starting with '#' are skipped.
+func ReadLibSVM(r io.Reader, fn func(Example) error) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		ex, err := ParseLibSVMLine(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		if err := fn(ex); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}
+
+// WriteLibSVM writes one example in libsvm format.
+func WriteLibSVM(w io.Writer, ex Example) error {
+	var sb strings.Builder
+	if ex.Y > 0 {
+		sb.WriteString("+1")
+	} else {
+		sb.WriteString("-1")
+	}
+	for _, f := range ex.X {
+		fmt.Fprintf(&sb, " %d:%g", f.Index, f.Value)
+	}
+	sb.WriteByte('\n')
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

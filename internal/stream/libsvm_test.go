@@ -1,0 +1,111 @@
+package stream
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseLibSVMLine(t *testing.T) {
+	ex, err := ParseLibSVMLine("+1 3:0.5 7:-1.25 100:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Y != 1 {
+		t.Fatalf("label = %d, want +1", ex.Y)
+	}
+	want := Vector{{3, 0.5}, {7, -1.25}, {100, 2}}
+	if len(ex.X) != len(want) {
+		t.Fatalf("got %d features", len(ex.X))
+	}
+	for i := range want {
+		if ex.X[i] != want[i] {
+			t.Fatalf("feature %d = %+v, want %+v", i, ex.X[i], want[i])
+		}
+	}
+}
+
+func TestParseLibSVMLabels(t *testing.T) {
+	cases := []struct {
+		label string
+		want  int
+	}{
+		{"1", 1}, {"+1", 1}, {"-1", -1}, {"0", -1}, {"2.0", 1}, {"-3", -1},
+	}
+	for _, c := range cases {
+		ex, err := ParseLibSVMLine(c.label + " 1:1")
+		if err != nil {
+			t.Fatalf("label %q: %v", c.label, err)
+		}
+		if ex.Y != c.want {
+			t.Fatalf("label %q parsed to %d, want %d", c.label, ex.Y, c.want)
+		}
+	}
+}
+
+func TestParseLibSVMErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"x 1:1",
+		"+1 nocolon",
+		"+1 a:1",
+		"+1 1:b",
+	}
+	for _, line := range bad {
+		if _, err := ParseLibSVMLine(line); err == nil {
+			t.Errorf("line %q: expected error", line)
+		}
+	}
+}
+
+func TestParseLibSVMTrailingComment(t *testing.T) {
+	ex, err := ParseLibSVMLine("-1 1:1 2:2 # a comment")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex.X) != 2 {
+		t.Fatalf("got %d features, want 2 (comment stripped)", len(ex.X))
+	}
+}
+
+func TestReadLibSVMRoundTrip(t *testing.T) {
+	input := "+1 1:0.5 2:1\n# comment line\n\n-1 3:2.5\n"
+	var got []Example
+	err := ReadLibSVM(strings.NewReader(input), func(ex Example) error {
+		got = append(got, ex)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("read %d examples, want 2", len(got))
+	}
+	// Round-trip through WriteLibSVM.
+	var sb strings.Builder
+	for _, ex := range got {
+		if err := WriteLibSVM(&sb, ex); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var again []Example
+	if err := ReadLibSVM(strings.NewReader(sb.String()), func(ex Example) error {
+		again = append(again, ex)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != 2 || again[0].Y != 1 || again[1].Y != -1 {
+		t.Fatalf("round trip mismatch: %+v", again)
+	}
+	if again[0].X[0] != (Feature{1, 0.5}) || again[1].X[0] != (Feature{3, 2.5}) {
+		t.Fatalf("round trip features mismatch: %+v", again)
+	}
+}
+
+func TestReadLibSVMReportsLine(t *testing.T) {
+	input := "+1 1:1\nbogus line here\n"
+	err := ReadLibSVM(strings.NewReader(input), func(Example) error { return nil })
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("expected line-2 error, got %v", err)
+	}
+}

@@ -1,0 +1,121 @@
+// Package stream defines the data plumbing shared by every learner and
+// experiment: sparse feature vectors, labeled examples, the Learner
+// interface implemented by the WM-/AWM-Sketch and all baselines, and a
+// libsvm-format parser for feeding external datasets through the CLI.
+package stream
+
+import "sort"
+
+// Feature is one (index, value) coordinate of a sparse vector.
+type Feature struct {
+	Index uint32
+	Value float64
+}
+
+// Vector is a sparse feature vector. Indices are not required to be sorted
+// or unique by construction, but most producers emit them sorted.
+type Vector []Feature
+
+// NNZ returns the number of stored coordinates.
+func (v Vector) NNZ() int { return len(v) }
+
+// L1Norm returns Σ|vᵢ|.
+func (v Vector) L1Norm() float64 {
+	s := 0.0
+	for _, f := range v {
+		if f.Value < 0 {
+			s -= f.Value
+		} else {
+			s += f.Value
+		}
+	}
+	return s
+}
+
+// L2NormSquared returns Σvᵢ².
+func (v Vector) L2NormSquared() float64 {
+	s := 0.0
+	for _, f := range v {
+		s += f.Value * f.Value
+	}
+	return s
+}
+
+// Normalize returns a copy of v scaled to unit L1 norm (the normalization
+// the paper assumes for its bounds: max ‖x‖₁ = 1). A zero vector is
+// returned unchanged.
+func (v Vector) Normalize() Vector {
+	n := v.L1Norm()
+	if n == 0 {
+		return v
+	}
+	out := make(Vector, len(v))
+	for i, f := range v {
+		out[i] = Feature{Index: f.Index, Value: f.Value / n}
+	}
+	return out
+}
+
+// Sorted returns a copy with indices in ascending order.
+func (v Vector) Sorted() Vector {
+	out := make(Vector, len(v))
+	copy(out, v)
+	sort.Slice(out, func(i, j int) bool { return out[i].Index < out[j].Index })
+	return out
+}
+
+// OneHot returns the 1-sparse vector with a single unit coordinate, the
+// encoding used for frequency estimation and the §8 applications.
+func OneHot(index uint32) Vector {
+	return Vector{{Index: index, Value: 1}}
+}
+
+// Example is one labeled observation from a binary classification stream.
+// Label is +1 or -1.
+type Example struct {
+	X Vector
+	Y int
+}
+
+// Learner is the uniform interface over all memory-budgeted classifiers in
+// this repository: the WM-Sketch, AWM-Sketch, truncation baselines, feature
+// hashing, frequent-feature methods and unconstrained logistic regression.
+type Learner interface {
+	// Update performs one online gradient step on example (x, y), y ∈ {-1,+1}.
+	Update(x Vector, y int)
+	// Predict returns the signed margin wᵀx under the current model; the
+	// predicted label is its sign.
+	Predict(x Vector) float64
+	// Estimate returns the model's estimate of the weight of feature i.
+	Estimate(i uint32) float64
+	// TopK returns the k features with the largest estimated |weight|,
+	// descending. Implementations may return fewer when they track fewer.
+	TopK(k int) []Weighted
+	// MemoryBytes returns the cost-model footprint (Section 7.1: 4 bytes per
+	// identifier, weight and auxiliary value).
+	MemoryBytes() int
+}
+
+// Weighted pairs a feature index with an estimated weight.
+type Weighted struct {
+	Index  uint32
+	Weight float64
+}
+
+// SortWeighted orders ws by descending |weight|, breaking ties by index.
+func SortWeighted(ws []Weighted) {
+	sort.Slice(ws, func(i, j int) bool {
+		ai, aj := abs(ws[i].Weight), abs(ws[j].Weight)
+		if ai != aj {
+			return ai > aj
+		}
+		return ws[i].Index < ws[j].Index
+	})
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,86 @@
+package stream
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestVectorNorms(t *testing.T) {
+	v := Vector{{1, 3}, {5, -4}}
+	if got := v.L1Norm(); got != 7 {
+		t.Fatalf("L1Norm = %g, want 7", got)
+	}
+	if got := v.L2NormSquared(); got != 25 {
+		t.Fatalf("L2NormSquared = %g, want 25", got)
+	}
+	if got := v.NNZ(); got != 2 {
+		t.Fatalf("NNZ = %d, want 2", got)
+	}
+}
+
+func TestVectorNormalize(t *testing.T) {
+	v := Vector{{1, 2}, {2, -2}}
+	n := v.Normalize()
+	if got := n.L1Norm(); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("normalized L1 = %g, want 1", got)
+	}
+	// Original unchanged.
+	if v[0].Value != 2 {
+		t.Fatal("Normalize mutated input")
+	}
+	// Zero vector passes through.
+	z := Vector{{1, 0}}
+	if got := z.Normalize(); got[0].Value != 0 {
+		t.Fatal("zero vector should be unchanged")
+	}
+}
+
+func TestVectorNormalizeProperty(t *testing.T) {
+	f := func(vals []float64) bool {
+		v := make(Vector, 0, len(vals))
+		for i, x := range vals {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e100 {
+				continue
+			}
+			v = append(v, Feature{Index: uint32(i), Value: x})
+		}
+		n := v.Normalize()
+		l1 := n.L1Norm()
+		return l1 == 0 || math.Abs(l1-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVectorSorted(t *testing.T) {
+	v := Vector{{9, 1}, {2, 2}, {5, 3}}
+	s := v.Sorted()
+	for i := 1; i < len(s); i++ {
+		if s[i].Index < s[i-1].Index {
+			t.Fatal("Sorted not ascending")
+		}
+	}
+	if v[0].Index != 9 {
+		t.Fatal("Sorted mutated input")
+	}
+}
+
+func TestOneHot(t *testing.T) {
+	v := OneHot(17)
+	if len(v) != 1 || v[0].Index != 17 || v[0].Value != 1 {
+		t.Fatalf("OneHot = %+v", v)
+	}
+}
+
+func TestSortWeighted(t *testing.T) {
+	ws := []Weighted{{1, 0.5}, {2, -3}, {3, 2}, {4, -3}}
+	SortWeighted(ws)
+	wantOrder := []uint32{2, 4, 3, 1} // |-3| ties broken by index
+	for i, w := range ws {
+		if w.Index != wantOrder[i] {
+			t.Fatalf("position %d: index %d, want %d", i, w.Index, wantOrder[i])
+		}
+	}
+}

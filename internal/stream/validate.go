@@ -1,0 +1,30 @@
+package stream
+
+import (
+	"fmt"
+	"math"
+)
+
+// Validate checks a feature vector for values that would silently corrupt
+// a learner's state: NaN or infinite feature values. Learners do not pay
+// for this check on their hot paths; boundary code (CLI input, network
+// ingestion) should validate before updating.
+func (v Vector) Validate() error {
+	for i, f := range v {
+		if math.IsNaN(f.Value) {
+			return fmt.Errorf("stream: feature %d (index %d) is NaN", i, f.Index)
+		}
+		if math.IsInf(f.Value, 0) {
+			return fmt.Errorf("stream: feature %d (index %d) is infinite", i, f.Index)
+		}
+	}
+	return nil
+}
+
+// ValidateExample checks both the feature vector and the label.
+func ValidateExample(ex Example) error {
+	if ex.Y != 1 && ex.Y != -1 {
+		return fmt.Errorf("stream: label must be ±1, got %d", ex.Y)
+	}
+	return ex.X.Validate()
+}

@@ -1,0 +1,43 @@
+package stream
+
+import (
+	"math"
+	"testing"
+)
+
+func TestValidateAcceptsCleanVectors(t *testing.T) {
+	v := Vector{{1, 0.5}, {2, -3}, {3, 0}}
+	if err := v.Validate(); err != nil {
+		t.Fatalf("clean vector rejected: %v", err)
+	}
+	if err := Vector(nil).Validate(); err != nil {
+		t.Fatalf("empty vector rejected: %v", err)
+	}
+}
+
+func TestValidateRejectsNaNAndInf(t *testing.T) {
+	cases := []Vector{
+		{{1, math.NaN()}},
+		{{1, math.Inf(1)}},
+		{{1, math.Inf(-1)}},
+		{{1, 1}, {2, math.NaN()}},
+	}
+	for i, v := range cases {
+		if err := v.Validate(); err == nil {
+			t.Errorf("case %d: bad vector accepted", i)
+		}
+	}
+}
+
+func TestValidateExample(t *testing.T) {
+	good := Example{X: Vector{{1, 1}}, Y: 1}
+	if err := ValidateExample(good); err != nil {
+		t.Fatalf("good example rejected: %v", err)
+	}
+	if err := ValidateExample(Example{X: Vector{{1, 1}}, Y: 0}); err == nil {
+		t.Error("label 0 accepted")
+	}
+	if err := ValidateExample(Example{X: Vector{{1, math.NaN()}}, Y: 1}); err == nil {
+		t.Error("NaN example accepted")
+	}
+}

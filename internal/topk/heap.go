@@ -1,0 +1,249 @@
+// Package topk provides an indexed min-heap used everywhere the paper keeps
+// a fixed-capacity "active set" of heavy items: the AWM-Sketch heap
+// (Algorithm 2), the passive WM-Sketch heap, the truncation baselines
+// (Algorithms 3 and 4), and the top-K tracking of the unconstrained logistic
+// regression baseline.
+//
+// Entries carry a 32-bit key, a model weight, and a score. The heap is a
+// min-heap on score, so the root is always the eviction candidate. For
+// magnitude-ordered heaps the score is |weight|; the probabilistic
+// truncation baseline instead orders by reservoir weight.
+package topk
+
+import "sort"
+
+// Entry is a heap element.
+type Entry struct {
+	Key    uint32
+	Weight float64
+	Score  float64
+}
+
+// Heap is a fixed-capacity indexed min-heap on Entry.Score. The zero value
+// is not usable; construct with New.
+type Heap struct {
+	capacity int
+	entries  []Entry
+	pos      map[uint32]int // key -> index in entries
+}
+
+// New returns an empty heap with the given capacity. Capacity must be
+// positive.
+func New(capacity int) *Heap {
+	if capacity <= 0 {
+		panic("topk: capacity must be positive")
+	}
+	return &Heap{
+		capacity: capacity,
+		entries:  make([]Entry, 0, capacity),
+		pos:      make(map[uint32]int, capacity),
+	}
+}
+
+// Len returns the number of entries currently stored.
+func (h *Heap) Len() int { return len(h.entries) }
+
+// Cap returns the fixed capacity.
+func (h *Heap) Cap() int { return h.capacity }
+
+// Full reports whether the heap is at capacity.
+func (h *Heap) Full() bool { return len(h.entries) == h.capacity }
+
+// Contains reports whether key is stored.
+func (h *Heap) Contains(key uint32) bool {
+	_, ok := h.pos[key]
+	return ok
+}
+
+// Get returns the weight stored for key.
+func (h *Heap) Get(key uint32) (float64, bool) {
+	i, ok := h.pos[key]
+	if !ok {
+		return 0, false
+	}
+	return h.entries[i].Weight, true
+}
+
+// Min returns the root entry (smallest score) without removing it.
+// ok is false when the heap is empty.
+func (h *Heap) Min() (Entry, bool) {
+	if len(h.entries) == 0 {
+		return Entry{}, false
+	}
+	return h.entries[0], true
+}
+
+// Insert adds key with the given weight and score. It panics if key is
+// already present or the heap is full; callers decide eviction policy.
+func (h *Heap) Insert(key uint32, weight, score float64) {
+	if _, ok := h.pos[key]; ok {
+		panic("topk: duplicate insert")
+	}
+	if len(h.entries) == h.capacity {
+		panic("topk: insert into full heap")
+	}
+	h.entries = append(h.entries, Entry{Key: key, Weight: weight, Score: score})
+	i := len(h.entries) - 1
+	h.pos[key] = i
+	h.up(i)
+}
+
+// InsertMagnitude adds key with score = |weight|.
+func (h *Heap) InsertMagnitude(key uint32, weight float64) {
+	h.Insert(key, weight, abs(weight))
+}
+
+// Update replaces the weight and score for an existing key and restores heap
+// order. It panics if key is absent.
+func (h *Heap) Update(key uint32, weight, score float64) {
+	i, ok := h.pos[key]
+	if !ok {
+		panic("topk: update of absent key")
+	}
+	h.entries[i].Weight = weight
+	h.entries[i].Score = score
+	h.fix(i)
+}
+
+// UpdateMagnitude replaces the weight for key with score = |weight|.
+func (h *Heap) UpdateMagnitude(key uint32, weight float64) {
+	h.Update(key, weight, abs(weight))
+}
+
+// Remove deletes key and returns its entry. ok is false when absent.
+func (h *Heap) Remove(key uint32) (Entry, bool) {
+	i, ok := h.pos[key]
+	if !ok {
+		return Entry{}, false
+	}
+	e := h.entries[i]
+	h.removeAt(i)
+	return e, true
+}
+
+// PopMin removes and returns the root entry. ok is false when empty.
+func (h *Heap) PopMin() (Entry, bool) {
+	if len(h.entries) == 0 {
+		return Entry{}, false
+	}
+	e := h.entries[0]
+	h.removeAt(0)
+	return e, true
+}
+
+// Entries returns a copy of the stored entries in unspecified order.
+func (h *Heap) Entries() []Entry {
+	out := make([]Entry, len(h.entries))
+	copy(out, h.entries)
+	return out
+}
+
+// TopK returns up to k entries with the largest scores, in descending score
+// order. For magnitude heaps this is the top-K heaviest weights.
+func (h *Heap) TopK(k int) []Entry {
+	out := h.Entries()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Key < out[j].Key
+	})
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+// ScaleWeights multiplies every stored weight (and score, preserving the
+// magnitude ordering) by c. Used for explicit ℓ2 decay of an active set.
+func (h *Heap) ScaleWeights(c float64) {
+	for i := range h.entries {
+		h.entries[i].Weight *= c
+		h.entries[i].Score *= abs(c)
+	}
+	// Scaling by a constant preserves heap order; no re-heapify needed.
+}
+
+// Reset removes all entries.
+func (h *Heap) Reset() {
+	h.entries = h.entries[:0]
+	for k := range h.pos {
+		delete(h.pos, k)
+	}
+}
+
+// MemoryBytes returns the cost-model footprint: 4 bytes each for the key and
+// the weight, plus 4 bytes per auxiliary score when aux is true (Section 7.1
+// charges auxiliary values like reservoir keys separately).
+func (h *Heap) MemoryBytes(aux bool) int {
+	per := 8
+	if aux {
+		per = 12
+	}
+	return per * h.capacity
+}
+
+func (h *Heap) removeAt(i int) {
+	last := len(h.entries) - 1
+	delete(h.pos, h.entries[i].Key)
+	if i != last {
+		h.entries[i] = h.entries[last]
+		h.pos[h.entries[i].Key] = i
+	}
+	h.entries = h.entries[:last]
+	if i < len(h.entries) {
+		h.fix(i)
+	}
+}
+
+func (h *Heap) fix(i int) {
+	if !h.down(i) {
+		h.up(i)
+	}
+}
+
+func (h *Heap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.entries[parent].Score <= h.entries[i].Score {
+			break
+		}
+		h.swap(parent, i)
+		i = parent
+	}
+}
+
+func (h *Heap) down(i int) bool {
+	moved := false
+	n := len(h.entries)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		smallest := left
+		if right := left + 1; right < n && h.entries[right].Score < h.entries[left].Score {
+			smallest = right
+		}
+		if h.entries[i].Score <= h.entries[smallest].Score {
+			break
+		}
+		h.swap(i, smallest)
+		i = smallest
+		moved = true
+	}
+	return moved
+}
+
+func (h *Heap) swap(i, j int) {
+	h.entries[i], h.entries[j] = h.entries[j], h.entries[i]
+	h.pos[h.entries[i].Key] = i
+	h.pos[h.entries[j].Key] = j
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,29 @@
+# Development targets for the wmsketch repository.
+
+GO ?= go
+
+.PHONY: all build vet test race bench bench-json
+
+all: vet build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Micro-benchmarks of the hot paths (sketch update/estimate, heap ops,
+# fused learner updates, sharded/Hogwild throughput).
+bench:
+	$(GO) test -run '^$$' -bench 'Update|Heap|CountSketch|Sharded|Hogwild' -benchtime 2s . ./internal/sketch ./internal/topk
+
+# Machine-readable throughput snapshot for the perf trajectory: writes
+# BENCH_throughput.json via cmd/wmbench (see PERFORMANCE.md).
+bench-json:
+	$(GO) run ./cmd/wmbench -throughput -json BENCH_throughput.json

@@ -1,14 +1,18 @@
-// Command wmbench regenerates the paper's tables and figures.
+// Command wmbench regenerates the paper's tables and figures, and measures
+// raw update throughput on the current hardware.
 //
 // Usage:
 //
 //	wmbench -exp fig3            # one experiment at full scale
 //	wmbench -exp all -quick      # everything, test-sized streams
 //	wmbench -list                # enumerate experiment ids
+//	wmbench -throughput          # single- and multi-core updates/sec
+//	wmbench -throughput -json BENCH_throughput.json
 //
 // Each experiment id corresponds to a table or figure in "Sketching Linear
 // Classifiers over Data Streams" (SIGMOD 2018); see DESIGN.md for the
-// per-experiment index and EXPERIMENTS.md for paper-vs-measured results.
+// per-experiment index, EXPERIMENTS.md for paper-vs-measured results, and
+// PERFORMANCE.md for the hot-path design behind the throughput numbers.
 package main
 
 import (
@@ -22,12 +26,15 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "", "experiment id to run, or 'all'")
-		list     = flag.Bool("list", false, "list experiment ids and exit")
-		quick    = flag.Bool("quick", false, "use test-sized streams")
-		examples = flag.Int("n", 0, "override stream length (0 = preset)")
-		seed     = flag.Int64("seed", 42, "base random seed")
-		csv      = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		exp        = flag.String("exp", "", "experiment id to run, or 'all'")
+		list       = flag.Bool("list", false, "list experiment ids and exit")
+		quick      = flag.Bool("quick", false, "use test-sized streams")
+		examples   = flag.Int("n", 0, "override stream length (0 = preset)")
+		seed       = flag.Int64("seed", 42, "base random seed")
+		csv        = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		throughput = flag.Bool("throughput", false, "measure update throughput instead of running experiments")
+		workers    = flag.Int("workers", 0, "max worker count for -throughput (0 = GOMAXPROCS)")
+		jsonPath   = flag.String("json", "", "write -throughput results to this JSON file")
 	)
 	flag.Parse()
 
@@ -37,8 +44,13 @@ func main() {
 		}
 		return
 	}
+	if *throughput {
+		runThroughput(*examples, *workers, *jsonPath)
+		return
+	}
 	if *exp == "" {
 		fmt.Fprintln(os.Stderr, "usage: wmbench -exp <id>|all [-quick] [-n N] [-seed S]")
+		fmt.Fprintln(os.Stderr, "       wmbench -throughput [-workers N] [-n N] [-json FILE]")
 		fmt.Fprintln(os.Stderr, "known experiments:", experiments.IDs())
 		os.Exit(2)
 	}

@@ -1,0 +1,3 @@
+module wmsketch
+
+go 1.24

@@ -25,19 +25,27 @@ type AWMSketch struct {
 	scale    float64 // global decay α applied to both heap and sketch
 	t        int64
 	active   *topk.Heap // exact weights, stored unscaled
+	// Per-example scratch reused by the fused Update so that every feature
+	// is hashed and heap-probed exactly once per example in the common case.
+	// refBuf[i] holds feature i's heap reference from the predict pass
+	// (topk.NoRef for misses, whose sketch locations are in locBuf instead).
+	locBuf    []sketch.Loc
+	refBuf    []topk.Ref
+	spareLocs []sketch.Loc // fallback for features evicted mid-example
 }
 
 // NewAWMSketch returns an AWM-Sketch with the given configuration.
 func NewAWMSketch(cfg Config) *AWMSketch {
 	cfg.fill()
 	return &AWMSketch{
-		cfg:      cfg,
-		cs:       sketch.NewCountSketch(cfg.Depth, cfg.Width, cfg.Seed),
-		loss:     cfg.Loss,
-		schedule: cfg.Schedule,
-		sqrtS:    math.Sqrt(float64(cfg.Depth)),
-		scale:    1,
-		active:   topk.New(cfg.HeapSize),
+		cfg:       cfg,
+		cs:        sketch.NewCountSketch(cfg.Depth, cfg.Width, cfg.Seed),
+		loss:      cfg.Loss,
+		schedule:  cfg.Schedule,
+		sqrtS:     math.Sqrt(float64(cfg.Depth)),
+		scale:     1,
+		active:    topk.New(cfg.HeapSize),
+		spareLocs: make([]sketch.Loc, cfg.Depth),
 	}
 }
 
@@ -59,11 +67,40 @@ func (a *AWMSketch) Predict(x stream.Vector) float64 {
 // Update applies one Algorithm 2 step: gradient updates to heap-resident
 // features, lazy ℓ2 decay of heap and sketch via the shared global scale,
 // and per-feature promote-or-sketch decisions for non-resident features.
+//
+// The prediction is fused into the update: the predict pass records each
+// non-resident feature's sketch locations, and the gradient pass reuses
+// them, so every (feature, example) pair is hashed exactly once. Depth-1
+// sketches (the paper's uniformly-best configuration) take a dedicated path
+// with no row loop, median, or √s arithmetic. Both paths are bit-identical
+// to the textbook Predict-then-Update formulation.
 func (a *AWMSketch) Update(x stream.Vector, y int) {
+	if a.cs.Depth() == 1 {
+		a.updateDepth1(x, y)
+		return
+	}
 	ys := sgn(y)
 	a.t++
 	eta := a.schedule.Rate(a.t)
-	margin := ys * a.Predict(x)
+
+	// Predict pass: exact weights for active-set hits, sketch reads (with
+	// location capture) for the tail. Heap refs and sketch locations are
+	// recorded so the gradient pass repeats neither the probe nor the hash.
+	s := a.cs.Depth()
+	locAll, refs := a.ensureBufs(len(x))
+	dot := 0.0
+	for i, f := range x {
+		if r, ok := a.active.GetRef(f.Index); ok {
+			refs[i] = r
+			dot += a.active.WeightRef(r) * f.Value
+		} else {
+			refs[i] = topk.NoRef
+			l := locAll[i*s : (i+1)*s]
+			a.cs.Locate(f.Index, l)
+			dot += f.Value * a.cs.SumAt(l) / a.sqrtS
+		}
+	}
+	margin := ys * (dot * a.scale)
 	g := a.loss.Deriv(margin)
 
 	// Regularization: S ← (1−λη)S and z ← (1−λη)z, applied lazily.
@@ -88,25 +125,46 @@ func (a *AWMSketch) Update(x stream.Vector, y int) {
 	}
 	step := eta * ys * g / effScale
 
-	for _, f := range x {
+	// refsValid: no structural heap change has occurred since the predict
+	// pass, so the recorded refs (and recorded misses) are still accurate.
+	// The first promotion or eviction invalidates them and later features
+	// fall back to a fresh probe — exactly the accesses the unfused
+	// formulation would make.
+	refsValid := true
+	for i, f := range x {
 		if f.Value == 0 {
 			continue
 		}
-		if w, ok := a.active.Get(f.Index); ok {
+		r := refs[i]
+		if !refsValid {
+			r, _ = a.active.GetRef(f.Index)
+		}
+		if r != topk.NoRef {
 			// Heap update: S[i] ← S[i] − ηy∇ℓ·xᵢ (exact).
 			if g != 0 {
-				a.active.UpdateMagnitude(f.Index, w-step*f.Value)
+				a.active.UpdateMagnitudeRef(r, a.active.WeightRef(r)-step*f.Value)
 			}
 			continue
 		}
+		var l []sketch.Loc
+		if refs[i] == topk.NoRef {
+			l = locAll[i*s : (i+1)*s]
+		} else {
+			// The feature was heap-resident at predict time but has been
+			// evicted by a duplicate index earlier in this example; hash it
+			// now (rare).
+			l = a.spareLocs
+			a.cs.Locate(f.Index, l)
+		}
 		// Candidate weight for promotion: w̃ ← Query(i) − ηy xᵢ∇ℓ(yτ).
-		wTilde := a.queryUnscaled(f.Index) - step*f.Value
+		wTilde := a.sqrtS*a.cs.EstimateAt(l) - step*f.Value
 
 		if !a.active.Full() {
 			// Free heap slot: promote unconditionally. The feature's stale
 			// sketched mass remains in the sketch (per Algorithm 2) and is
 			// reconciled on eviction.
 			a.active.InsertMagnitude(f.Index, wTilde)
+			refsValid = false
 			continue
 		}
 		min, _ := a.active.Min()
@@ -118,11 +176,116 @@ func (a *AWMSketch) Update(x stream.Vector, y int) {
 			delta := min.Weight - a.queryUnscaled(min.Key)
 			a.sketchAdd(min.Key, delta)
 			a.active.InsertMagnitude(f.Index, wTilde)
+			refsValid = false
 		} else if g != 0 {
 			// Not promoted: apply the gradient step to the sketch.
-			a.sketchAdd(f.Index, -step*f.Value)
+			a.cs.AddAt(l, (-step*f.Value)/a.sqrtS)
 		}
 	}
+}
+
+// updateDepth1 is Update specialized for Depth=1: one hash per non-resident
+// feature, direct row access, no median, and no √s arithmetic (√1 = 1, so
+// eliding it is exact).
+func (a *AWMSketch) updateDepth1(x stream.Vector, y int) {
+	ys := sgn(y)
+	a.t++
+	eta := a.schedule.Rate(a.t)
+
+	cs := a.cs
+	tab := cs.Hashes().Row(0)
+	row := cs.Row(0)
+	width := cs.Width()
+	locs, refs := a.ensureBufs(len(x))
+
+	dot := 0.0
+	for i, f := range x {
+		if r, ok := a.active.GetRef(f.Index); ok {
+			refs[i] = r
+			dot += a.active.WeightRef(r) * f.Value
+		} else {
+			refs[i] = topk.NoRef
+			b, sign := tab.BucketSign(f.Index, width)
+			locs[i] = sketch.Loc{Bucket: int32(b), Sign: sign}
+			dot += f.Value * (sign * row[b])
+		}
+	}
+	margin := ys * (dot * a.scale)
+	g := a.loss.Deriv(margin)
+
+	if a.cfg.Lambda > 0 {
+		if a.cfg.NoScaleTrick {
+			decay := 1 - eta*a.cfg.Lambda
+			cs.Scale(decay)
+			a.active.ScaleWeights(decay)
+		} else {
+			a.scale *= 1 - eta*a.cfg.Lambda
+			if a.scale < minScale {
+				a.renormalize()
+			}
+		}
+	}
+
+	effScale := a.scale
+	if a.cfg.NoScaleTrick {
+		effScale = 1
+	}
+	step := eta * ys * g / effScale
+
+	refsValid := true
+	for i, f := range x {
+		if f.Value == 0 {
+			continue
+		}
+		r := refs[i]
+		if !refsValid {
+			r, _ = a.active.GetRef(f.Index)
+		}
+		if r != topk.NoRef {
+			if g != 0 {
+				a.active.UpdateMagnitudeRef(r, a.active.WeightRef(r)-step*f.Value)
+			}
+			continue
+		}
+		var l sketch.Loc
+		if refs[i] == topk.NoRef {
+			l = locs[i]
+		} else {
+			b, sign := tab.BucketSign(f.Index, width)
+			l = sketch.Loc{Bucket: int32(b), Sign: sign}
+		}
+		wTilde := l.Sign*row[l.Bucket] - step*f.Value
+
+		if !a.active.Full() {
+			a.active.InsertMagnitude(f.Index, wTilde)
+			refsValid = false
+			continue
+		}
+		min, _ := a.active.Min()
+		if absf(wTilde) > min.Score {
+			a.active.PopMin()
+			mb, msign := tab.BucketSign(min.Key, width)
+			delta := min.Weight - msign*row[mb]
+			row[mb] += msign * delta
+			a.active.InsertMagnitude(f.Index, wTilde)
+			refsValid = false
+		} else if g != 0 {
+			row[l.Bucket] += l.Sign * (-step * f.Value)
+		}
+	}
+}
+
+// ensureBufs returns the per-example scratch buffers grown to cover n
+// features at the sketch's depth.
+func (a *AWMSketch) ensureBufs(n int) ([]sketch.Loc, []topk.Ref) {
+	need := n * a.cs.Depth()
+	if cap(a.locBuf) < need {
+		a.locBuf = make([]sketch.Loc, need)
+	}
+	if cap(a.refBuf) < n {
+		a.refBuf = make([]topk.Ref, n)
+	}
+	return a.locBuf[:need], a.refBuf[:n]
 }
 
 // sketchAdd adds delta (in unscaled storage units) to feature i's sketched

@@ -1,0 +1,385 @@
+package core
+
+// Equivalence tests for the fused hot path ("eXtreme Modelling" style: the
+// optimized implementation is checked against an independent executable
+// specification, not just benchmarked). refWM and refAWM below re-implement
+// Algorithms 1 and 2 exactly as the textbook Predict-then-Update
+// formulation, using only the public sketch/topk/linear APIs — each feature
+// is hashed on every access and the heap probed through the map-equivalent
+// path. The fused implementations (hash-once, depth-1 specialization,
+// ref-based heap probing) must produce bit-identical models: same sketch
+// buckets, same estimates, same top-K, same scale and step count.
+
+import (
+	"math"
+	"testing"
+
+	"wmsketch/internal/datagen"
+	"wmsketch/internal/linear"
+	"wmsketch/internal/sketch"
+	"wmsketch/internal/stream"
+	"wmsketch/internal/topk"
+)
+
+// refWM is the unfused WM-Sketch (Algorithm 1) reference.
+type refWM struct {
+	cfg      Config
+	cs       *sketch.CountSketch
+	loss     linear.Loss
+	schedule linear.Schedule
+	sqrtS    float64
+	scale    float64
+	t        int64
+	heap     *topk.Heap
+}
+
+func newRefWM(cfg Config) *refWM {
+	if cfg.Loss == nil {
+		cfg.Loss = linear.Logistic{}
+	}
+	if cfg.Schedule == nil {
+		cfg.Schedule = linear.DefaultSchedule()
+	}
+	return &refWM{
+		cfg:      cfg,
+		cs:       sketch.NewCountSketch(cfg.Depth, cfg.Width, cfg.Seed),
+		loss:     cfg.Loss,
+		schedule: cfg.Schedule,
+		sqrtS:    math.Sqrt(float64(cfg.Depth)),
+		scale:    1,
+		heap:     topk.New(cfg.HeapSize),
+	}
+}
+
+func (w *refWM) predict(x stream.Vector) float64 {
+	dot := 0.0
+	for _, f := range x {
+		dot += f.Value * w.cs.SumSigned(f.Index)
+	}
+	return dot * w.scale / w.sqrtS
+}
+
+func (w *refWM) update(x stream.Vector, y int) {
+	ys := float64(y)
+	w.t++
+	eta := w.schedule.Rate(w.t)
+	margin := ys * w.predict(x)
+	g := w.loss.Deriv(margin)
+
+	if w.cfg.Lambda > 0 {
+		if w.cfg.NoScaleTrick {
+			w.cs.Scale(1 - eta*w.cfg.Lambda)
+			w.heap.ScaleWeights(1 - eta*w.cfg.Lambda)
+		} else {
+			w.scale *= 1 - eta*w.cfg.Lambda
+			if w.scale < minScale {
+				w.cs.Scale(w.scale)
+				w.heap.ScaleWeights(w.scale)
+				w.scale = 1
+			}
+		}
+	}
+	if g != 0 {
+		step := eta * ys * g / (w.sqrtS * w.scale)
+		if w.cfg.NoScaleTrick {
+			step = eta * ys * g / w.sqrtS
+		}
+		for _, f := range x {
+			w.cs.Update(f.Index, -step*f.Value)
+		}
+	}
+	for _, f := range x {
+		w.offer(f.Index, w.sqrtS*w.cs.Estimate(f.Index))
+	}
+}
+
+func (w *refWM) offer(i uint32, est float64) {
+	if w.heap.Contains(i) {
+		w.heap.UpdateMagnitude(i, est)
+		return
+	}
+	if !w.heap.Full() {
+		w.heap.InsertMagnitude(i, est)
+		return
+	}
+	if min, _ := w.heap.Min(); math.Abs(est) > min.Score {
+		w.heap.PopMin()
+		w.heap.InsertMagnitude(i, est)
+	}
+}
+
+func (w *refWM) estimate(i uint32) float64 {
+	return w.scale * (w.sqrtS * w.cs.Estimate(i))
+}
+
+// refAWM is the unfused AWM-Sketch (Algorithm 2) reference.
+type refAWM struct {
+	cfg      Config
+	cs       *sketch.CountSketch
+	loss     linear.Loss
+	schedule linear.Schedule
+	sqrtS    float64
+	scale    float64
+	t        int64
+	active   *topk.Heap
+}
+
+func newRefAWM(cfg Config) *refAWM {
+	if cfg.Loss == nil {
+		cfg.Loss = linear.Logistic{}
+	}
+	if cfg.Schedule == nil {
+		cfg.Schedule = linear.DefaultSchedule()
+	}
+	return &refAWM{
+		cfg:      cfg,
+		cs:       sketch.NewCountSketch(cfg.Depth, cfg.Width, cfg.Seed),
+		loss:     cfg.Loss,
+		schedule: cfg.Schedule,
+		sqrtS:    math.Sqrt(float64(cfg.Depth)),
+		scale:    1,
+		active:   topk.New(cfg.HeapSize),
+	}
+}
+
+func (a *refAWM) queryUnscaled(i uint32) float64 { return a.sqrtS * a.cs.Estimate(i) }
+
+func (a *refAWM) sketchAdd(i uint32, delta float64) { a.cs.Update(i, delta/a.sqrtS) }
+
+func (a *refAWM) predict(x stream.Vector) float64 {
+	dot := 0.0
+	for _, f := range x {
+		if w, ok := a.active.Get(f.Index); ok {
+			dot += w * f.Value
+		} else {
+			dot += f.Value * a.cs.SumSigned(f.Index) / a.sqrtS
+		}
+	}
+	return dot * a.scale
+}
+
+func (a *refAWM) update(x stream.Vector, y int) {
+	ys := float64(y)
+	a.t++
+	eta := a.schedule.Rate(a.t)
+	margin := ys * a.predict(x)
+	g := a.loss.Deriv(margin)
+
+	if a.cfg.Lambda > 0 {
+		if a.cfg.NoScaleTrick {
+			decay := 1 - eta*a.cfg.Lambda
+			a.cs.Scale(decay)
+			a.active.ScaleWeights(decay)
+		} else {
+			a.scale *= 1 - eta*a.cfg.Lambda
+			if a.scale < minScale {
+				a.cs.Scale(a.scale)
+				a.active.ScaleWeights(a.scale)
+				a.scale = 1
+			}
+		}
+	}
+
+	effScale := a.scale
+	if a.cfg.NoScaleTrick {
+		effScale = 1
+	}
+	step := eta * ys * g / effScale
+
+	for _, f := range x {
+		if f.Value == 0 {
+			continue
+		}
+		if w, ok := a.active.Get(f.Index); ok {
+			if g != 0 {
+				a.active.UpdateMagnitude(f.Index, w-step*f.Value)
+			}
+			continue
+		}
+		wTilde := a.queryUnscaled(f.Index) - step*f.Value
+		if !a.active.Full() {
+			a.active.InsertMagnitude(f.Index, wTilde)
+			continue
+		}
+		min, _ := a.active.Min()
+		if math.Abs(wTilde) > min.Score {
+			a.active.PopMin()
+			delta := min.Weight - a.queryUnscaled(min.Key)
+			a.sketchAdd(min.Key, delta)
+			a.active.InsertMagnitude(f.Index, wTilde)
+		} else if g != 0 {
+			a.sketchAdd(f.Index, -step*f.Value)
+		}
+	}
+}
+
+func (a *refAWM) estimate(i uint32) float64 {
+	if w, ok := a.active.Get(i); ok {
+		return w * a.scale
+	}
+	return a.scale * a.queryUnscaled(i)
+}
+
+// equivalenceConfigs covers the depth-1 specialization, even- and
+// odd-depth medians, decay on/off, and the explicit-decay ablation.
+func equivalenceConfigs() []Config {
+	return []Config{
+		{Width: 256, Depth: 1, HeapSize: 128, Lambda: 1e-6, Seed: 11},
+		{Width: 256, Depth: 1, HeapSize: 128, Lambda: 0, Seed: 12},
+		{Width: 128, Depth: 2, HeapSize: 64, Lambda: 1e-6, Seed: 13},
+		{Width: 128, Depth: 3, HeapSize: 64, Lambda: 1e-5, Seed: 14},
+		{Width: 64, Depth: 5, HeapSize: 32, Lambda: 1e-6, Seed: 15},
+		{Width: 256, Depth: 1, HeapSize: 128, Lambda: 1e-6, Seed: 16, NoScaleTrick: true},
+		{Width: 128, Depth: 2, HeapSize: 64, Lambda: 1e-6, Seed: 17, NoScaleTrick: true},
+	}
+}
+
+func compareSketches(t *testing.T, tag string, got, want *sketch.CountSketch) {
+	t.Helper()
+	for j := 0; j < want.Depth(); j++ {
+		gr, wr := got.Row(j), want.Row(j)
+		for b := range wr {
+			if gr[b] != wr[b] {
+				t.Fatalf("%s: bucket [%d][%d] = %v, reference %v", tag, j, b, gr[b], wr[b])
+			}
+		}
+	}
+}
+
+func TestWMSketchFusedMatchesReference(t *testing.T) {
+	for _, cfg := range equivalenceConfigs() {
+		gen := datagen.RCV1Like(cfg.Seed)
+		fused := NewWMSketch(cfg)
+		ref := newRefWM(cfg)
+		for i := 0; i < 2000; i++ {
+			ex := gen.Next()
+			fused.Update(ex.X, ex.Y)
+			ref.update(ex.X, ex.Y)
+		}
+		tag := tagOf(cfg)
+		if fused.Steps() != ref.t {
+			t.Fatalf("%s: steps %d vs %d", tag, fused.Steps(), ref.t)
+		}
+		if fused.Scale() != ref.scale {
+			t.Fatalf("%s: scale %v vs %v", tag, fused.Scale(), ref.scale)
+		}
+		compareSketches(t, tag, fused.Sketch(), ref.cs)
+		for i := uint32(0); i < 4096; i++ {
+			if g, w := fused.Estimate(i), ref.estimate(i); g != w {
+				t.Fatalf("%s: Estimate(%d) = %v, reference %v", tag, i, g, w)
+			}
+		}
+		probe := gen.Next().X
+		if g, w := fused.Predict(probe), ref.predict(probe); g != w {
+			t.Fatalf("%s: Predict = %v, reference %v", tag, g, w)
+		}
+		// The passive heaps must hold identical key sets. (TopK re-estimates
+		// entries, so ask for the whole heap and compare membership.)
+		gotTop := fused.TopK(cfg.HeapSize)
+		if len(gotTop) != ref.heap.Len() {
+			t.Fatalf("%s: heap sizes differ: %d vs %d", tag, len(gotTop), ref.heap.Len())
+		}
+		gotSet := map[uint32]bool{}
+		for _, e := range gotTop {
+			gotSet[e.Index] = true
+		}
+		for _, e := range ref.heap.Entries() {
+			if !gotSet[e.Key] {
+				t.Fatalf("%s: reference heap key %d missing from fused heap", tag, e.Key)
+			}
+		}
+	}
+}
+
+func TestAWMSketchFusedMatchesReference(t *testing.T) {
+	for _, cfg := range equivalenceConfigs() {
+		gen := datagen.RCV1Like(cfg.Seed + 100)
+		fused := NewAWMSketch(cfg)
+		ref := newRefAWM(cfg)
+		for i := 0; i < 2000; i++ {
+			ex := gen.Next()
+			fused.Update(ex.X, ex.Y)
+			ref.update(ex.X, ex.Y)
+		}
+		tag := tagOf(cfg)
+		if fused.Scale() != ref.scale {
+			t.Fatalf("%s: scale %v vs %v", tag, fused.Scale(), ref.scale)
+		}
+		compareSketches(t, tag, fused.Sketch(), ref.cs)
+		if fused.ActiveSetSize() != ref.active.Len() {
+			t.Fatalf("%s: active set size %d vs %d", tag, fused.ActiveSetSize(), ref.active.Len())
+		}
+		for i := uint32(0); i < 4096; i++ {
+			if g, w := fused.Estimate(i), ref.estimate(i); g != w {
+				t.Fatalf("%s: Estimate(%d) = %v, reference %v", tag, i, g, w)
+			}
+		}
+		probe := gen.Next().X
+		if g, w := fused.Predict(probe), ref.predict(probe); g != w {
+			t.Fatalf("%s: Predict = %v, reference %v", tag, g, w)
+		}
+	}
+}
+
+// TestAWMSketchDuplicateFeaturesMatchReference drives the rare in-example
+// paths: duplicate feature indices, zero values, and a heap so small that a
+// feature resident at predict time is evicted before its second occurrence
+// is processed (the spareLocs fallback).
+func TestAWMSketchDuplicateFeaturesMatchReference(t *testing.T) {
+	for _, depth := range []int{1, 2, 3} {
+		cfg := Config{Width: 32, Depth: depth, HeapSize: 2, Lambda: 1e-4, Seed: 21}
+		fused := NewAWMSketch(cfg)
+		ref := newRefAWM(cfg)
+		y := 1
+		for i := 0; i < 500; i++ {
+			a := uint32(i % 7)
+			b := uint32(i % 5)
+			x := stream.Vector{
+				{Index: a, Value: 1},
+				{Index: b, Value: 0.5},
+				{Index: a, Value: -0.25}, // duplicate of the first feature
+				{Index: uint32(i % 11), Value: 0},
+				{Index: b, Value: 2}, // duplicate of the second feature
+			}
+			fused.Update(x, y)
+			ref.update(x, y)
+			y = -y
+		}
+		tag := tagOf(cfg)
+		compareSketches(t, tag, fused.Sketch(), ref.cs)
+		for i := uint32(0); i < 16; i++ {
+			if g, w := fused.Estimate(i), ref.estimate(i); g != w {
+				t.Fatalf("%s: Estimate(%d) = %v, reference %v", tag, i, g, w)
+			}
+		}
+	}
+}
+
+func tagOf(cfg Config) string {
+	tag := "depth=" + itoa(cfg.Depth) + " lambda>0=" + boolStr(cfg.Lambda > 0)
+	if cfg.NoScaleTrick {
+		tag += " noscale"
+	}
+	return tag
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+func boolStr(b bool) string {
+	if b {
+		return "true"
+	}
+	return "false"
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"math"
+	"sync/atomic"
+
+	"wmsketch/internal/linear"
+	"wmsketch/internal/sketch"
+	"wmsketch/internal/stream"
+	"wmsketch/internal/topk"
+)
+
+// Hogwild-style lock-free training (Section 9). All workers apply gradient
+// steps to one shared Count-Sketch through compare-and-swap adds; no lock
+// is ever taken on the update path. Section 9 observes that sketched
+// gradient updates tolerate this: the sketch is a linear projection, so
+// lost ordering only perturbs which intermediate margins gradients are
+// computed against (bounded staleness, as in Recht et al.'s HOGWILD!), not
+// where the mass lands.
+//
+// Unlike the racy textbook formulation, every shared access here is atomic,
+// so the implementation is exact under the Go memory model and clean under
+// the race detector — "lock-free" rather than "data-race-y". Each worker
+// keeps a private passive top-K heap (the WM-Sketch flavor; an AWM active
+// set holds exact weights and cannot be shared without locks), and the
+// sharded merger unions the heaps' candidates at snapshot time.
+//
+// The learning-rate schedule is driven by a shared atomic step counter, and
+// ℓ2 decay is unsupported (the lazy global scale factor would itself need
+// synchronization); NewSharded enforces Lambda == 0.
+
+// hogwildState is the state shared by all Hogwild workers.
+type hogwildState struct {
+	cs *sketch.CountSketch
+	t  atomic.Int64
+}
+
+func newHogwildState(cfg Config) *hogwildState {
+	return &hogwildState{cs: sketch.NewCountSketch(cfg.Depth, cfg.Width, cfg.Seed)}
+}
+
+// hogwildWorker is one worker's view: the shared sketch plus a private heap
+// and scratch buffers. Only its owning goroutine touches the private parts.
+type hogwildWorker struct {
+	st       *hogwildState
+	loss     linear.Loss
+	schedule linear.Schedule
+	sqrtS    float64
+	heap     *topk.Heap
+	locBuf   []sketch.Loc
+	steps    int64
+}
+
+func newHogwildWorker(st *hogwildState, cfg Config) *hogwildWorker {
+	return &hogwildWorker{
+		st:       st,
+		loss:     cfg.Loss,
+		schedule: cfg.Schedule,
+		sqrtS:    math.Sqrt(float64(cfg.Depth)),
+		heap:     topk.New(cfg.HeapSize),
+	}
+}
+
+// update is the fused WM-style gradient step against the shared sketch:
+// hash once per feature, atomic reads for the margin, CAS adds for the
+// gradient, atomic reads again for the heap refresh.
+func (hw *hogwildWorker) update(x stream.Vector, y int) {
+	ys := sgn(y)
+	t := hw.st.t.Add(1)
+	eta := hw.schedule.Rate(t)
+	cs := hw.st.cs
+	s := cs.Depth()
+
+	need := len(x) * s
+	if cap(hw.locBuf) < need {
+		hw.locBuf = make([]sketch.Loc, need)
+	}
+	locs := hw.locBuf[:need]
+
+	dot := 0.0
+	for i, f := range x {
+		l := locs[i*s : (i+1)*s]
+		cs.Locate(f.Index, l)
+		dot += f.Value * cs.AtomicSumAt(l)
+	}
+	margin := ys * (dot / hw.sqrtS)
+	g := hw.loss.Deriv(margin)
+
+	if g != 0 {
+		step := eta * ys * g / hw.sqrtS
+		for i, f := range x {
+			cs.AtomicAddAt(locs[i*s:(i+1)*s], -step*f.Value)
+		}
+	}
+	for i, f := range x {
+		hw.offer(f.Index, hw.sqrtS*cs.AtomicEstimateAt(locs[i*s:(i+1)*s]))
+	}
+	hw.steps++
+}
+
+// offer maintains the worker-private passive heap (same policy as the
+// WM-Sketch's offerToHeap).
+func (hw *hogwildWorker) offer(i uint32, est float64) {
+	if r, ok := hw.heap.GetRef(i); ok {
+		hw.heap.UpdateMagnitudeRef(r, est)
+		return
+	}
+	if !hw.heap.Full() {
+		hw.heap.InsertMagnitude(i, est)
+		return
+	}
+	if min, _ := hw.heap.Min(); absf(est) > min.Score {
+		hw.heap.PopMin()
+		hw.heap.InsertMagnitude(i, est)
+	}
+}

@@ -1,0 +1,532 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"wmsketch/internal/sketch"
+	"wmsketch/internal/stream"
+)
+
+// Sharded is a parallel learner that scales WM-/AWM-Sketch training across
+// cores, realizing the asynchronous-update extension sketched in Section 9
+// of the paper. The incoming stream is partitioned round-robin across P
+// workers. In the default mode each worker owns a *private* sketch and
+// heap — no shared mutable state on the update path at all — and the
+// per-shard models are periodically merged into a read-only snapshot by
+// exploiting Count-Sketch linearity (internal/sketch/merge.go): the average
+// of the shard sketches is exactly the sketch of the averaged shard models
+// (parameter mixing). In Hogwild mode (ShardedOptions.Hogwild) all workers
+// share a single sketch updated with lock-free compare-and-swap adds
+// instead, trading bounded gradient staleness for zero merge latency.
+//
+// Queries (Predict/Estimate/TopK) are served from the most recent merged
+// snapshot under a read lock, so they never contend with training beyond
+// the snapshot swap. The snapshot refreshes every SyncEvery updates and on
+// demand via Sync.
+//
+// Concurrency contract: Update may be called from any number of
+// goroutines. The vector passed to Update is retained until a worker
+// processes it and must not be mutated afterwards. Close must not run
+// concurrently with Update. Config.Loss and Config.Schedule must be
+// stateless (all implementations in internal/linear are).
+type Sharded struct {
+	cfg      Config
+	opt      ShardedOptions
+	sqrtS    float64
+	workers  []*shardWorker
+	hog      *hogwildState // non-nil in Hogwild mode
+	memBytes int
+
+	next    atomic.Uint64 // round-robin router
+	pending atomic.Int64  // updates routed since construction
+	closed  atomic.Bool
+
+	syncMu    sync.Mutex // single-flight snapshot/merge
+	viewMu    sync.RWMutex
+	view      *mergedModel
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+}
+
+// ShardVariant selects the per-shard model type.
+type ShardVariant int
+
+const (
+	// ShardAWM gives each worker a private AWM-Sketch (the default; the
+	// paper's best-performing configuration).
+	ShardAWM ShardVariant = iota
+	// ShardWM gives each worker a private basic WM-Sketch.
+	ShardWM
+)
+
+// ShardedOptions configures the parallel learner.
+type ShardedOptions struct {
+	// Workers is the number of training goroutines. Defaults to
+	// runtime.GOMAXPROCS(0).
+	Workers int
+	// QueueSize is each worker's input buffer in examples. Defaults to 256.
+	QueueSize int
+	// SyncEvery refreshes the merged query snapshot after this many routed
+	// updates. 0 selects the default (65536); negative disables automatic
+	// refresh (snapshots then only rebuild on explicit Sync/Close).
+	SyncEvery int
+	// Hogwild shares one sketch across all workers with lock-free CAS
+	// updates (Section 9) instead of private shards. Requires Lambda == 0:
+	// the lazy global decay factor cannot be maintained without
+	// synchronization. Workers keep private passive top-K heaps (WM-style);
+	// Variant is ignored.
+	Hogwild bool
+	// Variant selects the per-shard model in private-shard mode.
+	Variant ShardVariant
+}
+
+func (o *ShardedOptions) fill() {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.QueueSize <= 0 {
+		o.QueueSize = 256
+	}
+	if o.SyncEvery == 0 {
+		o.SyncEvery = 65536
+	}
+}
+
+// shardMsg is one unit of work for a worker: a training example, a batch
+// of examples, or (when snap is non-nil) a request to report the worker's
+// current state. Snapshot requests ride the same FIFO channel as examples,
+// so a reply reflects every example routed to that worker before the
+// request.
+type shardMsg struct {
+	x     stream.Vector
+	y     int
+	batch []stream.Example
+	snap  chan<- *shardSnapshot
+}
+
+// shardSnapshot is a worker's state handed to the merger: a deep copy with
+// the global scale folded in and (for AWM shards) the active set written
+// back, plus the worker's heavy-hitter candidates with their true-scale
+// weights (exact for AWM active sets, heap estimates for WM).
+type shardSnapshot struct {
+	folded *sketch.CountSketch // nil in Hogwild mode (the sketch is shared)
+	heavy  []stream.Weighted
+	steps  int64
+}
+
+type shardWorker struct {
+	in    chan shardMsg
+	model shardModel     // private-shard mode
+	hw    *hogwildWorker // Hogwild mode
+}
+
+// shardModel is the contract a per-shard learner must satisfy to be
+// mergeable: in addition to normal learning it can produce a folded deep
+// copy of its sketch (scale applied, exact heap weights reconciled) and
+// report its heavy-hitter candidates with true-scale weights.
+type shardModel interface {
+	stream.Learner
+	Steps() int64
+	foldedSketch() *sketch.CountSketch
+	heavyWeights() []stream.Weighted
+}
+
+// foldedSketch returns a deep copy of the WM-Sketch's projection with the
+// lazy decay factor folded into the buckets, so that √s·median queries on
+// the copy return true-scale weights.
+func (w *WMSketch) foldedSketch() *sketch.CountSketch {
+	c := w.cs.Clone()
+	if w.scale != 1 {
+		c.Scale(w.scale)
+	}
+	return c
+}
+
+func (w *WMSketch) heavyWeights() []stream.Weighted {
+	entries := w.heap.Entries()
+	out := make([]stream.Weighted, len(entries))
+	for i, e := range entries {
+		out[i] = stream.Weighted{Index: e.Key, Weight: w.scale * e.Weight}
+	}
+	return out
+}
+
+// foldedSketch returns a deep copy of the AWM-Sketch's projection with
+// every active-set weight written back (sketch(i) += S[i] − Query(i), the
+// same reconciliation Algorithm 2 performs on eviction) and the decay
+// factor folded in, so the copy answers √s·median queries for *all*
+// features, heap-resident or not.
+func (a *AWMSketch) foldedSketch() *sketch.CountSketch {
+	c := a.cs.Clone()
+	for _, e := range a.active.Entries() {
+		delta := e.Weight - a.sqrtS*c.Estimate(e.Key)
+		c.Update(e.Key, delta/a.sqrtS)
+	}
+	if a.scale != 1 {
+		c.Scale(a.scale)
+	}
+	return c
+}
+
+func (a *AWMSketch) heavyWeights() []stream.Weighted {
+	entries := a.active.Entries()
+	out := make([]stream.Weighted, len(entries))
+	for i, e := range entries {
+		out[i] = stream.Weighted{Index: e.Key, Weight: e.Weight * a.scale}
+	}
+	return out
+}
+
+// NewSharded returns a parallel learner over cfg with opt.Workers training
+// goroutines already running. Callers must Close it to stop the workers and
+// fold the final state into the query snapshot.
+func NewSharded(cfg Config, opt ShardedOptions) *Sharded {
+	cfg.fill()
+	opt.fill()
+	if opt.Hogwild && cfg.Lambda != 0 {
+		panic(fmt.Sprintf("core: Hogwild mode requires Lambda == 0 (lazy decay needs synchronization), got %g", cfg.Lambda))
+	}
+	s := &Sharded{
+		cfg:   cfg,
+		opt:   opt,
+		sqrtS: math.Sqrt(float64(cfg.Depth)),
+	}
+	s.workers = make([]*shardWorker, opt.Workers)
+	if opt.Hogwild {
+		s.hog = newHogwildState(cfg)
+		for i := range s.workers {
+			s.workers[i] = &shardWorker{
+				in: make(chan shardMsg, opt.QueueSize),
+				hw: newHogwildWorker(s.hog, cfg),
+			}
+		}
+		// One shared sketch plus a private heap per worker.
+		s.memBytes = s.hog.cs.MemoryBytes() + opt.Workers*s.workers[0].hw.heap.MemoryBytes(false)
+	} else {
+		for i := range s.workers {
+			var m shardModel
+			if opt.Variant == ShardWM {
+				m = NewWMSketch(cfg)
+			} else {
+				m = NewAWMSketch(cfg)
+			}
+			s.workers[i] = &shardWorker{in: make(chan shardMsg, opt.QueueSize), model: m}
+		}
+		s.memBytes = opt.Workers * s.workers[0].model.MemoryBytes()
+	}
+	// Start with an empty (zero-sketch) snapshot so queries before the
+	// first sync are well defined.
+	s.view = &mergedModel{
+		cs:    sketch.NewCountSketch(cfg.Depth, cfg.Width, cfg.Seed),
+		sqrtS: s.sqrtS,
+	}
+	s.wg.Add(len(s.workers))
+	for _, w := range s.workers {
+		go s.runWorker(w)
+	}
+	return s
+}
+
+func (s *Sharded) runWorker(w *shardWorker) {
+	defer s.wg.Done()
+	for msg := range w.in {
+		switch {
+		case msg.snap != nil:
+			msg.snap <- w.snapshot()
+		case msg.batch != nil:
+			if w.hw != nil {
+				for _, ex := range msg.batch {
+					w.hw.update(ex.X, ex.Y)
+				}
+			} else {
+				for _, ex := range msg.batch {
+					w.model.Update(ex.X, ex.Y)
+				}
+			}
+		default:
+			if w.hw != nil {
+				w.hw.update(msg.x, msg.y)
+			} else {
+				w.model.Update(msg.x, msg.y)
+			}
+		}
+	}
+}
+
+func (w *shardWorker) snapshot() *shardSnapshot {
+	if w.hw != nil {
+		keys := w.hw.heap.Keys()
+		heavy := make([]stream.Weighted, len(keys))
+		for i, k := range keys {
+			heavy[i] = stream.Weighted{Index: k}
+		}
+		return &shardSnapshot{heavy: heavy, steps: w.hw.steps}
+	}
+	return &shardSnapshot{
+		folded: w.model.foldedSketch(),
+		heavy:  w.model.heavyWeights(),
+		steps:  w.model.Steps(),
+	}
+}
+
+// Update routes example (x, y) to a worker. It blocks only when the
+// worker's queue is full, and briefly when it is the update that triggers a
+// periodic snapshot refresh. High-throughput producers should prefer
+// UpdateBatch: a channel synchronization per example costs more than a
+// depth-1 sketch update itself.
+func (s *Sharded) Update(x stream.Vector, y int) {
+	if s.closed.Load() {
+		panic("core: Update on closed Sharded")
+	}
+	i := int(s.next.Add(1)-1) % len(s.workers)
+	s.workers[i].in <- shardMsg{x: x, y: y}
+	if n := s.pending.Add(1); s.opt.SyncEvery > 0 && n%int64(s.opt.SyncEvery) == 0 {
+		s.Sync()
+	}
+}
+
+// UpdateBatch routes a batch of examples, splitting it into one contiguous
+// chunk per worker so the channel synchronization is amortized over
+// len(batch)/Workers examples. The starting worker rotates per call, so
+// repeated batches spread load evenly. The batch (and the vectors inside)
+// must not be mutated after the call.
+func (s *Sharded) UpdateBatch(batch []stream.Example) {
+	if s.closed.Load() {
+		panic("core: UpdateBatch on closed Sharded")
+	}
+	n := len(batch)
+	if n == 0 {
+		return
+	}
+	p := len(s.workers)
+	chunk := (n + p - 1) / p
+	start := int(s.next.Add(1)-1) % p
+	for i, c := 0, 0; i < n; i, c = i+chunk, c+1 {
+		end := i + chunk
+		if end > n {
+			end = n
+		}
+		s.workers[(start+c)%p].in <- shardMsg{batch: batch[i:end]}
+	}
+	prev := s.pending.Add(int64(n)) - int64(n)
+	if se := int64(s.opt.SyncEvery); se > 0 && (prev+int64(n))/se > prev/se {
+		s.Sync()
+	}
+}
+
+// Sync rebuilds the merged query snapshot from the current worker states.
+// It blocks until every example routed before the call has been applied
+// (the snapshot request travels the same FIFO queues as the examples).
+// Concurrent Syncs coalesce behind a single-flight lock.
+func (s *Sharded) Sync() {
+	s.syncMu.Lock()
+	defer s.syncMu.Unlock()
+	if s.closed.Load() {
+		return // final snapshot was installed by Close
+	}
+	replies := make([]chan *shardSnapshot, len(s.workers))
+	for i, w := range s.workers {
+		ch := make(chan *shardSnapshot, 1)
+		replies[i] = ch
+		w.in <- shardMsg{snap: ch}
+	}
+	snaps := make([]*shardSnapshot, len(replies))
+	for i, ch := range replies {
+		snaps[i] = <-ch
+	}
+	s.install(s.buildView(snaps))
+}
+
+// Close stops the workers, waits for queued examples to drain, and installs
+// the final merged snapshot. Queries remain valid after Close; Update
+// panics. Close is idempotent and must not race with Update.
+func (s *Sharded) Close() {
+	s.closeOnce.Do(func() {
+		s.syncMu.Lock()
+		defer s.syncMu.Unlock()
+		s.closed.Store(true)
+		for _, w := range s.workers {
+			close(w.in)
+		}
+		s.wg.Wait()
+		// Workers have exited; wg.Wait is the happens-before barrier that
+		// makes their private state safe to read directly.
+		snaps := make([]*shardSnapshot, len(s.workers))
+		for i, w := range s.workers {
+			snaps[i] = w.snapshot()
+		}
+		s.install(s.buildView(snaps))
+	})
+}
+
+func (s *Sharded) install(v *mergedModel) {
+	s.viewMu.Lock()
+	s.view = v
+	s.viewMu.Unlock()
+}
+
+func (s *Sharded) currentView() *mergedModel {
+	s.viewMu.RLock()
+	v := s.view
+	s.viewMu.RUnlock()
+	return v
+}
+
+// buildView merges shard snapshots into a read-only model. In Hogwild mode
+// the shared sketch is atomically cloned and the union of worker heap keys
+// is re-estimated against it. In private-shard mode the folded shard
+// sketches are averaged (parameter mixing over the sub-stream models), and
+// every heavy-key candidate additionally gets an "exact" mixed weight — the
+// average over shards of the shard's exact heap weight where the key is
+// heap-resident and its sketch estimate where not — which Estimate and
+// TopK prefer over the (collision-noisier) merged-sketch query.
+func (s *Sharded) buildView(snaps []*shardSnapshot) *mergedModel {
+	if s.hog != nil {
+		merged := s.hog.cs.AtomicClone()
+		seen := make(map[uint32]struct{})
+		var top []stream.Weighted
+		for _, sn := range snaps {
+			for _, hv := range sn.heavy {
+				if _, dup := seen[hv.Index]; dup {
+					continue
+				}
+				seen[hv.Index] = struct{}{}
+				top = append(top, stream.Weighted{Index: hv.Index, Weight: s.sqrtS * merged.Estimate(hv.Index)})
+			}
+		}
+		stream.SortWeighted(top)
+		if len(top) > s.cfg.HeapSize {
+			top = top[:s.cfg.HeapSize]
+		}
+		return &mergedModel{cs: merged, sqrtS: s.sqrtS, top: top}
+	}
+
+	var live []*shardSnapshot
+	for _, sn := range snaps {
+		if sn.steps > 0 {
+			live = append(live, sn)
+		}
+	}
+	// Mixed candidate weights, computed against the per-shard folded
+	// sketches before they are destructively merged below.
+	exact := make(map[uint32]float64)
+	if len(live) > 0 {
+		shardVal := make([]map[uint32]float64, len(live))
+		for i, sn := range live {
+			m := make(map[uint32]float64, len(sn.heavy))
+			for _, hv := range sn.heavy {
+				m[hv.Index] = hv.Weight
+			}
+			shardVal[i] = m
+		}
+		for _, sn := range live {
+			for _, hv := range sn.heavy {
+				k := hv.Index
+				if _, done := exact[k]; done {
+					continue
+				}
+				sum := 0.0
+				for i, other := range live {
+					if v, ok := shardVal[i][k]; ok {
+						sum += v
+					} else {
+						sum += s.sqrtS * other.folded.Estimate(k)
+					}
+				}
+				exact[k] = sum / float64(len(live))
+			}
+		}
+	}
+	var merged *sketch.CountSketch
+	for _, sn := range live {
+		if merged == nil {
+			merged = sn.folded
+		} else {
+			// Same shape and seed by construction; Merge cannot fail.
+			if err := merged.Merge(sn.folded); err != nil {
+				panic("core: shard merge: " + err.Error())
+			}
+		}
+	}
+	if merged == nil {
+		merged = sketch.NewCountSketch(s.cfg.Depth, s.cfg.Width, s.cfg.Seed)
+	} else if len(live) > 1 {
+		merged.Scale(1 / float64(len(live)))
+	}
+	top := make([]stream.Weighted, 0, len(exact))
+	for k, v := range exact {
+		top = append(top, stream.Weighted{Index: k, Weight: v})
+	}
+	stream.SortWeighted(top)
+	if len(top) > s.cfg.HeapSize {
+		top = top[:s.cfg.HeapSize]
+	}
+	return &mergedModel{cs: merged, sqrtS: s.sqrtS, top: top, exact: exact}
+}
+
+// Predict evaluates the margin under the current merged snapshot.
+func (s *Sharded) Predict(x stream.Vector) float64 {
+	return s.currentView().predict(x)
+}
+
+// Estimate returns the merged-model weight estimate for feature i, as of
+// the last snapshot refresh.
+func (s *Sharded) Estimate(i uint32) float64 {
+	return s.currentView().estimate(i)
+}
+
+// TopK returns the k heaviest features of the merged model, as of the last
+// snapshot refresh.
+func (s *Sharded) TopK(k int) []stream.Weighted {
+	return s.currentView().topK(k)
+}
+
+// Steps returns the number of updates routed so far (not necessarily yet
+// applied by the workers).
+func (s *Sharded) Steps() int64 { return s.pending.Load() }
+
+// MemoryBytes reports the aggregate cost-model footprint of the training
+// state: P private shards, or in Hogwild mode one shared sketch plus P
+// private heaps. The merged query snapshot is transient and not charged.
+func (s *Sharded) MemoryBytes() int { return s.memBytes }
+
+// mergedModel is an immutable merged snapshot served to queries. All its
+// methods are read-only and safe for concurrent use.
+type mergedModel struct {
+	cs    *sketch.CountSketch
+	sqrtS float64
+	top   []stream.Weighted // descending |weight|, ≤ HeapSize entries
+	// exact holds mixed heavy-key weights (private-shard mode); preferred
+	// over the merged-sketch median query when present.
+	exact map[uint32]float64
+}
+
+func (m *mergedModel) estimate(i uint32) float64 {
+	if w, ok := m.exact[i]; ok {
+		return w
+	}
+	return m.sqrtS * m.cs.Estimate(i)
+}
+
+func (m *mergedModel) predict(x stream.Vector) float64 {
+	dot := 0.0
+	for _, f := range x {
+		dot += f.Value * m.cs.SumSigned(f.Index)
+	}
+	return dot / m.sqrtS
+}
+
+func (m *mergedModel) topK(k int) []stream.Weighted {
+	if k > len(m.top) {
+		k = len(m.top)
+	}
+	out := make([]stream.Weighted, k)
+	copy(out, m.top[:k])
+	return out
+}
+
+var _ stream.Learner = (*Sharded)(nil)

@@ -23,6 +23,11 @@ type WMSketch struct {
 	scale    float64 // global decay factor α; true z = scale · stored z
 	t        int64
 	heap     *topk.Heap // passive top-weight tracking (unscaled scores)
+	// locBuf holds each feature's (bucket, sign) locations for the example
+	// being processed, so Update hashes each feature exactly once and reuses
+	// the locations for the margin read, the gradient write, and the heap
+	// refresh. Grown on demand; never shared across goroutines.
+	locBuf []sketch.Loc
 }
 
 // NewWMSketch returns a WM-Sketch with the given configuration.
@@ -55,11 +60,32 @@ func (w *WMSketch) Predict(x stream.Vector) float64 {
 //
 // using the lazy global-scale trick for the decay term, so the cost is
 // O(s·nnz(x)) (plus heap maintenance).
+//
+// The implementation fuses the prediction into the update: each feature is
+// hashed exactly once per example, and the recorded (bucket, sign)
+// locations are reused for the margin, the gradient write, and the heap
+// refresh. Depth-1 sketches take a dedicated path that also skips the √s
+// scaling and the per-row loop. Both paths produce bit-identical results to
+// the textbook Predict-then-Update formulation (asserted by the equivalence
+// tests).
 func (w *WMSketch) Update(x stream.Vector, y int) {
+	if w.cs.Depth() == 1 {
+		w.updateDepth1(x, y)
+		return
+	}
 	ys := sgn(y)
 	w.t++
 	eta := w.schedule.Rate(w.t)
-	margin := ys * w.Predict(x)
+
+	s := w.cs.Depth()
+	locs := w.ensureLocs(len(x) * s)
+	dot := 0.0
+	for i, f := range x {
+		l := locs[i*s : (i+1)*s]
+		w.cs.Locate(f.Index, l)
+		dot += f.Value * w.cs.SumAt(l)
+	}
+	margin := ys * (dot * w.scale / w.sqrtS)
 	g := w.loss.Deriv(margin)
 
 	if w.cfg.Lambda > 0 {
@@ -80,22 +106,80 @@ func (w *WMSketch) Update(x stream.Vector, y int) {
 		if w.cfg.NoScaleTrick {
 			step = eta * ys * g / w.sqrtS
 		}
-		for _, f := range x {
-			w.cs.Update(f.Index, -step*f.Value)
+		for i, f := range x {
+			w.cs.AddAt(locs[i*s:(i+1)*s], -step*f.Value)
 		}
 	}
 	// Passively refresh the heap with the touched features' new estimates.
-	for _, f := range x {
-		w.offerToHeap(f.Index)
+	for i, f := range x {
+		w.offerToHeap(f.Index, w.sqrtS*w.cs.EstimateAt(locs[i*s:(i+1)*s]))
 	}
 }
 
-// offerToHeap inserts or refreshes feature i with its current unscaled
+// updateDepth1 is Update specialized for Depth=1: one hash per feature, no
+// row loop, no median, and no √s multiplies (√1 = 1, so eliding them is
+// exact).
+func (w *WMSketch) updateDepth1(x stream.Vector, y int) {
+	ys := sgn(y)
+	w.t++
+	eta := w.schedule.Rate(w.t)
+
+	cs := w.cs
+	tab := cs.Hashes().Row(0)
+	row := cs.Row(0)
+	width := cs.Width()
+	locs := w.ensureLocs(len(x))
+
+	dot := 0.0
+	for i, f := range x {
+		b, sign := tab.BucketSign(f.Index, width)
+		locs[i] = sketch.Loc{Bucket: int32(b), Sign: sign}
+		dot += f.Value * (sign * row[b])
+	}
+	margin := ys * (dot * w.scale)
+	g := w.loss.Deriv(margin)
+
+	if w.cfg.Lambda > 0 {
+		if w.cfg.NoScaleTrick {
+			cs.Scale(1 - eta*w.cfg.Lambda)
+			w.heap.ScaleWeights(1 - eta*w.cfg.Lambda)
+		} else {
+			w.scale *= 1 - eta*w.cfg.Lambda
+			if w.scale < minScale {
+				w.renormalize()
+			}
+		}
+	}
+	if g != 0 {
+		step := eta * ys * g / w.scale
+		if w.cfg.NoScaleTrick {
+			step = eta * ys * g
+		}
+		for i, f := range x {
+			l := locs[i]
+			row[l.Bucket] += l.Sign * (-step * f.Value)
+		}
+	}
+	for i, f := range x {
+		l := locs[i]
+		w.offerToHeap(f.Index, l.Sign*row[l.Bucket])
+	}
+}
+
+// ensureLocs returns the reusable location buffer grown to at least n.
+func (w *WMSketch) ensureLocs(n int) []sketch.Loc {
+	if cap(w.locBuf) < n {
+		w.locBuf = make([]sketch.Loc, n)
+	}
+	return w.locBuf[:n]
+}
+
+// offerToHeap inserts or refreshes feature i with est, its current unscaled
 // estimate. Unscaled values keep heap ordering consistent across decay.
-func (w *WMSketch) offerToHeap(i uint32) {
-	est := w.queryUnscaled(i)
-	if w.heap.Contains(i) {
-		w.heap.UpdateMagnitude(i, est)
+// A single index probe covers both the membership test and the update.
+func (w *WMSketch) offerToHeap(i uint32, est float64) {
+	if r, ok := w.heap.GetRef(i); ok {
+		w.heap.UpdateMagnitudeRef(r, est)
 		return
 	}
 	if !w.heap.Full() {

@@ -99,3 +99,16 @@ func (f *Family) Row(j int) *Tabulation { return f.rows[j] }
 func (f *Family) BucketSign(j int, key uint32, width int) (int, float64) {
 	return f.rows[j].BucketSign(key, width)
 }
+
+// BucketsSigns fills buckets[j] and signs[j] for every row with a single
+// hash evaluation per row. This is the hash-once primitive backing the fused
+// predict+update hot path: callers record the locations once per (feature,
+// example) pair and reuse them for the margin, the gradient write, and the
+// post-update estimate. Both slices must have length ≥ Depth().
+func (f *Family) BucketsSigns(key uint32, width int, buckets []int32, signs []float64) {
+	for j, row := range f.rows {
+		b, sign := row.BucketSign(key, width)
+		buckets[j] = int32(b)
+		signs[j] = sign
+	}
+}

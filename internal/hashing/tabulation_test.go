@@ -153,6 +153,22 @@ func TestFamilyBucketSignMatchesRow(t *testing.T) {
 	}
 }
 
+func TestFamilyBucketsSignsMatchesPerRow(t *testing.T) {
+	f := NewFamily(4, 33)
+	buckets := make([]int32, 4)
+	signs := make([]float64, 4)
+	for key := uint32(0); key < 500; key++ {
+		f.BucketsSigns(key, 256, buckets, signs)
+		for j := 0; j < 4; j++ {
+			b, s := f.BucketSign(j, key, 256)
+			if buckets[j] != int32(b) || signs[j] != s {
+				t.Fatalf("row %d key %d: BucketsSigns (%d,%g) != BucketSign (%d,%g)",
+					j, key, buckets[j], signs[j], b, s)
+			}
+		}
+	}
+}
+
 func TestFamilyPanicsOnZeroDepth(t *testing.T) {
 	defer func() {
 		if recover() == nil {

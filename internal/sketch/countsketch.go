@@ -20,15 +20,28 @@ import (
 //
 // The value type is float64 rather than an integer counter because the
 // WM-Sketch applies real-valued gradient updates to the same structure.
+//
+// Two hot-path specializations matter for throughput:
+//
+//   - Depth 1 (the paper's uniformly-best AWM-Sketch configuration, Section
+//     7.2) skips the row loop, the median, and its scratch buffer entirely:
+//     the estimate of a key is just sign·bucket.
+//   - The Loc-based API (Locate / SumAt / AddAt / EstimateAt) hashes each key
+//     exactly once per example and reuses the recorded (bucket, sign) pairs
+//     for the prediction read, the gradient write, and the post-update
+//     estimate, instead of re-hashing on each access.
 type CountSketch struct {
 	depth  int
 	width  int
 	seed   int64
 	rows   [][]float64
 	hashes *hashing.Family
-	// scratch buffer reused by Estimate to avoid per-query allocation.
-	scratch []float64
 }
+
+// maxStackDepth bounds the depth for which query paths use a stack-resident
+// median buffer; deeper sketches (never used by the paper, which tops out at
+// depth 8) fall back to an allocation per query.
+const maxStackDepth = 8
 
 // NewCountSketch returns a Count-Sketch with the given depth (number of
 // independent rows) and width (buckets per row), seeded deterministically.
@@ -45,12 +58,11 @@ func NewCountSketch(depth, width int, seed int64) *CountSketch {
 		rows[j], backing = backing[:width], backing[width:]
 	}
 	return &CountSketch{
-		depth:   depth,
-		width:   width,
-		seed:    seed,
-		rows:    rows,
-		hashes:  hashing.NewFamily(depth, seed),
-		scratch: make([]float64, depth),
+		depth:  depth,
+		width:  width,
+		seed:   seed,
+		rows:   rows,
+		hashes: hashing.NewFamily(depth, seed),
 	}
 }
 
@@ -65,6 +77,11 @@ func (cs *CountSketch) Size() int { return cs.depth * cs.width }
 
 // Update adds delta to key's bucket in every row, multiplied by the row sign.
 func (cs *CountSketch) Update(key uint32, delta float64) {
+	if cs.depth == 1 {
+		b, sign := cs.hashes.Row(0).BucketSign(key, cs.width)
+		cs.rows[0][b] += sign * delta
+		return
+	}
 	for j := 0; j < cs.depth; j++ {
 		b, sign := cs.hashes.BucketSign(j, key, cs.width)
 		cs.rows[j][b] += sign * delta
@@ -72,24 +89,101 @@ func (cs *CountSketch) Update(key uint32, delta float64) {
 }
 
 // Estimate returns the median-of-signs point estimate for key.
+//
+// The median buffer lives on the stack (for depth ≤ 8), so Estimate is safe
+// to call from multiple goroutines concurrently as long as no goroutine is
+// writing the sketch.
 func (cs *CountSketch) Estimate(key uint32) float64 {
+	if cs.depth == 1 {
+		b, sign := cs.hashes.Row(0).BucketSign(key, cs.width)
+		return sign * cs.rows[0][b]
+	}
+	var buf [maxStackDepth]float64
+	xs := buf[:]
+	if cs.depth > maxStackDepth {
+		xs = make([]float64, cs.depth)
+	}
+	xs = xs[:cs.depth]
 	for j := 0; j < cs.depth; j++ {
 		b, sign := cs.hashes.BucketSign(j, key, cs.width)
-		cs.scratch[j] = sign * cs.rows[j][b]
+		xs[j] = sign * cs.rows[j][b]
 	}
-	return median(cs.scratch)
+	return median(xs)
 }
 
 // SumSigned returns Σⱼ σⱼ(key)·row[j][hⱼ(key)], the signed sum over rows of
 // key's buckets. The WM-Sketch prediction τ = zᵀRx expands into this per
 // feature: zᵀRx = (1/√s)·Σ_f x_f·SumSigned(f).
 func (cs *CountSketch) SumSigned(key uint32) float64 {
+	if cs.depth == 1 {
+		b, sign := cs.hashes.Row(0).BucketSign(key, cs.width)
+		return sign * cs.rows[0][b]
+	}
 	sum := 0.0
 	for j := 0; j < cs.depth; j++ {
 		b, sign := cs.hashes.BucketSign(j, key, cs.width)
 		sum += sign * cs.rows[j][b]
 	}
 	return sum
+}
+
+// Loc records where one key lands in one row: the bucket index and the ±1
+// sign. A key's full location is a []Loc of length Depth(), row-major.
+type Loc struct {
+	Bucket int32
+	Sign   float64
+}
+
+// Locate fills locs[0:Depth()] with key's (bucket, sign) pair per row,
+// hashing once per row. The recorded locations stay valid for the lifetime
+// of the sketch (Scale/Reset change values, never locations), so callers can
+// hash a feature once per example and reuse the locations across the
+// predict, gradient, and estimate phases of an update.
+func (cs *CountSketch) Locate(key uint32, locs []Loc) {
+	for j := 0; j < cs.depth; j++ {
+		b, sign := cs.hashes.Row(j).BucketSign(key, cs.width)
+		locs[j] = Loc{Bucket: int32(b), Sign: sign}
+	}
+}
+
+// SumAt is SumSigned evaluated at pre-computed locations: no hashing.
+func (cs *CountSketch) SumAt(locs []Loc) float64 {
+	if len(locs) == 1 {
+		return locs[0].Sign * cs.rows[0][locs[0].Bucket]
+	}
+	sum := 0.0
+	for j := range locs {
+		sum += locs[j].Sign * cs.rows[j][locs[j].Bucket]
+	}
+	return sum
+}
+
+// AddAt is Update evaluated at pre-computed locations: no hashing.
+func (cs *CountSketch) AddAt(locs []Loc, delta float64) {
+	if len(locs) == 1 {
+		cs.rows[0][locs[0].Bucket] += locs[0].Sign * delta
+		return
+	}
+	for j := range locs {
+		cs.rows[j][locs[j].Bucket] += locs[j].Sign * delta
+	}
+}
+
+// EstimateAt is Estimate evaluated at pre-computed locations: no hashing.
+func (cs *CountSketch) EstimateAt(locs []Loc) float64 {
+	if len(locs) == 1 {
+		return locs[0].Sign * cs.rows[0][locs[0].Bucket]
+	}
+	var buf [maxStackDepth]float64
+	xs := buf[:]
+	if len(locs) > maxStackDepth {
+		xs = make([]float64, len(locs))
+	}
+	xs = xs[:len(locs)]
+	for j := range locs {
+		xs[j] = locs[j].Sign * cs.rows[j][locs[j].Bucket]
+	}
+	return median(xs)
 }
 
 // Scale multiplies every bucket by c. Used by callers implementing explicit
@@ -113,6 +207,26 @@ func (cs *CountSketch) Reset() {
 	}
 }
 
+// Clone returns a deep copy of the sketch sharing nothing with the original
+// except the (immutable) hash family. Used by the sharded learner to
+// snapshot worker-private sketches for merging.
+func (cs *CountSketch) Clone() *CountSketch {
+	out := &CountSketch{
+		depth:  cs.depth,
+		width:  cs.width,
+		seed:   cs.seed,
+		hashes: cs.hashes,
+	}
+	rows := make([][]float64, cs.depth)
+	backing := make([]float64, cs.depth*cs.width)
+	for j := range rows {
+		rows[j], backing = backing[:cs.width], backing[cs.width:]
+		copy(rows[j], cs.rows[j])
+	}
+	out.rows = rows
+	return out
+}
+
 // L2Norm returns the Euclidean norm of the flattened bucket array, averaged
 // over rows; for a Count-Sketch of a vector x this approximates ‖x‖₂.
 func (cs *CountSketch) L2Norm() float64 {
@@ -134,8 +248,15 @@ func (cs *CountSketch) Row(j int) []float64 { return cs.rows[j] }
 // sketched feature projections and queries use identical bucket assignments.
 func (cs *CountSketch) Hashes() *hashing.Family { return cs.hashes }
 
-// MemoryBytes returns the cost-model size of the sketch: 4 bytes per bucket
-// (Section 7.1 charges 4 B per stored weight).
+// MemoryBytes returns the cost-model size of the sketch: 4 bytes per bucket.
+//
+// This is a *cost-model convention*, not the resident size: Section 7.1 of
+// the paper charges 4 B per stored weight (float32 precision suffices for
+// the learned models it evaluates), and every budget comparison in the
+// experiments uses that convention. The Go implementation stores float64
+// buckets for numerical headroom, so the actual heap footprint is ~2× the
+// value reported here. Use MemoryBytes for paper-comparable budget
+// accounting, not for capacity planning.
 func (cs *CountSketch) MemoryBytes() int { return 4 * cs.depth * cs.width }
 
 // median returns the median of xs, averaging the two central elements for
@@ -159,8 +280,17 @@ func median(xs []float64) float64 {
 }
 
 // midpoint returns (a+b)/2 without overflowing for extreme magnitudes.
+// The straightforward (a+b)/2 is exact whenever a+b does not overflow
+// (dividing by two is exact in binary floating point), unlike a/2+b/2 which
+// loses the low bit when both halves round (e.g. adjacent subnormals).
+// Only when a+b overflows to ±Inf with finite inputs do we fall back to the
+// overflow-safe form.
 func midpoint(a, b float64) float64 {
-	return a/2 + b/2
+	m := (a + b) / 2
+	if math.IsInf(m, 0) && !math.IsInf(a, 0) && !math.IsInf(b, 0) {
+		return a/2 + b/2
+	}
+	return m
 }
 
 // Median is the package-level median used by the Weight-Median query path.

@@ -8,7 +8,7 @@ import (
 	"testing/quick"
 )
 
-// checkInvariant verifies the min-heap property and index-map consistency.
+// checkInvariant verifies the min-heap property and index consistency.
 func checkInvariant(t *testing.T, h *Heap) {
 	t.Helper()
 	for i := 1; i < len(h.entries); i++ {
@@ -18,12 +18,27 @@ func checkInvariant(t *testing.T, h *Heap) {
 				i, h.entries[parent].Score, h.entries[i].Score)
 		}
 	}
-	if len(h.pos) != len(h.entries) {
-		t.Fatalf("index map size %d != entries %d", len(h.pos), len(h.entries))
+	// Every entry must be findable through the open-addressed index, and its
+	// recorded slot must point back at it.
+	occupied := 0
+	for _, s := range h.slots {
+		if s.pos >= 0 {
+			occupied++
+			if int(s.pos) >= len(h.entries) || h.entries[s.pos].Key != s.key {
+				t.Fatalf("index slot stale for key %d (pos %d)", s.key, s.pos)
+			}
+		}
 	}
-	for key, i := range h.pos {
-		if h.entries[i].Key != key {
-			t.Fatalf("index map stale for key %d", key)
+	if occupied != len(h.entries) {
+		t.Fatalf("index has %d occupied slots, want %d", occupied, len(h.entries))
+	}
+	for i := range h.entries {
+		e := h.entries[i]
+		if h.slots[e.slot].key != e.Key || int(h.slots[e.slot].pos) != i {
+			t.Fatalf("entry %d (key %d) has stale slot back-pointer", i, e.Key)
+		}
+		if s := h.findSlot(e.Key); s != e.slot {
+			t.Fatalf("findSlot(%d) = %d, want %d (broken probe chain)", e.Key, s, e.slot)
 		}
 	}
 }
@@ -286,6 +301,96 @@ func TestHeapTopKMatchesSortQuick(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestHeapGetRefStableAcrossWeightUpdates(t *testing.T) {
+	h := New(16)
+	for i := uint32(0); i < 16; i++ {
+		h.InsertMagnitude(i, float64(i+1))
+	}
+	r, ok := h.GetRef(7)
+	if !ok {
+		t.Fatal("GetRef missed a present key")
+	}
+	if w := h.WeightRef(r); w != 8 {
+		t.Fatalf("WeightRef = %g, want 8", w)
+	}
+	// Weight updates (including ones that reorder the heap) keep refs valid.
+	h.UpdateMagnitude(3, 100)
+	h.UpdateMagnitude(12, 0.25)
+	h.UpdateMagnitudeRef(r, -50)
+	if w, _ := h.Get(7); w != -50 {
+		t.Fatalf("Get(7) = %g after UpdateMagnitudeRef, want -50", w)
+	}
+	if w := h.WeightRef(r); w != -50 {
+		t.Fatalf("WeightRef = %g after update, want -50", w)
+	}
+	checkInvariant(t, h)
+	if _, ok := h.GetRef(99); ok {
+		t.Fatal("GetRef found an absent key")
+	}
+}
+
+func TestHeapKeys(t *testing.T) {
+	h := New(8)
+	want := map[uint32]bool{3: true, 9: true, 27: true}
+	for k := range want {
+		h.InsertMagnitude(k, float64(k))
+	}
+	keys := h.Keys()
+	if len(keys) != len(want) {
+		t.Fatalf("Keys returned %d entries, want %d", len(keys), len(want))
+	}
+	for _, k := range keys {
+		if !want[k] {
+			t.Fatalf("Keys returned unexpected key %d", k)
+		}
+	}
+}
+
+// Benchmarks of the hottest heap operations: membership probes dominate the
+// AWM-Sketch update path (one per feature per example).
+
+func BenchmarkHeapGetHit(b *testing.B) {
+	h := New(2048)
+	for i := uint32(0); i < 2048; i++ {
+		h.InsertMagnitude(i, float64(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		w, _ := h.Get(uint32(i & 2047))
+		sink += w
+	}
+	_ = sink
+}
+
+func BenchmarkHeapGetMiss(b *testing.B) {
+	h := New(2048)
+	for i := uint32(0); i < 2048; i++ {
+		h.InsertMagnitude(i, float64(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := h.Get(uint32(i&2047) + 100000); ok {
+			b.Fatal("unexpected hit")
+		}
+	}
+}
+
+func BenchmarkHeapGetRefUpdate(b *testing.B) {
+	h := New(2048)
+	for i := uint32(0); i < 2048; i++ {
+		h.InsertMagnitude(i, float64(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, _ := h.GetRef(uint32(i & 2047))
+		h.UpdateMagnitudeRef(r, h.WeightRef(r)+0.001)
 	}
 }
 

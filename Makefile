@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json
+.PHONY: all build vet test race bench bench-json bench-serve serve-smoke
 
 all: vet build test
 
@@ -27,3 +27,14 @@ bench:
 # BENCH_throughput.json via cmd/wmbench (see PERFORMANCE.md).
 bench-json:
 	$(GO) run ./cmd/wmbench -throughput -json BENCH_throughput.json
+
+# End-to-end HTTP serving throughput/latency (wmserve + loadgen): writes
+# BENCH_serve.json next to BENCH_throughput.json (see SERVING.md).
+bench-serve:
+	$(GO) run ./cmd/wmbench -serve-bench -json BENCH_serve.json
+
+# Boot wmserve on loopback and exercise the whole API end to end:
+# update -> predict -> checkpoint -> restore -> verify, plus a concurrent
+# loadgen smoke. CI runs this.
+serve-smoke:
+	$(GO) run ./cmd/wmserve -smoke

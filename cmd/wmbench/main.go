@@ -8,6 +8,7 @@
 //	wmbench -list                # enumerate experiment ids
 //	wmbench -throughput          # single- and multi-core updates/sec
 //	wmbench -throughput -json BENCH_throughput.json
+//	wmbench -serve-bench -workers 4 -json BENCH_serve.json
 //
 // Each experiment id corresponds to a table or figure in "Sketching Linear
 // Classifiers over Data Streams" (SIGMOD 2018); see DESIGN.md for the
@@ -33,8 +34,10 @@ func main() {
 		seed       = flag.Int64("seed", 42, "base random seed")
 		csv        = flag.Bool("csv", false, "emit CSV instead of aligned text")
 		throughput = flag.Bool("throughput", false, "measure update throughput instead of running experiments")
-		workers    = flag.Int("workers", 0, "max worker count for -throughput (0 = GOMAXPROCS)")
-		jsonPath   = flag.String("json", "", "write -throughput results to this JSON file")
+		serveBench = flag.Bool("serve-bench", false, "measure HTTP serving throughput (wmserve loadgen) instead of running experiments")
+		clients    = flag.Int("clients", 4, "concurrent clients for -serve-bench")
+		workers    = flag.Int("workers", 0, "max worker count for -throughput / sharded workers for -serve-bench (0 = GOMAXPROCS)")
+		jsonPath   = flag.String("json", "", "write -throughput/-serve-bench results to this JSON file")
 	)
 	flag.Parse()
 
@@ -46,6 +49,10 @@ func main() {
 	}
 	if *throughput {
 		runThroughput(*examples, *workers, *jsonPath)
+		return
+	}
+	if *serveBench {
+		runServeBench(*examples, *clients, *workers, *jsonPath)
 		return
 	}
 	if *exp == "" {

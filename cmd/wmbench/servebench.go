@@ -1,0 +1,54 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+
+	"wmsketch/internal/core"
+	"wmsketch/internal/server"
+)
+
+// Serve-bench mode measures the full serving path — HTTP, JSON, batching,
+// the sharded learner, snapshot refresh — rather than the bare learner that
+// -throughput measures. It boots an in-process wmserve on a loopback
+// listener, drives it with concurrent clients over generated classification
+// streams, and reports throughput plus latency percentiles. With -json the
+// report lands next to BENCH_throughput.json in the perf trajectory
+// (`make bench-serve` writes BENCH_serve.json).
+func runServeBench(examples, clients, workers int, jsonPath string) {
+	if examples <= 0 {
+		examples = 100_000
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	report, err := server.RunLoadgen(server.LoadgenOptions{
+		Server: server.Options{
+			Backend: server.BackendSharded,
+			Config:  core.Config{Width: 4096, Depth: 1, HeapSize: 2048, Lambda: 1e-6, Seed: 1},
+			Sharded: core.ShardedOptions{Workers: workers},
+		},
+		Clients:  clients,
+		Examples: examples,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("serve-bench: backend=%s workers=%d clients=%d\n",
+		report.Backend, report.Workers, report.Clients)
+	fmt.Printf("  %d examples in %.2fs = %.0f updates/sec\n",
+		report.Examples, report.WallSeconds, report.UpdatesPerSec)
+	fmt.Printf("  update  p50 %.2f ms  p95 %.2f ms  p99 %.2f ms  max %.2f ms (%d reqs)\n",
+		report.Update.P50Ms, report.Update.P95Ms, report.Update.P99Ms, report.Update.MaxMs, report.Update.Requests)
+	fmt.Printf("  predict p50 %.2f ms  p95 %.2f ms  p99 %.2f ms  max %.2f ms (%d reqs)\n",
+		report.Predict.P50Ms, report.Predict.P95Ms, report.Predict.P99Ms, report.Predict.MaxMs, report.Predict.Requests)
+	if jsonPath != "" {
+		if err := server.WriteReport(report, jsonPath); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", jsonPath)
+	}
+}

@@ -1,0 +1,149 @@
+// Command wmserve serves a WM-/AWM-Sketch classifier over HTTP/JSON: live
+// training (/v1/update), prediction (/v1/predict), weight recovery
+// (/v1/estimate, /v1/topk), operational stats (/v1/stats), and checkpoint
+// save/restore (/v1/checkpoint). See SERVING.md for the API reference.
+//
+// Usage:
+//
+//	wmserve -addr :8080 -backend sharded -workers 4 -checkpoint model.ckpt
+//	wmserve -loadgen -clients 8 -examples 200000 -json BENCH_serve.json
+//	wmserve -loadgen -target http://host:8080 -clients 8
+//	wmserve -smoke          # end-to-end self-test (CI runs this)
+//
+// On SIGINT/SIGTERM the server drains in-flight requests and flushes a
+// final checkpoint to -checkpoint (when set) before exiting. With -restore,
+// an existing checkpoint at that path is loaded at boot, so a restarted
+// server resumes the stream where it left off.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"wmsketch/internal/core"
+	"wmsketch/internal/server"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		backend   = flag.String("backend", server.BackendSharded, "learner backend: sharded, awm, or wm")
+		width     = flag.Int("width", 4096, "sketch width (buckets per row)")
+		depth     = flag.Int("depth", 1, "sketch depth (rows)")
+		heapSize  = flag.Int("heap", 2048, "top-weight heap / active-set capacity")
+		lambda    = flag.Float64("lambda", 1e-6, "l2 regularization strength")
+		seed      = flag.Int64("seed", 42, "hash seed")
+		workers   = flag.Int("workers", 0, "sharded backend workers (0 = GOMAXPROCS)")
+		syncEvery = flag.Int("sync-every", 0, "sharded snapshot refresh cadence in updates (0 = default, <0 disables)")
+		ckpt      = flag.String("checkpoint", "", "checkpoint path: /v1/checkpoint default and final flush on shutdown")
+		restore   = flag.Bool("restore", false, "restore from -checkpoint at boot when the file exists")
+
+		loadgen  = flag.Bool("loadgen", false, "run the load generator instead of serving")
+		target   = flag.String("target", "", "loadgen: drive this URL instead of a self-hosted server")
+		clients  = flag.Int("clients", 4, "loadgen: concurrent clients")
+		examples = flag.Int("examples", 50_000, "loadgen: total examples")
+		batch    = flag.Int("batch", 64, "loadgen: examples per update request")
+		jsonPath = flag.String("json", "BENCH_serve.json", "loadgen: write the report to this file ('' disables)")
+
+		smoke = flag.Bool("smoke", false, "run the end-to-end self-test and exit")
+	)
+	flag.Parse()
+
+	opt := server.Options{
+		Backend: *backend,
+		Config: core.Config{
+			Width: *width, Depth: *depth, HeapSize: *heapSize,
+			Lambda: *lambda, Seed: *seed,
+		},
+		Sharded:        core.ShardedOptions{Workers: *workers, SyncEvery: *syncEvery},
+		CheckpointPath: *ckpt,
+	}
+
+	switch {
+	case *smoke:
+		if err := server.Smoke(opt, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "smoke: FAIL:", err)
+			os.Exit(1)
+		}
+		fmt.Println("smoke: ok")
+	case *loadgen:
+		report, err := server.RunLoadgen(server.LoadgenOptions{
+			TargetURL: *target,
+			Server:    opt,
+			Clients:   *clients,
+			Examples:  *examples,
+			Batch:     *batch,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("loadgen: %d examples in %.2fs = %.0f updates/sec (update p50 %.2f ms, p99 %.2f ms)\n",
+			report.Examples, report.WallSeconds, report.UpdatesPerSec,
+			report.Update.P50Ms, report.Update.P99Ms)
+		if *jsonPath != "" {
+			if err := server.WriteReport(report, *jsonPath); err != nil {
+				fmt.Fprintln(os.Stderr, "loadgen:", err)
+				os.Exit(1)
+			}
+			fmt.Println("wrote", *jsonPath)
+		}
+	default:
+		if err := serve(opt, *addr, *restore); err != nil {
+			fmt.Fprintln(os.Stderr, "wmserve:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func serve(opt server.Options, addr string, restore bool) error {
+	srv, err := server.New(opt)
+	if err != nil {
+		return err
+	}
+	if restore && opt.CheckpointPath != "" {
+		if _, err := os.Stat(opt.CheckpointPath); err == nil {
+			if err := srv.Restore(opt.CheckpointPath); err != nil {
+				return fmt.Errorf("restore %s: %w", opt.CheckpointPath, err)
+			}
+			fmt.Println("restored checkpoint", opt.CheckpointPath)
+		}
+	}
+
+	hs := &http.Server{Addr: addr, Handler: srv}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Printf("wmserve: %s backend listening on %s\n", opt.Backend, addr)
+		errc <- hs.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Println("wmserve: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	// Final flush: Close checkpoints to opt.CheckpointPath when configured.
+	if err := srv.Close(); err != nil {
+		return fmt.Errorf("final checkpoint: %w", err)
+	}
+	if opt.CheckpointPath != "" {
+		fmt.Println("wmserve: flushed final checkpoint to", opt.CheckpointPath)
+	}
+	return nil
+}

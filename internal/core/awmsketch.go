@@ -103,14 +103,15 @@ func (a *AWMSketch) Update(x stream.Vector, y int) {
 	margin := ys * (dot * a.scale)
 	g := a.loss.Deriv(margin)
 
-	// Regularization: S ← (1−λη)S and z ← (1−λη)z, applied lazily.
+	// Regularization: S ← (1−λη)S and z ← (1−λη)z, applied lazily; the
+	// factor is clamped at 0 so aggressive (η, λ) cannot sign-flip the model.
 	if a.cfg.Lambda > 0 {
+		decay := decayFactor(eta, a.cfg.Lambda)
 		if a.cfg.NoScaleTrick {
-			decay := 1 - eta*a.cfg.Lambda
 			a.cs.Scale(decay)
 			a.active.ScaleWeights(decay)
 		} else {
-			a.scale *= 1 - eta*a.cfg.Lambda
+			a.scale *= decay
 			if a.scale < minScale {
 				a.renormalize()
 			}
@@ -214,12 +215,12 @@ func (a *AWMSketch) updateDepth1(x stream.Vector, y int) {
 	g := a.loss.Deriv(margin)
 
 	if a.cfg.Lambda > 0 {
+		decay := decayFactor(eta, a.cfg.Lambda)
 		if a.cfg.NoScaleTrick {
-			decay := 1 - eta*a.cfg.Lambda
 			cs.Scale(decay)
 			a.active.ScaleWeights(decay)
 		} else {
-			a.scale *= 1 - eta*a.cfg.Lambda
+			a.scale *= decay
 			if a.scale < minScale {
 				a.renormalize()
 			}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+	"io"
 	"sync"
 
 	"wmsketch/internal/stream"
@@ -52,6 +54,30 @@ func (c *Concurrent) TopK(k int) []stream.Weighted {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	return c.l.TopK(k)
+}
+
+// WriteTo checkpoints the wrapped learner under the read lock (writers are
+// excluded, concurrent queries are not). It errors when the wrapped learner
+// is not serializable.
+func (c *Concurrent) WriteTo(w io.Writer) (int64, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	wt, ok := c.l.(io.WriterTo)
+	if !ok {
+		return 0, fmt.Errorf("core: learner %T is not serializable", c.l)
+	}
+	return wt.WriteTo(w)
+}
+
+// Steps reports the wrapped learner's update count when it exposes one
+// (all learners in core do), and 0 otherwise.
+func (c *Concurrent) Steps() int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if s, ok := c.l.(interface{ Steps() int64 }); ok {
+		return s.Steps()
+	}
+	return 0
 }
 
 // MemoryBytes reports the wrapped learner's footprint.

@@ -67,6 +67,26 @@ func (c *Config) fill() {
 	if c.Lambda < 0 {
 		panic("core: negative lambda")
 	}
+	if cs, ok := c.Schedule.(linear.Constant); ok && cs.Eta0*c.Lambda >= 1 {
+		panic(fmt.Sprintf("core: constant schedule with Eta0·Lambda = %g ≥ 1: "+
+			"the decay factor 1−ηλ is non-positive on every step, which zeroes "+
+			"or sign-flips the model; lower Eta0 or Lambda", cs.Eta0*c.Lambda))
+	}
+}
+
+// decayFactor returns the per-step ℓ2 decay multiplier 1−ηλ, clamped at 0.
+// Without the clamp a transiently large learning rate (e.g. the first steps
+// of an aggressive InvSqrt schedule) makes the factor negative: the lazy
+// global scale then goes negative and the next renormalize sign-flips and
+// amplifies every bucket, silently corrupting the model. A factor of 0 is
+// the correct saturation: full decay, i.e. the regularizer pulls the model
+// exactly to zero before the gradient step.
+func decayFactor(eta, lambda float64) float64 {
+	d := 1 - eta*lambda
+	if d < 0 {
+		return 0
+	}
+	return d
 }
 
 // minScale triggers folding the global scale into the buckets to avoid

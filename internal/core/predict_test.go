@@ -1,0 +1,66 @@
+package core
+
+import (
+	"testing"
+
+	"wmsketch/internal/datagen"
+	"wmsketch/internal/stream"
+)
+
+// TestWMSketchPredictDepth1Equivalence pins the Predict depth-1 fast path
+// (the serving hot path) bit-identical to the textbook formulation, probing
+// throughout training rather than only at the end — the same equivalence-
+// test pattern used for the fused Update paths.
+func TestWMSketchPredictDepth1Equivalence(t *testing.T) {
+	for _, cfg := range []Config{
+		{Width: 256, Depth: 1, HeapSize: 32, Lambda: 1e-4, Seed: 11},
+		{Width: 128, Depth: 1, HeapSize: 16, Lambda: 0, Seed: 12},
+		{Width: 256, Depth: 3, HeapSize: 32, Lambda: 1e-4, Seed: 13}, // general path control
+	} {
+		gen := datagen.RCV1Like(cfg.Seed)
+		fused := NewWMSketch(cfg)
+		ref := newRefWM(cfg)
+		for i := 0; i < 500; i++ {
+			ex := gen.Next()
+			fused.Update(ex.X, ex.Y)
+			ref.update(ex.X, ex.Y)
+			if i%17 == 0 {
+				probe := gen.Next().X
+				if g, w := fused.Predict(probe), ref.predict(probe); g != w {
+					t.Fatalf("depth=%d step %d: Predict = %v, reference %v", cfg.Depth, i, g, w)
+				}
+			}
+		}
+		// Edge probes: empty vector, single feature, duplicate indices.
+		for _, probe := range []stream.Vector{
+			{},
+			{{Index: 7, Value: 1.5}},
+			{{Index: 7, Value: 1}, {Index: 7, Value: -2}, {Index: 9, Value: 0}},
+		} {
+			if g, w := fused.Predict(probe), ref.predict(probe); g != w {
+				t.Fatalf("depth=%d edge probe: Predict = %v, reference %v", cfg.Depth, g, w)
+			}
+		}
+	}
+}
+
+func benchmarkWMPredict(b *testing.B, depth int) {
+	cfg := Config{Width: 4096 / depth, Depth: depth, HeapSize: 128, Lambda: 1e-6, Seed: 1}
+	w := NewWMSketch(cfg)
+	gen := datagen.RCV1Like(1)
+	data := gen.Take(4096)
+	for _, ex := range data {
+		w.Update(ex.X, ex.Y)
+	}
+	b.ResetTimer()
+	sink := 0.0
+	for i := 0; i < b.N; i++ {
+		sink += w.Predict(data[i%len(data)].X)
+	}
+	benchSink = sink
+}
+
+var benchSink float64
+
+func BenchmarkWMPredictDepth1(b *testing.B) { benchmarkWMPredict(b, 1) }
+func BenchmarkWMPredictDepth2(b *testing.B) { benchmarkWMPredict(b, 2) }

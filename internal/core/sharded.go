@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"io"
 	"math"
 	"runtime"
 	"sync"
@@ -97,15 +98,26 @@ func (o *ShardedOptions) fill() {
 }
 
 // shardMsg is one unit of work for a worker: a training example, a batch
-// of examples, or (when snap is non-nil) a request to report the worker's
-// current state. Snapshot requests ride the same FIFO channel as examples,
-// so a reply reflects every example routed to that worker before the
-// request.
+// of examples, (when snap is non-nil) a request to report the worker's
+// current state, or (when freeze is non-nil) a request to pause in place.
+// Control requests ride the same FIFO channel as examples, so they reflect
+// every example routed to that worker before the request.
 type shardMsg struct {
-	x     stream.Vector
-	y     int
-	batch []stream.Example
-	snap  chan<- *shardSnapshot
+	x      stream.Vector
+	y      int
+	batch  []stream.Example
+	snap   chan<- *shardSnapshot
+	freeze *shardFreeze
+}
+
+// shardFreeze quiesces a worker for checkpointing: the worker signals ready
+// and then blocks until release is closed. While every worker is parked
+// between its ready send and the release, the checkpoint writer may read
+// worker-private model state directly — the channel handshake provides the
+// happens-before edges in both directions.
+type shardFreeze struct {
+	ready   chan<- struct{}
+	release <-chan struct{}
 }
 
 // shardSnapshot is a worker's state handed to the merger: a deep copy with
@@ -126,10 +138,12 @@ type shardWorker struct {
 
 // shardModel is the contract a per-shard learner must satisfy to be
 // mergeable: in addition to normal learning it can produce a folded deep
-// copy of its sketch (scale applied, exact heap weights reconciled) and
-// report its heavy-hitter candidates with true-scale weights.
+// copy of its sketch (scale applied, exact heap weights reconciled), report
+// its heavy-hitter candidates with true-scale weights, and serialize itself
+// for checkpointing.
 type shardModel interface {
 	stream.Learner
+	io.WriterTo
 	Steps() int64
 	foldedSketch() *sketch.CountSketch
 	heavyWeights() []stream.Weighted
@@ -207,34 +221,60 @@ func NewSharded(cfg Config, opt ShardedOptions) *Sharded {
 		// One shared sketch plus a private heap per worker.
 		s.memBytes = s.hog.cs.MemoryBytes() + opt.Workers*s.workers[0].hw.heap.MemoryBytes(false)
 	} else {
-		for i := range s.workers {
-			var m shardModel
+		models := make([]shardModel, opt.Workers)
+		for i := range models {
 			if opt.Variant == ShardWM {
-				m = NewWMSketch(cfg)
+				models[i] = NewWMSketch(cfg)
 			} else {
-				m = NewAWMSketch(cfg)
+				models[i] = NewAWMSketch(cfg)
 			}
-			s.workers[i] = &shardWorker{in: make(chan shardMsg, opt.QueueSize), model: m}
 		}
-		s.memBytes = opt.Workers * s.workers[0].model.MemoryBytes()
+		return newShardedFromModels(cfg, opt, models)
 	}
+	s.startWorkers()
+	return s
+}
+
+// newShardedFromModels assembles a private-shard learner around existing
+// models — freshly constructed by NewSharded, or deserialized by
+// LoadSharded — and starts its workers. cfg must be filled and opt final.
+func newShardedFromModels(cfg Config, opt ShardedOptions, models []shardModel) *Sharded {
+	s := &Sharded{
+		cfg:   cfg,
+		opt:   opt,
+		sqrtS: math.Sqrt(float64(cfg.Depth)),
+	}
+	s.workers = make([]*shardWorker, len(models))
+	for i, m := range models {
+		s.workers[i] = &shardWorker{in: make(chan shardMsg, opt.QueueSize), model: m}
+		s.memBytes += m.MemoryBytes()
+	}
+	s.startWorkers()
+	return s
+}
+
+// startWorkers installs the initial empty query snapshot and launches one
+// goroutine per worker.
+func (s *Sharded) startWorkers() {
 	// Start with an empty (zero-sketch) snapshot so queries before the
 	// first sync are well defined.
 	s.view = &mergedModel{
-		cs:    sketch.NewCountSketch(cfg.Depth, cfg.Width, cfg.Seed),
+		cs:    sketch.NewCountSketch(s.cfg.Depth, s.cfg.Width, s.cfg.Seed),
 		sqrtS: s.sqrtS,
 	}
 	s.wg.Add(len(s.workers))
 	for _, w := range s.workers {
 		go s.runWorker(w)
 	}
-	return s
 }
 
 func (s *Sharded) runWorker(w *shardWorker) {
 	defer s.wg.Done()
 	for msg := range w.in {
 		switch {
+		case msg.freeze != nil:
+			msg.freeze.ready <- struct{}{}
+			<-msg.freeze.release
 		case msg.snap != nil:
 			msg.snap <- w.snapshot()
 		case msg.batch != nil:

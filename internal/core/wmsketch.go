@@ -46,7 +46,23 @@ func NewWMSketch(cfg Config) *WMSketch {
 
 // Predict returns the margin τ = zᵀRx of the compressed classifier.
 // Expanding the projection, τ = (α/√s)·Σ_f x_f · Σⱼ σⱼ(f)·z[j][hⱼ(f)].
+//
+// Depth-1 sketches take a dedicated path (the serving hot path): the row,
+// hash table, and width are hoisted out of the loop and the √1 = 1 division
+// is elided, which is exact, so the result is bit-identical to the general
+// path (asserted by the equivalence tests).
 func (w *WMSketch) Predict(x stream.Vector) float64 {
+	if w.cs.Depth() == 1 {
+		tab := w.cs.Hashes().Row(0)
+		row := w.cs.Row(0)
+		width := w.cs.Width()
+		dot := 0.0
+		for _, f := range x {
+			b, sign := tab.BucketSign(f.Index, width)
+			dot += f.Value * (sign * row[b])
+		}
+		return dot * w.scale
+	}
 	dot := 0.0
 	for _, f := range x {
 		dot += f.Value * w.cs.SumSigned(f.Index)
@@ -89,11 +105,12 @@ func (w *WMSketch) Update(x stream.Vector, y int) {
 	g := w.loss.Deriv(margin)
 
 	if w.cfg.Lambda > 0 {
+		decay := decayFactor(eta, w.cfg.Lambda)
 		if w.cfg.NoScaleTrick {
-			w.cs.Scale(1 - eta*w.cfg.Lambda)
-			w.heap.ScaleWeights(1 - eta*w.cfg.Lambda)
+			w.cs.Scale(decay)
+			w.heap.ScaleWeights(decay)
 		} else {
-			w.scale *= 1 - eta*w.cfg.Lambda
+			w.scale *= decay
 			if w.scale < minScale {
 				w.renormalize()
 			}
@@ -140,11 +157,12 @@ func (w *WMSketch) updateDepth1(x stream.Vector, y int) {
 	g := w.loss.Deriv(margin)
 
 	if w.cfg.Lambda > 0 {
+		decay := decayFactor(eta, w.cfg.Lambda)
 		if w.cfg.NoScaleTrick {
-			cs.Scale(1 - eta*w.cfg.Lambda)
-			w.heap.ScaleWeights(1 - eta*w.cfg.Lambda)
+			cs.Scale(decay)
+			w.heap.ScaleWeights(decay)
 		} else {
-			w.scale *= 1 - eta*w.cfg.Lambda
+			w.scale *= decay
 			if w.scale < minScale {
 				w.renormalize()
 			}

@@ -1,0 +1,275 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"wmsketch/internal/datagen"
+	"wmsketch/internal/stream"
+)
+
+// Load generator: drives a wmserve instance with N concurrent clients over
+// generated classification streams and reports machine-readable throughput
+// and latency, giving the ROADMAP's multi-core scaling question a
+// repeatable, network-realistic harness (the wmbench -throughput numbers
+// measure the learner alone; this measures the full serving path).
+
+// LoadgenOptions configures a load-generation run.
+type LoadgenOptions struct {
+	// TargetURL is the server to drive (e.g. "http://127.0.0.1:8080"). Empty
+	// boots an in-process server from the Server field on a loopback
+	// listener and drives that.
+	TargetURL string
+	// Server configures the self-hosted server when TargetURL is empty.
+	Server Options
+	// Clients is the number of concurrent client goroutines (default 4).
+	Clients int
+	// Examples is the total number of training examples sent (default 50k).
+	Examples int
+	// Batch is examples per /v1/update request (default 64).
+	Batch int
+	// PredictEvery issues one /v1/predict per this many update requests on
+	// each client (0 selects the default of 4; negative disables predicts).
+	PredictEvery int
+	// Seed drives the generated streams.
+	Seed int64
+}
+
+func (o *LoadgenOptions) fill() {
+	if o.Clients <= 0 {
+		o.Clients = 4
+	}
+	if o.Examples <= 0 {
+		o.Examples = 50_000
+	}
+	if o.Batch <= 0 {
+		o.Batch = 64
+	}
+	if o.PredictEvery == 0 {
+		o.PredictEvery = 4
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+// LatencySummary aggregates one endpoint's request latencies.
+type LatencySummary struct {
+	Requests int     `json:"requests"`
+	P50Ms    float64 `json:"p50_ms"`
+	P95Ms    float64 `json:"p95_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+	MaxMs    float64 `json:"max_ms"`
+}
+
+// LoadgenReport is the machine-readable result document, recorded alongside
+// BENCH_throughput.json in the perf trajectory.
+type LoadgenReport struct {
+	GOOS          string         `json:"goos"`
+	GOARCH        string         `json:"goarch"`
+	GOMAXPROCS    int            `json:"gomaxprocs"`
+	Timestamp     string         `json:"timestamp"`
+	Backend       string         `json:"backend"`
+	Workers       int            `json:"workers,omitempty"`
+	Clients       int            `json:"clients"`
+	Batch         int            `json:"batch"`
+	Examples      int            `json:"examples"`
+	WallSeconds   float64        `json:"wall_seconds"`
+	UpdatesPerSec float64        `json:"updates_per_sec"`
+	Update        LatencySummary `json:"update"`
+	Predict       LatencySummary `json:"predict"`
+}
+
+func summarize(durs []time.Duration) LatencySummary {
+	if len(durs) == 0 {
+		return LatencySummary{}
+	}
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+	at := func(q float64) float64 {
+		i := int(q * float64(len(durs)-1))
+		return float64(durs[i].Nanoseconds()) / 1e6
+	}
+	return LatencySummary{
+		Requests: len(durs),
+		P50Ms:    at(0.50),
+		P95Ms:    at(0.95),
+		P99Ms:    at(0.99),
+		MaxMs:    float64(durs[len(durs)-1].Nanoseconds()) / 1e6,
+	}
+}
+
+// RunLoadgen executes a load-generation run and returns its report. When
+// self-hosting it also closes the server afterwards (without checkpointing:
+// Server.CheckpointPath is honored as usual if set).
+func RunLoadgen(opt LoadgenOptions) (*LoadgenReport, error) {
+	opt.fill()
+	base := opt.TargetURL
+	var shutdown func() error
+	if base == "" {
+		srv, err := New(opt.Server)
+		if err != nil {
+			return nil, err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		hs := &http.Server{Handler: srv}
+		go func() { _ = hs.Serve(ln) }()
+		base = "http://" + ln.Addr().String()
+		shutdown = func() error {
+			_ = hs.Close()
+			return srv.Close()
+		}
+		defer func() { _ = shutdown() }()
+	}
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	perClient := opt.Examples / opt.Clients
+	if perClient == 0 {
+		perClient = 1
+	}
+
+	type clientStats struct {
+		updates  []time.Duration
+		predicts []time.Duration
+		sent     int
+		err      error
+	}
+	stats := make([]clientStats, opt.Clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < opt.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			st := &stats[c]
+			gen := datagen.RCV1Like(opt.Seed + int64(c))
+			data := gen.Take(perClient)
+			probes := gen.Take(64)
+			reqs := 0
+			for i := 0; i < len(data); i += opt.Batch {
+				end := i + opt.Batch
+				if end > len(data) {
+					end = len(data)
+				}
+				d, err := postUpdate(client, base, data[i:end])
+				if err != nil {
+					st.err = err
+					return
+				}
+				st.updates = append(st.updates, d)
+				st.sent += end - i
+				reqs++
+				if opt.PredictEvery > 0 && reqs%opt.PredictEvery == 0 {
+					probe := probes[reqs/opt.PredictEvery%len(probes)]
+					d, err := postPredict(client, base, probe.X)
+					if err != nil {
+						st.err = err
+						return
+					}
+					st.predicts = append(st.predicts, d)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	var updates, predicts []time.Duration
+	sent := 0
+	for i := range stats {
+		if stats[i].err != nil {
+			return nil, fmt.Errorf("client %d: %w", i, stats[i].err)
+		}
+		updates = append(updates, stats[i].updates...)
+		predicts = append(predicts, stats[i].predicts...)
+		sent += stats[i].sent
+	}
+	report := &LoadgenReport{
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		Timestamp:     time.Now().UTC().Format(time.RFC3339),
+		Backend:       opt.Server.Backend,
+		Workers:       opt.Server.Sharded.Workers,
+		Clients:       opt.Clients,
+		Batch:         opt.Batch,
+		Examples:      sent,
+		WallSeconds:   wall.Seconds(),
+		UpdatesPerSec: float64(sent) / wall.Seconds(),
+		Update:        summarize(updates),
+		Predict:       summarize(predicts),
+	}
+	if opt.TargetURL != "" {
+		report.Backend = "remote"
+		report.Workers = 0
+	}
+	return report, nil
+}
+
+// WriteReport writes the report as indented JSON to path.
+func WriteReport(report *LoadgenReport, path string) error {
+	blob, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(blob, '\n'), 0o644)
+}
+
+func toWire(batch []stream.Example) []ExampleJSON {
+	out := make([]ExampleJSON, len(batch))
+	for i, ex := range batch {
+		fs := make([]FeatureJSON, len(ex.X))
+		for j, f := range ex.X {
+			fs[j] = FeatureJSON{I: f.Index, V: f.Value}
+		}
+		out[i] = ExampleJSON{Y: ex.Y, X: fs}
+	}
+	return out
+}
+
+func postJSON(client *http.Client, url string, body interface{}) (time.Duration, error) {
+	blob, err := json.Marshal(body)
+	if err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	resp, err := client.Post(url, "application/json", bytes.NewReader(blob))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		return 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("%s: HTTP %d", url, resp.StatusCode)
+	}
+	return time.Since(start), nil
+}
+
+func postUpdate(client *http.Client, base string, batch []stream.Example) (time.Duration, error) {
+	return postJSON(client, base+"/v1/update", UpdateRequest{Examples: toWire(batch)})
+}
+
+func vecWire(x stream.Vector) []FeatureJSON {
+	fs := make([]FeatureJSON, len(x))
+	for j, f := range x {
+		fs[j] = FeatureJSON{I: f.Index, V: f.Value}
+	}
+	return fs
+}
+
+func postPredict(client *http.Client, base string, x stream.Vector) (time.Duration, error) {
+	return postJSON(client, base+"/v1/predict", PredictRequest{X: vecWire(x)})
+}

@@ -1,0 +1,621 @@
+// Package server exposes a WM-/AWM-Sketch learner over HTTP/JSON: the
+// paper's target deployment is continuous monitoring, where classifiers are
+// trained *and queried* live over a stream, so the repository needs a
+// network-facing layer rather than batch CLIs only. The server owns one
+// backend — a core.Sharded parallel learner, or a core.Concurrent-wrapped
+// single-model learner — and serves updates, predictions, weight estimates,
+// top-K queries, stats, and checkpoint save/restore. See SERVING.md for the
+// API reference and architecture notes.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wmsketch/internal/core"
+	"wmsketch/internal/stream"
+)
+
+// maxRequestBytes bounds any request body: update batches, predict vectors,
+// checkpoint requests. Network input is untrusted; a body over the limit is
+// rejected before it is buffered.
+const maxRequestBytes = 8 << 20
+
+// Backend kinds selectable at construction.
+const (
+	BackendSharded = "sharded" // core.Sharded, AWM shards (parallel training)
+	BackendAWM     = "awm"     // core.Concurrent around one AWM-Sketch
+	BackendWM      = "wm"      // core.Concurrent around one WM-Sketch
+)
+
+// learner is what the server requires of a backend: the uniform Learner
+// surface plus checkpointing and a step counter. *core.Sharded and
+// *core.Concurrent both satisfy it.
+type learner interface {
+	stream.Learner
+	io.WriterTo
+	Steps() int64
+}
+
+// Options configures a Server.
+type Options struct {
+	// Backend selects the learner: BackendSharded, BackendAWM, or BackendWM.
+	// Empty selects BackendSharded.
+	Backend string
+	// Config is the sketch configuration shared by every backend.
+	Config core.Config
+	// Sharded configures the parallel learner (BackendSharded only).
+	Sharded core.ShardedOptions
+	// CheckpointPath is the default path for /v1/checkpoint and the final
+	// flush on Close. Empty disables both defaults (explicit paths in
+	// checkpoint requests still work).
+	CheckpointPath string
+	// RefreshInterval bounds query staleness for the sharded backend: a
+	// background loop re-merges the query snapshot this often while updates
+	// are flowing (the core.Sharded default cadence of one merge per 65536
+	// updates is tuned for batch training, not serving). 0 selects 200ms;
+	// negative disables the loop (POST /v1/sync still refreshes on demand).
+	RefreshInterval time.Duration
+}
+
+// Server is the HTTP serving layer. It implements http.Handler.
+type Server struct {
+	opt   Options
+	mux   *http.ServeMux
+	start time.Time
+
+	// mu guards backend replacement (checkpoint restore swaps the learner);
+	// request handlers hold it for read.
+	mu      sync.RWMutex
+	backend learner
+
+	updates   atomic.Int64
+	predicts  atomic.Int64
+	estimates atomic.Int64
+	restores  atomic.Int64
+
+	stopRefresh chan struct{}
+	stopOnce    sync.Once
+	refreshWG   sync.WaitGroup
+}
+
+// New constructs a Server with a freshly initialized backend.
+func New(opt Options) (*Server, error) {
+	if opt.Backend == "" {
+		opt.Backend = BackendSharded
+	}
+	var b learner
+	switch opt.Backend {
+	case BackendSharded:
+		// Resolve the defaulted worker count up front so /v1/stats and the
+		// loadgen report record the actual parallelism, not 0.
+		if opt.Sharded.Workers <= 0 {
+			opt.Sharded.Workers = runtime.GOMAXPROCS(0)
+		}
+		b = core.NewSharded(opt.Config, opt.Sharded)
+	case BackendAWM:
+		b = core.NewConcurrent(core.NewAWMSketch(opt.Config))
+	case BackendWM:
+		b = core.NewConcurrent(core.NewWMSketch(opt.Config))
+	default:
+		return nil, fmt.Errorf("server: unknown backend %q", opt.Backend)
+	}
+	if opt.RefreshInterval == 0 {
+		opt.RefreshInterval = 200 * time.Millisecond
+	}
+	s := &Server{opt: opt, backend: b, start: time.Now(), stopRefresh: make(chan struct{})}
+	s.routes()
+	if opt.Backend == BackendSharded && opt.RefreshInterval > 0 {
+		s.refreshWG.Add(1)
+		go s.refreshLoop()
+	}
+	return s, nil
+}
+
+// refreshLoop re-merges the sharded query snapshot whenever updates have
+// arrived since the last merge, bounding the staleness of Predict/Estimate/
+// TopK answers under continuous training.
+func (s *Server) refreshLoop() {
+	defer s.refreshWG.Done()
+	t := time.NewTicker(s.opt.RefreshInterval)
+	defer t.Stop()
+	var synced int64 = -1
+	for {
+		select {
+		case <-s.stopRefresh:
+			return
+		case <-t.C:
+			s.withBackend(func(b learner) {
+				sh, ok := b.(*core.Sharded)
+				if !ok {
+					return
+				}
+				if steps := sh.Steps(); steps != synced {
+					sh.Sync()
+					synced = steps
+				}
+			})
+		}
+	}
+}
+
+func (s *Server) routes() {
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/update", s.handleUpdate)
+	s.mux.HandleFunc("POST /v1/predict", s.handlePredict)
+	s.mux.HandleFunc("GET /v1/estimate", s.handleEstimateGet)
+	s.mux.HandleFunc("POST /v1/estimate", s.handleEstimatePost)
+	s.mux.HandleFunc("GET /v1/topk", s.handleTopK)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("POST /v1/checkpoint", s.handleCheckpoint)
+	s.mux.HandleFunc("POST /v1/sync", s.handleSync)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte("ok\n"))
+	})
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBytes)
+	s.mux.ServeHTTP(w, r)
+}
+
+// Close flushes a final checkpoint to CheckpointPath (when configured) and
+// shuts the backend down. It is the graceful-shutdown hook: call it after
+// the HTTP listener has drained. Close is idempotent.
+func (s *Server) Close() error {
+	s.stopOnce.Do(func() { close(s.stopRefresh) })
+	s.refreshWG.Wait()
+	var err error
+	if s.opt.CheckpointPath != "" {
+		_, err = s.saveCheckpoint(s.opt.CheckpointPath)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sh, ok := s.backend.(*core.Sharded); ok {
+		sh.Close()
+	}
+	return err
+}
+
+// Restore loads a checkpoint from path into the server — the boot-time
+// counterpart of POST /v1/checkpoint {"action":"restore"}.
+func (s *Server) Restore(path string) error { return s.restoreCheckpoint(path) }
+
+// withBackend runs fn on the active backend under the read lock, so a
+// concurrent checkpoint restore (which swaps the backend under the write
+// lock and closes the old one) can never retire a backend mid-operation.
+func (s *Server) withBackend(fn func(b learner)) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	fn(s.backend)
+}
+
+// ---- wire types ----
+
+// FeatureJSON is one sparse coordinate.
+type FeatureJSON struct {
+	I uint32  `json:"i"`
+	V float64 `json:"v"`
+}
+
+// ExampleJSON is one example, either structured (y, x) or as a raw
+// libsvm-format line ("1 3:0.5 7:1.2"), which is parsed server-side.
+type ExampleJSON struct {
+	Y      int           `json:"y,omitempty"`
+	X      []FeatureJSON `json:"x,omitempty"`
+	LibSVM string        `json:"libsvm,omitempty"`
+}
+
+// UpdateRequest carries one example or a batch.
+type UpdateRequest struct {
+	Example  *ExampleJSON  `json:"example,omitempty"`
+	Examples []ExampleJSON `json:"examples,omitempty"`
+}
+
+// UpdateResponse reports how many examples were applied.
+type UpdateResponse struct {
+	Applied int   `json:"applied"`
+	Steps   int64 `json:"steps"`
+}
+
+// PredictRequest carries the feature vector to score.
+type PredictRequest struct {
+	X      []FeatureJSON `json:"x,omitempty"`
+	LibSVM string        `json:"libsvm,omitempty"`
+}
+
+// PredictResponse is the margin and its sign.
+type PredictResponse struct {
+	Margin float64 `json:"margin"`
+	Label  int     `json:"label"`
+}
+
+// EstimateRequest asks for weight estimates of a batch of features.
+type EstimateRequest struct {
+	Indices []uint32 `json:"indices"`
+}
+
+// WeightJSON pairs a feature index with its estimated weight.
+type WeightJSON struct {
+	I uint32  `json:"i"`
+	W float64 `json:"w"`
+}
+
+// EstimateResponse returns the requested estimates in request order.
+type EstimateResponse struct {
+	Weights []WeightJSON `json:"weights"`
+}
+
+// TopKResponse returns the heaviest features, descending |weight|.
+type TopKResponse struct {
+	K        int          `json:"k"`
+	Features []WeightJSON `json:"features"`
+}
+
+// StatsResponse is the /v1/stats document.
+type StatsResponse struct {
+	Backend       string  `json:"backend"`
+	Width         int     `json:"width"`
+	Depth         int     `json:"depth"`
+	HeapSize      int     `json:"heap_size"`
+	Workers       int     `json:"workers,omitempty"`
+	Steps         int64   `json:"steps"`
+	Updates       int64   `json:"updates"`
+	Predicts      int64   `json:"predicts"`
+	Estimates     int64   `json:"estimates"`
+	Restores      int64   `json:"restores"`
+	MemoryBytes   int     `json:"memory_bytes"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+// CheckpointRequest triggers a save or restore. Path defaults to the
+// server's configured CheckpointPath.
+type CheckpointRequest struct {
+	Action string `json:"action"` // "save" or "restore"
+	Path   string `json:"path,omitempty"`
+}
+
+// CheckpointResponse reports the completed action.
+type CheckpointResponse struct {
+	Action string `json:"action"`
+	Path   string `json:"path"`
+	Bytes  int64  `json:"bytes,omitempty"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// ---- helpers ----
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...interface{}) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v interface{}) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+// toExample validates one wire example into a stream.Example. Labels must be
+// ±1 in structured form; libsvm lines go through the hardened parser.
+func toExample(e *ExampleJSON) (stream.Example, error) {
+	if e.LibSVM != "" {
+		if e.Y != 0 || len(e.X) != 0 {
+			return stream.Example{}, errors.New("give either libsvm or (y, x), not both")
+		}
+		return stream.ParseLibSVMLine(e.LibSVM)
+	}
+	if e.Y != 1 && e.Y != -1 {
+		return stream.Example{}, fmt.Errorf("label must be +1 or -1, got %d", e.Y)
+	}
+	x, err := toVector(e.X)
+	if err != nil {
+		return stream.Example{}, err
+	}
+	return stream.Example{X: x, Y: e.Y}, nil
+}
+
+func toVector(fs []FeatureJSON) (stream.Vector, error) {
+	x := make(stream.Vector, len(fs))
+	for i, f := range fs {
+		if math.IsNaN(f.V) || math.IsInf(f.V, 0) {
+			return nil, fmt.Errorf("feature %d has non-finite value", f.I)
+		}
+		x[i] = stream.Feature{Index: f.I, Value: f.V}
+	}
+	return x, nil
+}
+
+// ---- handlers ----
+
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	var req UpdateRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	wire := req.Examples
+	if req.Example != nil {
+		wire = append([]ExampleJSON{*req.Example}, wire...)
+	}
+	if len(wire) == 0 {
+		writeError(w, http.StatusBadRequest, "no examples")
+		return
+	}
+	batch := make([]stream.Example, len(wire))
+	for i := range wire {
+		ex, err := toExample(&wire[i])
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "example %d: %v", i, err)
+			return
+		}
+		batch[i] = ex
+	}
+	var steps int64
+	s.withBackend(func(b learner) {
+		if sh, ok := b.(*core.Sharded); ok {
+			sh.UpdateBatch(batch)
+		} else {
+			for _, ex := range batch {
+				b.Update(ex.X, ex.Y)
+			}
+		}
+		steps = b.Steps()
+	})
+	s.updates.Add(int64(len(batch)))
+	writeJSON(w, http.StatusOK, UpdateResponse{Applied: len(batch), Steps: steps})
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	var req PredictRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	var x stream.Vector
+	if req.LibSVM != "" {
+		// Predict-only callers may not have a label; accept a bare feature
+		// list by prepending a dummy label for the parser.
+		ex, err := stream.ParseLibSVMLine("1 " + req.LibSVM)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad libsvm features: %v", err)
+			return
+		}
+		x = ex.X
+	} else {
+		var err error
+		if x, err = toVector(req.X); err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	var margin float64
+	s.withBackend(func(b learner) { margin = b.Predict(x) })
+	label := -1
+	if margin > 0 {
+		label = 1
+	}
+	s.predicts.Add(1)
+	writeJSON(w, http.StatusOK, PredictResponse{Margin: margin, Label: label})
+}
+
+func (s *Server) handleEstimateGet(w http.ResponseWriter, r *http.Request) {
+	raw := r.URL.Query().Get("i")
+	if raw == "" {
+		writeError(w, http.StatusBadRequest, "missing query parameter i")
+		return
+	}
+	i, err := strconv.ParseUint(raw, 10, 32)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad index %q", raw)
+		return
+	}
+	var est float64
+	s.withBackend(func(b learner) { est = b.Estimate(uint32(i)) })
+	s.estimates.Add(1)
+	writeJSON(w, http.StatusOK, EstimateResponse{
+		Weights: []WeightJSON{{I: uint32(i), W: est}},
+	})
+}
+
+// maxEstimateBatch bounds one POST /v1/estimate request.
+const maxEstimateBatch = 65536
+
+func (s *Server) handleEstimatePost(w http.ResponseWriter, r *http.Request) {
+	var req EstimateRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Indices) == 0 {
+		writeError(w, http.StatusBadRequest, "no indices")
+		return
+	}
+	if len(req.Indices) > maxEstimateBatch {
+		writeError(w, http.StatusBadRequest, "too many indices (%d > %d)", len(req.Indices), maxEstimateBatch)
+		return
+	}
+	out := make([]WeightJSON, len(req.Indices))
+	s.withBackend(func(b learner) {
+		for i, idx := range req.Indices {
+			out[i] = WeightJSON{I: idx, W: b.Estimate(idx)}
+		}
+	})
+	s.estimates.Add(int64(len(out)))
+	writeJSON(w, http.StatusOK, EstimateResponse{Weights: out})
+}
+
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	k := 10
+	if raw := r.URL.Query().Get("k"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v <= 0 {
+			writeError(w, http.StatusBadRequest, "bad k %q", raw)
+			return
+		}
+		k = v
+	}
+	var top []stream.Weighted
+	s.withBackend(func(b learner) { top = b.TopK(k) })
+	out := make([]WeightJSON, len(top))
+	for i, e := range top {
+		out[i] = WeightJSON{I: e.Index, W: e.Weight}
+	}
+	writeJSON(w, http.StatusOK, TopKResponse{K: k, Features: out})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	resp := StatsResponse{
+		Backend:       s.opt.Backend,
+		Width:         s.opt.Config.Width,
+		Depth:         s.opt.Config.Depth,
+		HeapSize:      s.opt.Config.HeapSize,
+		Updates:       s.updates.Load(),
+		Predicts:      s.predicts.Load(),
+		Estimates:     s.estimates.Load(),
+		Restores:      s.restores.Load(),
+		UptimeSeconds: time.Since(s.start).Seconds(),
+	}
+	s.withBackend(func(b learner) {
+		resp.Steps = b.Steps()
+		resp.MemoryBytes = b.MemoryBytes()
+	})
+	if s.opt.Backend == BackendSharded {
+		resp.Workers = s.opt.Sharded.Workers
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	var req CheckpointRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	path := req.Path
+	if path == "" {
+		path = s.opt.CheckpointPath
+	}
+	if path == "" {
+		writeError(w, http.StatusBadRequest, "no checkpoint path configured or given")
+		return
+	}
+	switch req.Action {
+	case "save":
+		n, err := s.saveCheckpoint(path)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "save: %v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, CheckpointResponse{Action: "save", Path: path, Bytes: n})
+	case "restore":
+		if err := s.restoreCheckpoint(path); err != nil {
+			writeError(w, http.StatusInternalServerError, "restore: %v", err)
+			return
+		}
+		s.restores.Add(1)
+		writeJSON(w, http.StatusOK, CheckpointResponse{Action: "restore", Path: path})
+	default:
+		writeError(w, http.StatusBadRequest, "action must be save or restore, got %q", req.Action)
+	}
+}
+
+// handleSync forces a sharded snapshot refresh: after it returns, queries
+// reflect every update routed before the call. No-op for single-model
+// backends, whose queries are always current.
+func (s *Server) handleSync(w http.ResponseWriter, r *http.Request) {
+	var steps int64
+	s.withBackend(func(b learner) {
+		if sh, ok := b.(*core.Sharded); ok {
+			sh.Sync()
+		}
+		steps = b.Steps()
+	})
+	writeJSON(w, http.StatusOK, UpdateResponse{Steps: steps})
+}
+
+// saveCheckpoint writes the backend state to path atomically (temp file +
+// rename), so a crash mid-write never clobbers the previous checkpoint.
+func (s *Server) saveCheckpoint(path string) (int64, error) {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".wmserve-ckpt-*")
+	if err != nil {
+		return 0, err
+	}
+	defer os.Remove(tmp.Name())
+	var n int64
+	var werr error
+	s.withBackend(func(b learner) { n, werr = b.WriteTo(tmp) })
+	if werr != nil {
+		tmp.Close()
+		return n, werr
+	}
+	if err := tmp.Close(); err != nil {
+		return n, err
+	}
+	return n, os.Rename(tmp.Name(), path)
+}
+
+// restoreCheckpoint replaces the backend with the state at path. The new
+// learner is fully constructed before the swap; requests racing the restore
+// see either the old or the new backend, never a partial one.
+func (s *Server) restoreCheckpoint(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	var fresh learner
+	switch s.opt.Backend {
+	case BackendSharded:
+		sh, err := core.LoadSharded(f, s.opt.Config.Loss, s.opt.Config.Schedule, s.opt.Sharded)
+		if err != nil {
+			return err
+		}
+		fresh = sh
+	case BackendAWM:
+		a, err := core.LoadAWMSketch(f, s.opt.Config.Loss, s.opt.Config.Schedule)
+		if err != nil {
+			return err
+		}
+		fresh = core.NewConcurrent(a)
+	case BackendWM:
+		m, err := core.LoadWMSketch(f, s.opt.Config.Loss, s.opt.Config.Schedule)
+		if err != nil {
+			return err
+		}
+		fresh = core.NewConcurrent(m)
+	default:
+		return fmt.Errorf("backend %q does not support restore", s.opt.Backend)
+	}
+
+	s.mu.Lock()
+	old := s.backend
+	s.backend = fresh
+	s.mu.Unlock()
+	if sh, ok := old.(*core.Sharded); ok {
+		sh.Close()
+	}
+	return nil
+}

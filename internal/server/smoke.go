@@ -1,0 +1,176 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"time"
+
+	"wmsketch/internal/datagen"
+)
+
+// Smoke boots a server on a loopback listener and exercises the whole API
+// end-to-end over real HTTP: update (batch + libsvm), predict, estimate,
+// topk, stats, checkpoint save → further training → restore → verify the
+// restored state answers exactly like the checkpoint, then a short
+// concurrent loadgen. It returns the first failure. CI runs this via
+// `wmserve -smoke`; it is also a fast local sanity check after changes to
+// the serving layer.
+func Smoke(opt Options, verbose io.Writer) error {
+	if verbose == nil {
+		verbose = io.Discard
+	}
+	dir, err := os.MkdirTemp("", "wmserve-smoke-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	if opt.CheckpointPath == "" {
+		opt.CheckpointPath = filepath.Join(dir, "smoke.ckpt")
+	}
+
+	srv, err := New(opt)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv}
+	go func() { _ = hs.Serve(ln) }()
+	defer func() { _ = hs.Close(); _ = srv.Close() }()
+	base := "http://" + ln.Addr().String()
+	client := &http.Client{Timeout: 10 * time.Second}
+	fmt.Fprintf(verbose, "smoke: serving %s backend on %s\n", opt.Backend, base)
+
+	post := func(path string, req, resp interface{}) error {
+		blob, err := json.Marshal(req)
+		if err != nil {
+			return err
+		}
+		r, err := client.Post(base+path, "application/json", bytes.NewReader(blob))
+		if err != nil {
+			return err
+		}
+		defer r.Body.Close()
+		body, _ := io.ReadAll(r.Body)
+		if r.StatusCode != http.StatusOK {
+			return fmt.Errorf("POST %s: HTTP %d: %s", path, r.StatusCode, body)
+		}
+		if resp != nil {
+			return json.Unmarshal(body, resp)
+		}
+		return nil
+	}
+	get := func(path string, resp interface{}) error {
+		r, err := client.Get(base + path)
+		if err != nil {
+			return err
+		}
+		defer r.Body.Close()
+		body, _ := io.ReadAll(r.Body)
+		if r.StatusCode != http.StatusOK {
+			return fmt.Errorf("GET %s: HTTP %d: %s", path, r.StatusCode, body)
+		}
+		return json.Unmarshal(body, resp)
+	}
+
+	// Train on a generated stream, batched.
+	gen := datagen.RCV1Like(17)
+	data := gen.Take(2048)
+	var up UpdateResponse
+	if err := post("/v1/update", UpdateRequest{Examples: toWire(data)}, &up); err != nil {
+		return err
+	}
+	if up.Applied != len(data) {
+		return fmt.Errorf("update applied %d, want %d", up.Applied, len(data))
+	}
+	// Single example and libsvm forms.
+	if err := post("/v1/update", UpdateRequest{
+		Example: &ExampleJSON{LibSVM: "+1 3:0.5 17:1.25 # comment"},
+	}, &up); err != nil {
+		return err
+	}
+	// Malformed input must be a 400, not a 500 or a poisoned model.
+	if err := post("/v1/update", UpdateRequest{
+		Example: &ExampleJSON{LibSVM: "banana 3:0.5"},
+	}, nil); err == nil {
+		return fmt.Errorf("malformed libsvm must be rejected")
+	}
+
+	probe := gen.Next().X
+	var pr PredictResponse
+	if err := post("/v1/predict", PredictRequest{X: vecWire(probe)}, &pr); err != nil {
+		return err
+	}
+	if pr.Label != 1 && pr.Label != -1 {
+		return fmt.Errorf("predict label %d", pr.Label)
+	}
+
+	// Force the sharded snapshot current before reading it back.
+	if err := post("/v1/sync", struct{}{}, nil); err != nil {
+		return err
+	}
+	var top TopKResponse
+	if err := get("/v1/topk?k=8", &top); err != nil {
+		return err
+	}
+	if len(top.Features) == 0 {
+		return fmt.Errorf("topk returned no features after %d examples", len(data))
+	}
+
+	// Checkpoint → divergent training → restore must return to the
+	// checkpointed answers exactly.
+	heavy := top.Features[0].I
+	var before EstimateResponse
+	if err := get(fmt.Sprintf("/v1/estimate?i=%d", heavy), &before); err != nil {
+		return err
+	}
+	if err := post("/v1/checkpoint", CheckpointRequest{Action: "save"}, nil); err != nil {
+		return err
+	}
+	if err := post("/v1/update", UpdateRequest{Examples: toWire(gen.Take(512))}, nil); err != nil {
+		return err
+	}
+	if err := post("/v1/checkpoint", CheckpointRequest{Action: "restore"}, nil); err != nil {
+		return err
+	}
+	var after EstimateResponse
+	if err := get(fmt.Sprintf("/v1/estimate?i=%d", heavy), &after); err != nil {
+		return err
+	}
+	if before.Weights[0] != after.Weights[0] {
+		return fmt.Errorf("restore did not reproduce checkpoint: estimate(%d) %v != %v",
+			heavy, after.Weights[0], before.Weights[0])
+	}
+	fmt.Fprintf(verbose, "smoke: checkpoint round-trip reproduced estimate(%d) = %g\n",
+		heavy, after.Weights[0].W)
+
+	var st StatsResponse
+	if err := get("/v1/stats", &st); err != nil {
+		return err
+	}
+	if st.Updates == 0 || st.Steps == 0 {
+		return fmt.Errorf("stats did not count updates: %+v", st)
+	}
+
+	// Concurrent loadgen against the same live server.
+	report, err := RunLoadgen(LoadgenOptions{
+		TargetURL: base, Clients: 4, Examples: 4096, Batch: 64, Seed: 99,
+	})
+	if err != nil {
+		return fmt.Errorf("loadgen: %w", err)
+	}
+	if report.UpdatesPerSec <= 0 {
+		return fmt.Errorf("loadgen reported no throughput")
+	}
+	fmt.Fprintf(verbose, "smoke: loadgen %d examples at %.0f updates/sec (p99 update %.2f ms)\n",
+		report.Examples, report.UpdatesPerSec, report.Update.P99Ms)
+	return nil
+}

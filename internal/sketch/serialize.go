@@ -22,6 +22,11 @@ import (
 // The hash functions are reconstructed from the seed, so a deserialized
 // sketch answers queries identically to the original and remains mergeable
 // with sketches built from the same seed.
+//
+// Restore is defensive: the header's shape is bounded (maxSerializedBuckets)
+// before any bucket allocation, and every restored bucket is checked for
+// NaN/±Inf — a long-lived serving process must never adopt a checkpoint that
+// would poison its arithmetic.
 
 const (
 	magicCountSketch = 0x574d4353 // "WMCS"
@@ -29,8 +34,75 @@ const (
 	serializeVersion = 1
 )
 
+// maxSerializedBuckets caps depth×width accepted on restore. Without it a
+// corrupt or adversarial 24-byte header (depth up to 2^16, width up to 2^30)
+// could demand a petabyte-scale allocation before a single bucket byte is
+// read. 2^27 buckets = 1 GiB of float64 — far above any configuration the
+// paper or this repository uses, far below an OOM.
+const maxSerializedBuckets = 1 << 27
+
+// serializeChunk is the number of float64s encoded per buffered chunk on the
+// bulk read/write paths (32 KiB of scratch).
+const serializeChunk = 4096
+
 // seed is retained by sketches solely so that serialization can rebuild
 // identical hash functions.
+
+// writeFloats bulk-encodes vals with a manual PutUint64 loop — one Write per
+// chunk instead of one reflective binary.Write per element. The byte output
+// is identical to binary.Write(w, binary.LittleEndian, v) per element.
+func writeFloats(w io.Writer, scratch []byte, vals []float64) (int64, error) {
+	var n int64
+	for len(vals) > 0 {
+		c := len(vals)
+		if c > serializeChunk {
+			c = serializeChunk
+		}
+		b := scratch[:8*c]
+		for i, v := range vals[:c] {
+			binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(v))
+		}
+		m, err := w.Write(b)
+		n += int64(m)
+		if err != nil {
+			return n, err
+		}
+		vals = vals[c:]
+	}
+	return n, nil
+}
+
+// readFloats bulk-decodes into vals, the inverse of writeFloats.
+func readFloats(r io.Reader, scratch []byte, vals []float64) error {
+	for len(vals) > 0 {
+		c := len(vals)
+		if c > serializeChunk {
+			c = serializeChunk
+		}
+		b := scratch[:8*c]
+		if _, err := io.ReadFull(r, b); err != nil {
+			return err
+		}
+		for i := range vals[:c] {
+			vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+		}
+		vals = vals[c:]
+	}
+	return nil
+}
+
+// validateBuckets rejects NaN/±Inf in a restored row: a checkpoint carrying
+// non-finite buckets would silently corrupt every later estimate and update.
+func validateBuckets(kind string, row []float64) error {
+	for i, v := range row {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("sketch: %s bucket %d is non-finite (%g)", kind, i, v)
+		}
+	}
+	return nil
+}
+
+func newScratch() []byte { return make([]byte, 8*serializeChunk) }
 
 // WriteTo serializes the sketch. It implements io.WriterTo.
 func (cs *CountSketch) WriteTo(w io.Writer) (int64, error) {
@@ -39,12 +111,12 @@ func (cs *CountSketch) WriteTo(w io.Writer) (int64, error) {
 	if err != nil {
 		return n, err
 	}
+	scratch := newScratch()
 	for _, row := range cs.rows {
-		for _, v := range row {
-			if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
-				return n, err
-			}
-			n += 8
+		m, err := writeFloats(bw, scratch, row)
+		n += m
+		if err != nil {
+			return n, err
 		}
 	}
 	return n, bw.Flush()
@@ -58,11 +130,13 @@ func ReadCountSketch(r io.Reader) (*CountSketch, error) {
 		return nil, err
 	}
 	cs := NewCountSketch(depth, width, seed)
+	scratch := newScratch()
 	for _, row := range cs.rows {
-		for i := range row {
-			if err := binary.Read(br, binary.LittleEndian, &row[i]); err != nil {
-				return nil, fmt.Errorf("sketch: truncated bucket data: %w", err)
-			}
+		if err := readFloats(br, scratch, row); err != nil {
+			return nil, fmt.Errorf("sketch: truncated bucket data: %w", err)
+		}
+		if err := validateBuckets("count-sketch", row); err != nil {
+			return nil, err
 		}
 	}
 	return cs, nil
@@ -79,16 +153,17 @@ func (cm *CountMin) WriteTo(w io.Writer) (int64, error) {
 	if err != nil {
 		return n, err
 	}
-	if err := binary.Write(bw, binary.LittleEndian, cm.total); err != nil {
+	scratch := newScratch()
+	m, err := writeFloats(bw, scratch, []float64{cm.total})
+	n += m
+	if err != nil {
 		return n, err
 	}
-	n += 8
 	for _, row := range cm.rows {
-		for _, v := range row {
-			if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
-				return n, err
-			}
-			n += 8
+		m, err := writeFloats(bw, scratch, row)
+		n += m
+		if err != nil {
+			return n, err
 		}
 	}
 	return n, bw.Flush()
@@ -103,43 +178,54 @@ func ReadCountMin(r io.Reader) (*CountMin, error) {
 	}
 	cm := NewCountMin(depth, width, seed)
 	cm.conservative = flags&1 != 0
-	if err := binary.Read(br, binary.LittleEndian, &cm.total); err != nil {
+	scratch := newScratch()
+	total := make([]float64, 1)
+	if err := readFloats(br, scratch, total); err != nil {
 		return nil, fmt.Errorf("sketch: truncated total: %w", err)
 	}
+	cm.total = total[0]
 	for _, row := range cm.rows {
-		for i := range row {
-			if err := binary.Read(br, binary.LittleEndian, &row[i]); err != nil {
-				return nil, fmt.Errorf("sketch: truncated bucket data: %w", err)
-			}
+		if err := readFloats(br, scratch, row); err != nil {
+			return nil, fmt.Errorf("sketch: truncated bucket data: %w", err)
+		}
+		if err := validateBuckets("count-min", row); err != nil {
+			return nil, err
 		}
 	}
-	if math.IsNaN(cm.total) {
+	if math.IsNaN(cm.total) || math.IsInf(cm.total, 0) {
 		return nil, fmt.Errorf("sketch: corrupt total")
 	}
 	return cm, nil
 }
 
 func writeHeader(w io.Writer, magic uint32, seed int64, depth, width int, flags uint32) (int64, error) {
-	hdr := []interface{}{
-		magic, uint32(serializeVersion), seed, uint32(depth), uint32(width), flags,
+	var b [24]byte
+	binary.LittleEndian.PutUint32(b[0:], magic)
+	binary.LittleEndian.PutUint32(b[4:], serializeVersion)
+	binary.LittleEndian.PutUint64(b[8:], uint64(seed))
+	binary.LittleEndian.PutUint32(b[16:], uint32(depth))
+	binary.LittleEndian.PutUint32(b[20:], uint32(width))
+	n, err := w.Write(b[:])
+	if err != nil {
+		return int64(n), err
 	}
-	n := int64(0)
-	for _, v := range hdr {
-		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
-			return n, err
-		}
-		n += int64(binary.Size(v))
-	}
-	return n, nil
+	var fb [4]byte
+	binary.LittleEndian.PutUint32(fb[:], flags)
+	m, err := w.Write(fb[:])
+	return int64(n + m), err
 }
 
 func readHeader(r io.Reader, wantMagic uint32) (seed int64, depth, width int, flags uint32, err error) {
-	var magic, version, d32, w32 uint32
-	for _, p := range []interface{}{&magic, &version, &seed, &d32, &w32, &flags} {
-		if err = binary.Read(r, binary.LittleEndian, p); err != nil {
-			return 0, 0, 0, 0, fmt.Errorf("sketch: truncated header: %w", err)
-		}
+	var b [28]byte
+	if _, err = io.ReadFull(r, b[:]); err != nil {
+		return 0, 0, 0, 0, fmt.Errorf("sketch: truncated header: %w", err)
 	}
+	magic := binary.LittleEndian.Uint32(b[0:])
+	version := binary.LittleEndian.Uint32(b[4:])
+	seed = int64(binary.LittleEndian.Uint64(b[8:]))
+	d32 := binary.LittleEndian.Uint32(b[16:])
+	w32 := binary.LittleEndian.Uint32(b[20:])
+	flags = binary.LittleEndian.Uint32(b[24:])
 	if magic != wantMagic {
 		return 0, 0, 0, 0, fmt.Errorf("sketch: bad magic %#x", magic)
 	}
@@ -148,6 +234,9 @@ func readHeader(r io.Reader, wantMagic uint32) (seed int64, depth, width int, fl
 	}
 	if d32 == 0 || w32 == 0 || d32 > 1<<16 || w32 > 1<<30 {
 		return 0, 0, 0, 0, fmt.Errorf("sketch: implausible shape %dx%d", d32, w32)
+	}
+	if total := uint64(d32) * uint64(w32); total > maxSerializedBuckets {
+		return 0, 0, 0, 0, fmt.Errorf("sketch: header demands %d buckets, limit %d", total, uint64(maxSerializedBuckets))
 	}
 	return seed, int(d32), int(w32), flags, nil
 }

@@ -4,16 +4,30 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 )
+
+// MaxLibSVMFeatures caps the number of features accepted on one line. The
+// parser feeds learners from untrusted network input (wmserve), so a single
+// adversarial line must not expand into an unbounded allocation or an
+// unbounded amount of per-example work.
+const MaxLibSVMFeatures = 1 << 20
 
 // ParseLibSVMLine parses one line of libsvm/svmlight format:
 //
 //	<label> <index>:<value> <index>:<value> ...
 //
 // Labels "1", "+1" map to +1; "-1", "0" map to -1 (0/1 datasets are common).
-// Indices are 1-based in the format and preserved as given.
+// Indices are 1-based in the format and preserved as given; duplicate
+// indices are kept in order (learners treat them additively, matching the
+// dense semantics x[i] = Σ of the duplicates).
+//
+// The parser is hardened for untrusted input: non-finite labels and values
+// ("nan", "inf") are rejected — a single NaN feature would otherwise poison
+// every bucket it touches — and a line with more than MaxLibSVMFeatures
+// features errors out.
 func ParseLibSVMLine(line string) (Example, error) {
 	fields := strings.Fields(line)
 	if len(fields) == 0 {
@@ -30,11 +44,17 @@ func ParseLibSVMLine(line string) (Example, error) {
 		if err != nil {
 			return Example{}, fmt.Errorf("stream: bad label %q: %v", fields[0], err)
 		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return Example{}, fmt.Errorf("stream: non-finite label %q", fields[0])
+		}
 		if v > 0 {
 			y = 1
 		} else {
 			y = -1
 		}
+	}
+	if len(fields)-1 > MaxLibSVMFeatures {
+		return Example{}, fmt.Errorf("stream: %d features exceeds limit %d", len(fields)-1, MaxLibSVMFeatures)
 	}
 	x := make(Vector, 0, len(fields)-1)
 	for _, f := range fields[1:] {
@@ -52,6 +72,9 @@ func ParseLibSVMLine(line string) (Example, error) {
 		val, err := strconv.ParseFloat(f[colon+1:], 64)
 		if err != nil {
 			return Example{}, fmt.Errorf("stream: bad value in %q: %v", f, err)
+		}
+		if math.IsNaN(val) || math.IsInf(val, 0) {
+			return Example{}, fmt.Errorf("stream: non-finite value in %q", f)
 		}
 		x = append(x, Feature{Index: uint32(idx), Value: val})
 	}

@@ -1,0 +1,162 @@
+package stream
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// Hardening tests for ParseLibSVMLine: wmserve feeds it untrusted network
+// input, so malformed, adversarial, and borderline lines must produce a
+// clean error or a well-formed example — never a panic, a non-finite value,
+// or unbounded work.
+
+func TestParseLibSVMHardening(t *testing.T) {
+	dup := func(ex Example) map[uint32][]float64 {
+		m := map[uint32][]float64{}
+		for _, f := range ex.X {
+			m[f.Index] = append(m[f.Index], f.Value)
+		}
+		return m
+	}
+
+	t.Run("trailing-comments", func(t *testing.T) {
+		for _, line := range []string{
+			"+1 1:1 # plain",
+			"+1 1:1 #no-space-after-hash 2:2",
+			"+1 1:1 # 3:3 4:4", // features inside the comment are ignored
+			"-1 #only-comment",
+		} {
+			ex, err := ParseLibSVMLine(line)
+			if err != nil {
+				t.Errorf("%q: %v", line, err)
+				continue
+			}
+			if len(ex.X) > 1 {
+				t.Errorf("%q: comment not stripped, got %d features", line, len(ex.X))
+			}
+		}
+		// A '#' embedded in a value is malformed, not a comment.
+		if _, err := ParseLibSVMLine("+1 1:1#c"); err == nil {
+			t.Error("embedded # in value must error")
+		}
+	})
+
+	t.Run("duplicate-indices", func(t *testing.T) {
+		ex, err := ParseLibSVMLine("+1 5:1.5 5:-0.5 5:2")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := dup(ex)[5]; len(got) != 3 || got[0] != 1.5 || got[1] != -0.5 || got[2] != 2 {
+			t.Fatalf("duplicates not preserved in order: %v", got)
+		}
+	})
+
+	t.Run("overlong-lines", func(t *testing.T) {
+		var sb strings.Builder
+		sb.WriteString("+1")
+		for i := 0; i <= MaxLibSVMFeatures; i++ {
+			sb.WriteString(" 1:1")
+		}
+		if _, err := ParseLibSVMLine(sb.String()); err == nil {
+			t.Error("line over MaxLibSVMFeatures must error")
+		}
+		// A long-but-legal line parses.
+		ex, err := ParseLibSVMLine("+1" + strings.Repeat(" 2:1", 1000))
+		if err != nil || len(ex.X) != 1000 {
+			t.Errorf("1000-feature line: %d features, err %v", len(ex.X), err)
+		}
+	})
+
+	t.Run("malformed-labels", func(t *testing.T) {
+		for _, line := range []string{
+			"nan 1:1", "inf 1:1", "-inf 1:1", "Infinity 1:1",
+			"1e 1:1", "+ 1:1", "one 1:1", "0x1p2z 1:1",
+		} {
+			if _, err := ParseLibSVMLine(line); err == nil {
+				t.Errorf("%q: malformed label must error", line)
+			}
+		}
+		// Numeric non-unit labels still threshold at 0.
+		for line, want := range map[string]int{"2.5 1:1": 1, "-0.1 1:1": -1} {
+			ex, err := ParseLibSVMLine(line)
+			if err != nil || ex.Y != want {
+				t.Errorf("%q: y=%d err=%v, want y=%d", line, ex.Y, err, want)
+			}
+		}
+	})
+
+	t.Run("non-finite-values", func(t *testing.T) {
+		for _, line := range []string{
+			"+1 1:nan", "+1 1:NaN", "+1 1:inf", "+1 1:-inf", "+1 1:1e999",
+		} {
+			if _, err := ParseLibSVMLine(line); err == nil {
+				t.Errorf("%q: non-finite value must error", line)
+			}
+		}
+	})
+
+	t.Run("index-bounds", func(t *testing.T) {
+		for _, line := range []string{
+			"+1 4294967296:1", // 2^32
+			"+1 -1:1",
+			"+1 1.5:1",
+			"+1 :1",
+		} {
+			if _, err := ParseLibSVMLine(line); err == nil {
+				t.Errorf("%q: bad index must error", line)
+			}
+		}
+		ex, err := ParseLibSVMLine("+1 4294967295:1") // 2^32-1 is legal
+		if err != nil || ex.X[0].Index != math.MaxUint32 {
+			t.Errorf("max index: %+v, err %v", ex, err)
+		}
+	})
+
+	t.Run("whitespace", func(t *testing.T) {
+		ex, err := ParseLibSVMLine("\t+1\t1:1 \t 2:2\t\t")
+		if err != nil || len(ex.X) != 2 {
+			t.Errorf("tab-separated: %d features, err %v", len(ex.X), err)
+		}
+	})
+}
+
+// FuzzParseLibSVMLine asserts the parser's contract on arbitrary input:
+// no panic, and on success a ±1 label, finite values, and a bounded
+// feature count.
+func FuzzParseLibSVMLine(f *testing.F) {
+	for _, seed := range []string{
+		"+1 3:0.5 7:-1.25 100:2",
+		"-1 1:1 2:2 # a comment",
+		"0 1:0",
+		"2.5 5:1e-3",
+		"nan 1:1",
+		"+1 1:nan",
+		"+1 4294967295:1",
+		"+1 5:1.5 5:-0.5",
+		"",
+		"# comment",
+		"+1 1:1#c",
+		"\t+1\t1:1",
+		"+1 " + strings.Repeat("9:9 ", 50),
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, line string) {
+		ex, err := ParseLibSVMLine(line)
+		if err != nil {
+			return
+		}
+		if ex.Y != 1 && ex.Y != -1 {
+			t.Fatalf("%q: label %d not ±1", line, ex.Y)
+		}
+		if len(ex.X) > MaxLibSVMFeatures {
+			t.Fatalf("%q: %d features exceeds cap", line, len(ex.X))
+		}
+		for _, feat := range ex.X {
+			if math.IsNaN(feat.Value) || math.IsInf(feat.Value, 0) {
+				t.Fatalf("%q: non-finite value %g accepted", line, feat.Value)
+			}
+		}
+	})
+}

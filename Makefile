@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json bench-serve serve-smoke
+.PHONY: all build vet test race bench bench-json bench-serve serve-smoke cluster-smoke bench-cluster
 
 all: vet build test
 
@@ -38,3 +38,14 @@ bench-serve:
 # loadgen smoke. CI runs this.
 serve-smoke:
 	$(GO) run ./cmd/wmserve -smoke
+
+# Boot a 3-node loopback cluster, train disjoint partitions, gossip to
+# quiescence, and verify convergence vs the single-learner-on-union
+# baseline (CLUSTER.md). CI runs this with the report discarded.
+cluster-smoke:
+	$(GO) run ./cmd/wmserve -cluster-smoke -cluster-json ''
+
+# The same harness, recording rounds-to-convergence and bytes-on-wire
+# (full-sync rounds vs delta rounds vs idle rounds) to BENCH_cluster.json.
+bench-cluster:
+	$(GO) run ./cmd/wmserve -cluster-smoke -cluster-json BENCH_cluster.json

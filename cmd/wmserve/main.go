@@ -21,15 +21,29 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"wmsketch/internal/core"
 	"wmsketch/internal/server"
 )
+
+// splitPeers parses the -peers flag: comma-separated base URLs, blanks
+// ignored.
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
 
 func main() {
 	var (
@@ -44,6 +58,12 @@ func main() {
 		syncEvery = flag.Int("sync-every", 0, "sharded snapshot refresh cadence in updates (0 = default, <0 disables)")
 		ckpt      = flag.String("checkpoint", "", "checkpoint path: /v1/checkpoint default and final flush on shutdown")
 		restore   = flag.Bool("restore", false, "restore from -checkpoint at boot when the file exists")
+		authToken = flag.String("auth-token", "", "bearer token required on mutating endpoints (update/checkpoint/cluster push)")
+
+		peers          = flag.String("peers", "", "cluster: comma-separated peer base URLs (enables replication; see CLUSTER.md)")
+		nodeID         = flag.String("node-id", "", "cluster: this node's unique id (default: this node's advertised http://addr)")
+		gossipInterval = flag.Duration("gossip-interval", 2*time.Second, "cluster: anti-entropy round cadence")
+		clusterHistory = flag.Int("cluster-history", 8, "cluster: snapshot versions kept as delta bases before falling back to full sync")
 
 		loadgen  = flag.Bool("loadgen", false, "run the load generator instead of serving")
 		target   = flag.String("target", "", "loadgen: drive this URL instead of a self-hosted server")
@@ -53,6 +73,10 @@ func main() {
 		jsonPath = flag.String("json", "BENCH_serve.json", "loadgen: write the report to this file ('' disables)")
 
 		smoke = flag.Bool("smoke", false, "run the end-to-end self-test and exit")
+
+		clusterSmoke = flag.Bool("cluster-smoke", false, "run the multi-node convergence self-test and exit (CI runs this)")
+		clusterNodes = flag.Int("cluster-nodes", 3, "cluster-smoke: number of in-process nodes")
+		clusterJSON  = flag.String("cluster-json", "BENCH_cluster.json", "cluster-smoke: write the convergence/bytes report here ('' disables)")
 	)
 	flag.Parse()
 
@@ -64,9 +88,40 @@ func main() {
 		},
 		Sharded:        core.ShardedOptions{Workers: *workers, SyncEvery: *syncEvery},
 		CheckpointPath: *ckpt,
+		AuthToken:      *authToken,
+	}
+	if *peers != "" {
+		self := *nodeID
+		if self == "" {
+			// A host-less -addr like ":8080" would default every node in
+			// the fleet to the same id ("http://:8080"), making each drop
+			// the others' frames as its own origin — refuse to guess.
+			if host, _, err := net.SplitHostPort(*addr); err != nil || host == "" {
+				fmt.Fprintf(os.Stderr, "wmserve: -peers requires -node-id when -addr (%q) has no host part\n", *addr)
+				os.Exit(2)
+			}
+			self = "http://" + *addr
+		}
+		opt.Cluster = server.ClusterOptions{
+			Self:         self,
+			Peers:        splitPeers(*peers),
+			Interval:     *gossipInterval,
+			HistoryDepth: *clusterHistory,
+		}
 	}
 
 	switch {
+	case *clusterSmoke:
+		err := server.ClusterSmoke(opt, server.ClusterSmokeOptions{
+			Nodes:    *clusterNodes,
+			JSONPath: *clusterJSON,
+			Seed:     *seed,
+		}, os.Stdout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cluster-smoke: FAIL:", err)
+			os.Exit(1)
+		}
+		fmt.Println("cluster-smoke: ok")
 	case *smoke:
 		if err := server.Smoke(opt, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "smoke: FAIL:", err)

@@ -1,0 +1,363 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Anti-entropy rounds. Each round a node, per peer:
+//
+//  1. publishes its local model (new version only if it progressed),
+//  2. POSTs its digest to the peer's /v1/cluster/pull and applies the
+//     frames that come back (the peer's newer state, delta-compressed
+//     where the peer still holds our acked base),
+//  3. reads the peer's digest off the same response and POSTs back, via
+//     /v1/cluster/push, whatever the peer is missing.
+//
+// One round trip therefore reconciles both directions. Rounds are
+// independent per peer, failures back off exponentially per peer, and all
+// state transfer is idempotent, so any interleaving of retries converges.
+
+// maxPullBytes bounds a pull response read by the gossip client.
+const maxPullBytes = 1 << 30
+
+// PullRequest is the JSON body of POST /v1/cluster/pull.
+type PullRequest struct {
+	From   string           `json:"from"`
+	Digest map[string]int64 `json:"digest"`
+}
+
+// PushResponse is the JSON reply to POST /v1/cluster/push.
+type PushResponse struct {
+	Applied  int  `json:"applied"`
+	Stale    int  `json:"stale"`
+	Rejected int  `json:"rejected"`
+	Changed  bool `json:"changed"`
+}
+
+// peerState is the per-peer round state: liveness, backoff, and transfer
+// counters.
+type peerState struct {
+	url string
+
+	mu           sync.Mutex
+	rounds       int64
+	failures     int64 // consecutive
+	totalFails   int64
+	lastError    string
+	lastSuccess  time.Time
+	backoffUntil time.Time
+	bytesIn      int64
+	bytesOut     int64
+	framesIn     int64
+	framesOut    int64
+}
+
+// maxBackoff caps the per-peer retry backoff.
+const maxBackoff = time.Minute
+
+// Start launches the background gossip loop (no-op when Interval < 0 or
+// there are no peers). Close stops it.
+func (n *Node) Start() {
+	if n.cfg.Interval < 0 || len(n.peers) == 0 {
+		return
+	}
+	n.startOne.Do(func() {
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			t := time.NewTicker(n.cfg.Interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-n.stop:
+					return
+				case <-t.C:
+					n.GossipOnce()
+				}
+			}
+		}()
+	})
+}
+
+// Close stops the gossip loop and waits for an in-flight round to finish.
+func (n *Node) Close() {
+	n.stopOne.Do(func() { close(n.stop) })
+	n.wg.Wait()
+}
+
+// GossipOnce runs one full round: publish the local model, then reconcile
+// with every peer whose backoff window has passed. It returns the number
+// of peers successfully reconciled. Tests and the smoke harness call it
+// directly for deterministic rounds.
+func (n *Node) GossipOnce() int {
+	n.rounds.Add(1)
+	if _, _, err := n.PublishLocal(); err != nil {
+		n.cfg.Logf("cluster: publish: %v", err)
+	}
+	ok := 0
+	for _, p := range n.peers {
+		p.mu.Lock()
+		wait := time.Until(p.backoffUntil)
+		p.mu.Unlock()
+		if wait > 0 {
+			continue
+		}
+		if err := n.gossipPeer(p); err != nil {
+			n.peerFailed(p, err)
+		} else {
+			n.peerSucceeded(p)
+			ok++
+		}
+	}
+	return ok
+}
+
+func (n *Node) peerFailed(p *peerState, err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.failures++
+	p.totalFails++
+	p.lastError = err.Error()
+	backoff := n.cfg.Interval
+	if backoff <= 0 {
+		backoff = 2 * time.Second
+	}
+	for i := int64(1); i < p.failures && backoff < maxBackoff; i++ {
+		backoff *= 2
+	}
+	if backoff > maxBackoff {
+		backoff = maxBackoff
+	}
+	p.backoffUntil = time.Now().Add(backoff)
+	n.cfg.Logf("cluster: peer %s failed (%d consecutive, next attempt in %s): %v",
+		p.url, p.failures, backoff.Round(time.Millisecond), err)
+}
+
+func (n *Node) peerSucceeded(p *peerState) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.rounds++
+	p.failures = 0
+	p.lastError = ""
+	p.lastSuccess = time.Now()
+	p.backoffUntil = time.Time{}
+}
+
+// gossipPeer reconciles with one peer: pull, apply, push back.
+func (n *Node) gossipPeer(p *peerState) error {
+	res, err := n.pull(p, n.Digest())
+	if err != nil {
+		return err
+	}
+	// Deltas whose base we lack: re-pull those origins with a zeroed digest
+	// entry, which forces full frames.
+	if len(res.NeedFull) > 0 {
+		retry := n.Digest()
+		for _, origin := range res.NeedFull {
+			retry[origin] = 0
+		}
+		if r2, err := n.pull(p, retry); err == nil {
+			if r2.TheirDigest != nil {
+				res.TheirDigest = r2.TheirDigest
+			}
+		} else {
+			return fmt.Errorf("full re-pull: %w", err)
+		}
+	}
+	// Push back whatever the peer is missing.
+	if res.TheirDigest != nil {
+		frames := n.BuildFrames(res.TheirDigest, false)
+		if len(frames) > 0 {
+			if err := n.push(p, frames); err != nil {
+				return fmt.Errorf("push: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// pull POSTs our digest and applies the peer's response frames.
+func (n *Node) pull(p *peerState, digest map[string]int64) (ApplyResult, error) {
+	body, err := json.Marshal(PullRequest{From: n.cfg.Self, Digest: digest})
+	if err != nil {
+		return ApplyResult{}, err
+	}
+	req, err := http.NewRequest(http.MethodPost, p.url+"/v1/cluster/pull", bytes.NewReader(body))
+	if err != nil {
+		return ApplyResult{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := n.cfg.Client.Do(req)
+	if err != nil {
+		return ApplyResult{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return ApplyResult{}, fmt.Errorf("pull: HTTP %d: %s", resp.StatusCode, msg)
+	}
+	// Decode straight off the wire — a full sync of a large model must not
+	// be buffered whole just to count its bytes.
+	cr := &countingReader{r: io.LimitReader(resp.Body, maxPullBytes)}
+	frames, err := ReadFrames(cr)
+	if err != nil {
+		return ApplyResult{}, err
+	}
+	res := n.ApplyFrames(frames)
+	n.bytesIn.Add(cr.n)
+	n.framesIn.Add(int64(len(frames)))
+	p.mu.Lock()
+	p.bytesIn += cr.n
+	p.framesIn += int64(len(frames))
+	p.mu.Unlock()
+	return res, nil
+}
+
+// countingReader tracks bytes read through it.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// push POSTs frames the peer is missing.
+func (n *Node) push(p *peerState, frames []Frame) error {
+	var buf bytes.Buffer
+	nBytes, err := WriteFrames(&buf, frames)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequest(http.MethodPost, p.url+"/v1/cluster/push", &buf)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	if n.cfg.AuthToken != "" {
+		req.Header.Set("Authorization", "Bearer "+n.cfg.AuthToken)
+	}
+	resp, err := n.cfg.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("HTTP %d: %s", resp.StatusCode, msg)
+	}
+	n.bytesOut.Add(nBytes)
+	n.framesOut.Add(int64(len(frames)))
+	p.mu.Lock()
+	p.bytesOut += nBytes
+	p.framesOut += int64(len(frames))
+	p.mu.Unlock()
+	return nil
+}
+
+// ---- status ----
+
+// PeerStatus is one peer's round state as reported by /v1/cluster/status.
+type PeerStatus struct {
+	URL                 string    `json:"url"`
+	Rounds              int64     `json:"rounds"`
+	ConsecutiveFailures int64     `json:"consecutive_failures"`
+	TotalFailures       int64     `json:"total_failures"`
+	LastError           string    `json:"last_error,omitempty"`
+	LastSuccess         time.Time `json:"last_success,omitempty"`
+	BackoffUntil        time.Time `json:"backoff_until,omitempty"`
+	BytesIn             int64     `json:"bytes_in"`
+	BytesOut            int64     `json:"bytes_out"`
+	FramesIn            int64     `json:"frames_in"`
+	FramesOut           int64     `json:"frames_out"`
+}
+
+// OriginStatus is one known origin's replication state.
+type OriginStatus struct {
+	ID      string `json:"id"`
+	Version int64  `json:"version"`
+	Steps   int64  `json:"steps"`
+	Heavy   int    `json:"heavy"`
+}
+
+// Status is the /v1/cluster/status document.
+type Status struct {
+	Self    string         `json:"self"`
+	Version int64          `json:"version"`
+	Origins []OriginStatus `json:"origins"`
+	Peers   []PeerStatus   `json:"peers"`
+
+	Rounds         int64 `json:"rounds"`
+	FramesIn       int64 `json:"frames_in"`
+	FramesOut      int64 `json:"frames_out"`
+	BytesIn        int64 `json:"bytes_in"`
+	BytesOut       int64 `json:"bytes_out"`
+	FullsOut       int64 `json:"fulls_out"`
+	DeltasOut      int64 `json:"deltas_out"`
+	FullsIn        int64 `json:"fulls_in"`
+	DeltasIn       int64 `json:"deltas_in"`
+	StaleDropped   int64 `json:"stale_dropped"`
+	RejectedFrames int64 `json:"rejected_frames"`
+}
+
+// Status snapshots the node's replication state.
+func (n *Node) Status() Status {
+	st := Status{
+		Self:           n.cfg.Self,
+		Rounds:         n.rounds.Load(),
+		FramesIn:       n.framesIn.Load(),
+		FramesOut:      n.framesOut.Load(),
+		BytesIn:        n.bytesIn.Load(),
+		BytesOut:       n.bytesOut.Load(),
+		FullsOut:       n.fullsOut.Load(),
+		DeltasOut:      n.deltasOut.Load(),
+		FullsIn:        n.fullsIn.Load(),
+		DeltasIn:       n.deltasIn.Load(),
+		StaleDropped:   n.staleDropped.Load(),
+		RejectedFrames: n.rejectedFrames.Load(),
+	}
+	n.mu.Lock()
+	ids := make([]string, 0, len(n.origins))
+	for id := range n.origins {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		o := n.origins[id]
+		st.Origins = append(st.Origins, OriginStatus{
+			ID: o.id, Version: o.version, Steps: o.snap.Steps, Heavy: len(o.snap.Heavy),
+		})
+		if id == n.cfg.Self {
+			st.Version = o.version
+		}
+	}
+	n.mu.Unlock()
+	for _, p := range n.peers {
+		p.mu.Lock()
+		st.Peers = append(st.Peers, PeerStatus{
+			URL:                 p.url,
+			Rounds:              p.rounds,
+			ConsecutiveFailures: p.failures,
+			TotalFailures:       p.totalFails,
+			LastError:           p.lastError,
+			LastSuccess:         p.lastSuccess,
+			BackoffUntil:        p.backoffUntil,
+			BytesIn:             p.bytesIn,
+			BytesOut:            p.bytesOut,
+			FramesIn:            p.framesIn,
+			FramesOut:           p.framesOut,
+		})
+		p.mu.Unlock()
+	}
+	return st
+}

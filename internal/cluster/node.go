@@ -1,0 +1,440 @@
+package cluster
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wmsketch/internal/core"
+	"wmsketch/internal/sketch"
+	"wmsketch/internal/stream"
+)
+
+// Config configures a cluster Node.
+type Config struct {
+	// Self is this node's globally unique id (conventionally its advertised
+	// address). It names the node's origin in every peer's state table; two
+	// nodes sharing an id silently shadow each other.
+	Self string
+	// Peers are the base URLs (http://host:port) of the nodes to gossip
+	// with. The peer graph must be connected for full convergence; it does
+	// not need to be complete — state relays transitively.
+	Peers []string
+	// Mix is the sketch geometry every node in the cluster must share.
+	Mix core.MixOptions
+	// Local exports the local learner's model for publication.
+	Local core.Snapshotter
+	// Interval is the gossip cadence. 0 selects 2s; negative disables the
+	// background loop (rounds then run only via GossipOnce, which tests and
+	// the smoke harness drive directly).
+	Interval time.Duration
+	// HistoryDepth is how many recent versions of each origin's snapshot
+	// are retained as delta bases. A peer whose acked version has aged out
+	// of the window (or that was never seen) falls back to a full-snapshot
+	// sync. 0 selects 8.
+	HistoryDepth int
+	// AuthToken, when set, is sent as a bearer token on cluster push
+	// requests (the receiving node's -auth-token must match).
+	AuthToken string
+	// Client is the HTTP client used for gossip; nil selects a client with
+	// a 15s timeout.
+	Client *http.Client
+	// Logf receives gossip diagnostics; nil discards them.
+	Logf func(format string, args ...interface{})
+}
+
+func (c *Config) fill() error {
+	if c.Self == "" {
+		return fmt.Errorf("cluster: Self id must be set")
+	}
+	if len(c.Self) > maxOriginLen {
+		return fmt.Errorf("cluster: Self id longer than %d bytes", maxOriginLen)
+	}
+	if c.Local == nil {
+		return fmt.Errorf("cluster: Local snapshotter must be set")
+	}
+	if c.Mix.Depth <= 0 || c.Mix.Width <= 0 {
+		return fmt.Errorf("cluster: Mix geometry must be set")
+	}
+	if c.Interval == 0 {
+		c.Interval = 2 * time.Second
+	}
+	if c.HistoryDepth <= 0 {
+		c.HistoryDepth = 8
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{Timeout: 15 * time.Second}
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...interface{}) {}
+	}
+	return nil
+}
+
+// versioned is one retained snapshot version, a delta base candidate.
+type versioned struct {
+	version int64
+	snap    core.Snapshot
+}
+
+// originState is everything known about one node's model: the current
+// snapshot plus a bounded history of recent versions kept as delta bases.
+type originState struct {
+	id      string
+	version int64
+	snap    core.Snapshot
+	history []versioned // ascending version, ≤ HistoryDepth entries, includes current
+}
+
+func (o *originState) baseFor(version int64) (core.Snapshot, bool) {
+	for _, v := range o.history {
+		if v.version == version {
+			return v.snap, true
+		}
+	}
+	return core.Snapshot{}, false
+}
+
+func (o *originState) adopt(version int64, snap core.Snapshot, depth int) {
+	o.version = version
+	o.snap = snap
+	o.history = append(o.history, versioned{version: version, snap: snap})
+	if len(o.history) > depth {
+		o.history = o.history[len(o.history)-depth:]
+	}
+}
+
+// Node is one cluster member: the per-origin state table, the merged
+// serving view, and the gossip machinery. All methods are safe for
+// concurrent use.
+type Node struct {
+	cfg Config
+
+	mu      sync.Mutex // guards origins and view rebuild
+	origins map[string]*originState
+	view    atomic.Pointer[core.Mixed]
+
+	peers []*peerState
+
+	stop     chan struct{}
+	wg       sync.WaitGroup
+	startOne sync.Once
+	stopOne  sync.Once
+
+	// Aggregate metrics (per-peer counters live on peerState).
+	rounds         atomic.Int64
+	framesIn       atomic.Int64
+	framesOut      atomic.Int64
+	bytesIn        atomic.Int64
+	bytesOut       atomic.Int64
+	fullsOut       atomic.Int64
+	deltasOut      atomic.Int64
+	fullsIn        atomic.Int64
+	deltasIn       atomic.Int64
+	staleDropped   atomic.Int64
+	rejectedFrames atomic.Int64
+}
+
+// NewNode validates cfg and assembles a node. The gossip loop starts on
+// Start; state exchange via ApplyFrames/BuildFrames works immediately.
+func NewNode(cfg Config) (*Node, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	n := &Node{
+		cfg:     cfg,
+		origins: make(map[string]*originState),
+		stop:    make(chan struct{}),
+	}
+	for _, u := range cfg.Peers {
+		n.peers = append(n.peers, &peerState{url: u})
+	}
+	n.view.Store(core.EmptyMixed(cfg.Mix))
+	return n, nil
+}
+
+// Self returns the node's id.
+func (n *Node) Self() string { return n.cfg.Self }
+
+// View returns the current merged model over every known origin (self
+// included). It refreshes after each publish and each applied frame.
+func (n *Node) View() *core.Mixed { return n.view.Load() }
+
+// PublishLocal snapshots the local learner and, when it has progressed,
+// installs it as this origin's newest version. Returns the current version
+// and whether a new one was published.
+func (n *Node) PublishLocal() (int64, bool, error) {
+	sn, err := n.cfg.Local.ModelSnapshot()
+	if err != nil {
+		return 0, false, fmt.Errorf("cluster: local snapshot: %w", err)
+	}
+	sn.Origin = n.cfg.Self
+	// Canonical heavy order so identical states produce identical frames.
+	sn.Heavy = append([]stream.Weighted(nil), sn.Heavy...)
+	stream.SortWeighted(sn.Heavy)
+
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	self := n.origins[n.cfg.Self]
+	if self == nil {
+		self = &originState{id: n.cfg.Self}
+		n.origins[n.cfg.Self] = self
+	}
+	// The version IS the example count: monotonic while the process lives,
+	// and it resumes rather than regresses after a checkpoint restore.
+	if sn.Steps <= self.version {
+		return self.version, false, nil
+	}
+	self.adopt(sn.Steps, sn, n.cfg.HistoryDepth)
+	n.rebuildViewLocked()
+	return self.version, true, nil
+}
+
+// Digest returns origin → version for every origin this node knows.
+func (n *Node) Digest() map[string]int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	d := make(map[string]int64, len(n.origins))
+	for id, o := range n.origins {
+		d[id] = o.version
+	}
+	return d
+}
+
+// BuildFrames assembles the frames a peer with the given digest is
+// missing: for each origin where our version is newer, a delta frame when
+// the peer's acked version is still in our history window (and the diff is
+// actually smaller than a full snapshot), otherwise a full frame. When
+// includeDigest is set the stream leads with our own digest so the peer
+// can push back what we lack.
+func (n *Node) BuildFrames(theirs map[string]int64, includeDigest bool) []Frame {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var frames []Frame
+	if includeDigest {
+		d := make(map[string]int64, len(n.origins))
+		for id, o := range n.origins {
+			d[id] = o.version
+		}
+		frames = append(frames, Frame{Kind: kindDigest, Digest: d})
+	}
+	ids := make([]string, 0, len(n.origins))
+	for id := range n.origins {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		o := n.origins[id]
+		acked := theirs[id]
+		if o.version <= acked {
+			continue
+		}
+		frames = append(frames, n.frameForLocked(o, acked))
+	}
+	return frames
+}
+
+// frameForLocked picks delta vs full for one origin. Caller holds n.mu.
+func (n *Node) frameForLocked(o *originState, acked int64) Frame {
+	if acked > 0 {
+		if base, ok := o.baseFor(acked); ok {
+			changes, err := sketch.Diff(base.CS, o.snap.CS)
+			if err == nil {
+				removed, upserts := diffHeavy(base.Heavy, o.snap.Heavy)
+				// A delta entry costs ~1.5× a raw bucket (varint gap +
+				// 8-byte value vs 8 bytes in the dense dump); past ~2/3 of
+				// the buckets changed, the full snapshot is the smaller
+				// frame.
+				if 3*len(changes) <= 2*o.snap.CS.Size() {
+					n.deltasOut.Add(1)
+					return Frame{
+						Kind: kindDelta, Origin: o.id, Version: o.version, Base: acked,
+						Scale:   o.snap.Scale,
+						Changes: changes, HeavyRemoved: removed, HeavyUpserts: upserts,
+					}
+				}
+			}
+		}
+	}
+	n.fullsOut.Add(1)
+	return FullFrame(o.snap)
+}
+
+// ApplyResult reports what one ApplyFrames call did.
+type ApplyResult struct {
+	// TheirDigest is the digest frame carried in the stream, if any.
+	TheirDigest map[string]int64
+	// Applied counts adopted versions; Stale counts frames at or below the
+	// version already held; Rejected counts frames that failed validation.
+	Applied, Stale, Rejected int
+	// NeedFull lists origins whose delta base we did not have: the caller
+	// should re-request them with a zeroed digest entry to force a full.
+	NeedFull []string
+	// Changed reports whether the merged view was rebuilt.
+	Changed bool
+}
+
+// ApplyFrames ingests a frame stream from a peer: full frames replace an
+// origin's snapshot when newer, delta frames reconstruct the new version
+// from the acked base, and everything is validated (geometry, finiteness,
+// bounds) before it can touch the state table. Frames claiming this node's
+// own origin are rejected — each node is authoritative for itself.
+func (n *Node) ApplyFrames(frames []Frame) ApplyResult {
+	var res ApplyResult
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for i := range frames {
+		f := &frames[i]
+		switch f.Kind {
+		case kindDigest:
+			res.TheirDigest = f.Digest
+			continue
+		case kindFull, kindDelta:
+		default:
+			res.Rejected++
+			n.rejectedFrames.Add(1)
+			continue
+		}
+		if f.Origin == n.cfg.Self {
+			res.Rejected++
+			n.rejectedFrames.Add(1)
+			n.cfg.Logf("cluster: peer sent a frame for our own origin %q; dropped", f.Origin)
+			continue
+		}
+		o := n.origins[f.Origin]
+		if o != nil && f.Version <= o.version {
+			res.Stale++
+			n.staleDropped.Add(1)
+			continue
+		}
+		var snap core.Snapshot
+		var err error
+		switch f.Kind {
+		case kindFull:
+			snap, err = n.snapshotFromFullLocked(f)
+			if err == nil {
+				n.fullsIn.Add(1)
+			}
+		case kindDelta:
+			if o == nil {
+				res.NeedFull = append(res.NeedFull, f.Origin)
+				continue
+			}
+			base, ok := o.baseFor(f.Base)
+			if !ok {
+				res.NeedFull = append(res.NeedFull, f.Origin)
+				continue
+			}
+			snap, err = applyDelta(base, f)
+			if err == nil {
+				n.deltasIn.Add(1)
+			}
+		}
+		if err != nil {
+			res.Rejected++
+			n.rejectedFrames.Add(1)
+			n.cfg.Logf("cluster: dropping frame for %q v%d: %v", f.Origin, f.Version, err)
+			continue
+		}
+		if o == nil {
+			o = &originState{id: f.Origin}
+			n.origins[f.Origin] = o
+		}
+		o.adopt(f.Version, snap, n.cfg.HistoryDepth)
+		res.Applied++
+	}
+	if res.Applied > 0 {
+		n.rebuildViewLocked()
+		res.Changed = true
+	}
+	return res
+}
+
+func (n *Node) snapshotFromFullLocked(f *Frame) (core.Snapshot, error) {
+	if f.CS == nil {
+		return core.Snapshot{}, fmt.Errorf("full frame without a sketch")
+	}
+	if f.CS.Depth() != n.cfg.Mix.Depth || f.CS.Width() != n.cfg.Mix.Width {
+		return core.Snapshot{}, fmt.Errorf("geometry %dx%d, cluster runs %dx%d",
+			f.CS.Depth(), f.CS.Width(), n.cfg.Mix.Depth, n.cfg.Mix.Width)
+	}
+	if f.CS.Seed() != n.cfg.Mix.Seed {
+		return core.Snapshot{}, fmt.Errorf("seed %d, cluster runs %d (different hash functions cannot mix)",
+			f.CS.Seed(), n.cfg.Mix.Seed)
+	}
+	return core.Snapshot{Origin: f.Origin, CS: f.CS, Scale: f.Scale, Heavy: f.Heavy, Steps: f.Version}, nil
+}
+
+// applyDelta reconstructs version f.Version from the base snapshot: clone,
+// set changed buckets, patch the heavy list.
+func applyDelta(base core.Snapshot, f *Frame) (core.Snapshot, error) {
+	cs := base.CS.Clone()
+	if err := cs.ApplyDiff(f.Changes); err != nil {
+		return core.Snapshot{}, err
+	}
+	heavy := applyHeavyDiff(base.Heavy, f.HeavyRemoved, f.HeavyUpserts)
+	return core.Snapshot{Origin: f.Origin, CS: cs, Scale: f.Scale, Heavy: heavy, Steps: f.Version}, nil
+}
+
+// rebuildViewLocked re-mixes every origin's current snapshot. Caller holds
+// n.mu.
+func (n *Node) rebuildViewLocked() {
+	snaps := make([]core.Snapshot, 0, len(n.origins))
+	for _, o := range n.origins {
+		snaps = append(snaps, o.snap)
+	}
+	v, err := core.MixSnapshots(snaps, n.cfg.Mix)
+	if err != nil {
+		// Unreachable: geometry is validated at frame ingest. Keep the old
+		// view rather than serving a broken one.
+		n.cfg.Logf("cluster: view rebuild failed: %v", err)
+		return
+	}
+	n.view.Store(v)
+}
+
+// diffHeavy computes the set difference between two canonical heavy lists:
+// keys present in base but not cur, and entries of cur that are new or
+// changed.
+func diffHeavy(base, cur []stream.Weighted) (removed []uint32, upserts []stream.Weighted) {
+	prev := make(map[uint32]float64, len(base))
+	for _, w := range base {
+		prev[w.Index] = w.Weight
+	}
+	for _, w := range cur {
+		if old, ok := prev[w.Index]; !ok || old != w.Weight {
+			upserts = append(upserts, w)
+		}
+		delete(prev, w.Index)
+	}
+	for _, w := range base {
+		if _, stillThere := prev[w.Index]; stillThere {
+			removed = append(removed, w.Index)
+		}
+	}
+	return removed, upserts
+}
+
+// applyHeavyDiff patches base with a heavy diff and returns the result in
+// canonical order.
+func applyHeavyDiff(base []stream.Weighted, removed []uint32, upserts []stream.Weighted) []stream.Weighted {
+	m := make(map[uint32]float64, len(base)+len(upserts))
+	for _, w := range base {
+		m[w.Index] = w.Weight
+	}
+	for _, k := range removed {
+		delete(m, k)
+	}
+	for _, w := range upserts {
+		m[w.Index] = w.Weight
+	}
+	out := make([]stream.Weighted, 0, len(m))
+	for k, w := range m {
+		out = append(out, stream.Weighted{Index: k, Weight: w})
+	}
+	stream.SortWeighted(out)
+	return out
+}

@@ -1,0 +1,462 @@
+// Package cluster replicates WM-/AWM-Sketch models between wmserve nodes
+// without a coordinator or shared disk. Each node periodically exchanges
+// model state with its configured peers and merges everything it knows via
+// example-count-weighted parameter mixing (core.MixSnapshots) — the
+// paper's linear-mergeability property applied across machines instead of
+// across cores. State is replicated per origin (one entry per node id),
+// which makes merging idempotent and convergent: receiving the same frame
+// twice, or the same state along two gossip paths, cannot double-count an
+// example. See CLUSTER.md for the topology and convergence discussion.
+package cluster
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"wmsketch/internal/core"
+	"wmsketch/internal/sketch"
+	"wmsketch/internal/stream"
+)
+
+// Wire format (little-endian). A frame stream is
+//
+//	magic   uint32 ("WMCF")
+//	version uint32
+//	frames  until EOF
+//
+// and each frame is a kind byte followed by kind-specific fields. Origins
+// are length-prefixed UTF-8 strings; counts and bucket indices are
+// uvarints; model versions are uvarints (a version IS the origin's example
+// count, so it is non-negative and monotonic); weights and bucket values
+// are raw float64 bits.
+//
+// Frame kinds:
+//
+//	digest: the sender's origin → version map. Carried in pull responses so
+//	        the requester can push back what the responder lacks
+//	        (push-pull anti-entropy in one round trip).
+//	full:   a complete snapshot of one origin's model — heavy list plus the
+//	        folded Count-Sketch in its own (hardened) serialization.
+//	delta:  only what changed between the receiver's acked version (base)
+//	        and the sender's current version: changed buckets as
+//	        gap-encoded flat indices with their new values, plus the heavy
+//	        list diff (removed keys + upserted entries). Values are
+//	        absolute, not additive, so replay is harmless.
+const (
+	frameMagic   = 0x574d4346 // "WMCF"
+	wireVersion  = 1
+	kindDigest   = byte(1)
+	kindFull     = byte(2)
+	kindDelta    = byte(3)
+	maxOriginLen = 256
+	// Per-kind count bounds, each matched to what the data can legitimately
+	// hold: a digest has one entry per cluster member, a heavy list is
+	// capped by the serialization layer's heap bound (2^24, mirroring
+	// core's maxSerializedHeap), and a change list by the sketch bucket
+	// bound (2^27, mirroring sketch's maxSerializedBuckets).
+	maxDigestEntries = 1 << 16
+	maxHeavyEntries  = 1 << 24
+	maxChangeEntries = 1 << 27
+	// maxUpfrontAlloc caps the capacity allocated from a wire-supplied
+	// count alone. Larger (still-bounded) counts grow by append as payload
+	// bytes actually arrive, so a tiny hostile frame claiming 2^27 entries
+	// cannot demand gigabytes before its (absent) payload fails to read.
+	maxUpfrontAlloc = 1 << 16
+)
+
+func upfrontCap(n int) int {
+	if n > maxUpfrontAlloc {
+		return maxUpfrontAlloc
+	}
+	return n
+}
+
+// Frame is one decoded wire frame.
+type Frame struct {
+	Kind    byte
+	Origin  string
+	Version int64 // the origin's example count at this state
+	Base    int64 // delta: the version the changes apply to
+	// Scale is the model's global decay multiplier at this version
+	// (model = Scale·CS). Buckets travel raw so deltas stay sparse; the
+	// scale is one float per frame.
+	Scale float64
+
+	// Full payload.
+	CS    *sketch.CountSketch
+	Heavy []stream.Weighted
+
+	// Delta payload.
+	Changes      []sketch.BucketChange
+	HeavyRemoved []uint32
+	HeavyUpserts []stream.Weighted
+
+	// Digest payload.
+	Digest map[string]int64
+}
+
+// FullFrame builds a full-snapshot frame for sn.
+func FullFrame(sn core.Snapshot) Frame {
+	return Frame{Kind: kindFull, Origin: sn.Origin, Version: sn.Steps, Scale: scaleOr1(sn.Scale), CS: sn.CS, Heavy: sn.Heavy}
+}
+
+func scaleOr1(s float64) float64 {
+	if s == 0 {
+		return 1
+	}
+	return s
+}
+
+// countingWriter tracks bytes written through it.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// WriteFrames encodes the stream header and frames, returning the bytes
+// written.
+func WriteFrames(w io.Writer, frames []Frame) (int64, error) {
+	cw := &countingWriter{w: w}
+	bw := bufio.NewWriter(cw)
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], frameMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], wireVersion)
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return cw.n, err
+	}
+	for i := range frames {
+		if err := writeFrame(bw, &frames[i]); err != nil {
+			return cw.n, fmt.Errorf("cluster: frame %d (%q): %w", i, frames[i].Origin, err)
+		}
+	}
+	err := bw.Flush()
+	return cw.n, err
+}
+
+func writeFrame(bw *bufio.Writer, f *Frame) error {
+	if err := bw.WriteByte(f.Kind); err != nil {
+		return err
+	}
+	switch f.Kind {
+	case kindDigest:
+		writeUvarint(bw, uint64(len(f.Digest)))
+		// Deterministic order is not required on the wire (receivers build a
+		// map), but stable output helps tests and debugging.
+		for _, id := range sortedKeys(f.Digest) {
+			if err := writeString(bw, id); err != nil {
+				return err
+			}
+			writeUvarint(bw, uint64(f.Digest[id]))
+		}
+		return nil
+	case kindFull:
+		if err := writeString(bw, f.Origin); err != nil {
+			return err
+		}
+		writeUvarint(bw, uint64(f.Version))
+		writeFloat(bw, scaleOr1(f.Scale))
+		if err := writeWeighted(bw, f.Heavy); err != nil {
+			return err
+		}
+		// The sketch's own serialization carries shape, seed, and bucket
+		// validation; flush our buffer first since WriteTo writes directly.
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+		_, err := f.CS.WriteTo(bw)
+		return err
+	case kindDelta:
+		if err := writeString(bw, f.Origin); err != nil {
+			return err
+		}
+		writeUvarint(bw, uint64(f.Version))
+		writeUvarint(bw, uint64(f.Base))
+		writeFloat(bw, scaleOr1(f.Scale))
+		writeUvarint(bw, uint64(len(f.Changes)))
+		prev := uint32(0)
+		for i, ch := range f.Changes {
+			if i > 0 && ch.Index <= prev {
+				return fmt.Errorf("changes not strictly ascending at %d", i)
+			}
+			writeUvarint(bw, uint64(ch.Index-prev))
+			writeFloat(bw, ch.Value)
+			prev = ch.Index
+		}
+		writeUvarint(bw, uint64(len(f.HeavyRemoved)))
+		for _, k := range f.HeavyRemoved {
+			writeUvarint(bw, uint64(k))
+		}
+		return writeWeighted(bw, f.HeavyUpserts)
+	default:
+		return fmt.Errorf("unknown frame kind %d", f.Kind)
+	}
+}
+
+// ReadFrames decodes a full frame stream. Every count is bounded and every
+// float checked finite before it can reach model state, so a corrupt or
+// hostile stream yields an error, not an OOM or a poisoned sketch.
+func ReadFrames(r io.Reader) ([]Frame, error) {
+	br := bufio.NewReader(r)
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("cluster: truncated stream header: %w", err)
+	}
+	if m := binary.LittleEndian.Uint32(hdr[0:]); m != frameMagic {
+		return nil, fmt.Errorf("cluster: bad frame magic %#x", m)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:]); v != wireVersion {
+		return nil, fmt.Errorf("cluster: unsupported wire version %d", v)
+	}
+	var frames []Frame
+	for {
+		kind, err := br.ReadByte()
+		if err == io.EOF {
+			return frames, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		f, err := readFrame(br, kind)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: frame %d: %w", len(frames), err)
+		}
+		frames = append(frames, f)
+	}
+}
+
+func readFrame(br *bufio.Reader, kind byte) (Frame, error) {
+	f := Frame{Kind: kind}
+	switch kind {
+	case kindDigest:
+		n, err := readCount(br, maxDigestEntries)
+		if err != nil {
+			return f, err
+		}
+		f.Digest = make(map[string]int64, upfrontCap(n))
+		for i := 0; i < n; i++ {
+			id, err := readString(br)
+			if err != nil {
+				return f, err
+			}
+			v, err := readUvarint(br)
+			if err != nil {
+				return f, err
+			}
+			f.Digest[id] = int64(v)
+		}
+		return f, nil
+	case kindFull:
+		var err error
+		if f.Origin, err = readString(br); err != nil {
+			return f, err
+		}
+		v, err := readUvarint(br)
+		if err != nil {
+			return f, err
+		}
+		f.Version = int64(v)
+		if f.Scale, err = readScale(br); err != nil {
+			return f, err
+		}
+		if f.Heavy, err = readWeighted(br); err != nil {
+			return f, err
+		}
+		if f.CS, err = sketch.ReadCountSketch(br); err != nil {
+			return f, err
+		}
+		return f, nil
+	case kindDelta:
+		var err error
+		if f.Origin, err = readString(br); err != nil {
+			return f, err
+		}
+		v, err := readUvarint(br)
+		if err != nil {
+			return f, err
+		}
+		f.Version = int64(v)
+		b, err := readUvarint(br)
+		if err != nil {
+			return f, err
+		}
+		f.Base = int64(b)
+		if f.Scale, err = readScale(br); err != nil {
+			return f, err
+		}
+		n, err := readCount(br, maxChangeEntries)
+		if err != nil {
+			return f, err
+		}
+		f.Changes = make([]sketch.BucketChange, 0, upfrontCap(n))
+		prev := uint64(0)
+		for i := 0; i < n; i++ {
+			gap, err := readUvarint(br)
+			if err != nil {
+				return f, err
+			}
+			idx := prev + gap
+			if i > 0 && gap == 0 {
+				return f, fmt.Errorf("non-ascending change index at %d", i)
+			}
+			if idx > math.MaxUint32 {
+				return f, fmt.Errorf("change index %d overflows", idx)
+			}
+			val, err := readFloat(br)
+			if err != nil {
+				return f, err
+			}
+			f.Changes = append(f.Changes, sketch.BucketChange{Index: uint32(idx), Value: val})
+			prev = idx
+		}
+		nr, err := readCount(br, maxHeavyEntries)
+		if err != nil {
+			return f, err
+		}
+		f.HeavyRemoved = make([]uint32, 0, upfrontCap(nr))
+		for i := 0; i < nr; i++ {
+			k, err := readUvarint(br)
+			if err != nil {
+				return f, err
+			}
+			if k > math.MaxUint32 {
+				return f, fmt.Errorf("removed key %d overflows", k)
+			}
+			f.HeavyRemoved = append(f.HeavyRemoved, uint32(k))
+		}
+		if f.HeavyUpserts, err = readWeighted(br); err != nil {
+			return f, err
+		}
+		return f, nil
+	default:
+		return f, fmt.Errorf("unknown frame kind %d", kind)
+	}
+}
+
+// ---- primitive encoders ----
+
+func writeUvarint(bw *bufio.Writer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	_, _ = bw.Write(buf[:n])
+}
+
+func readUvarint(br *bufio.Reader) (uint64, error) {
+	return binary.ReadUvarint(br)
+}
+
+func readCount(br *bufio.Reader, limit int) (int, error) {
+	v, err := readUvarint(br)
+	if err != nil {
+		return 0, err
+	}
+	if v > uint64(limit) {
+		return 0, fmt.Errorf("count %d exceeds limit %d", v, limit)
+	}
+	return int(v), nil
+}
+
+func writeString(bw *bufio.Writer, s string) error {
+	if len(s) == 0 || len(s) > maxOriginLen {
+		return fmt.Errorf("origin length %d out of range [1,%d]", len(s), maxOriginLen)
+	}
+	writeUvarint(bw, uint64(len(s)))
+	_, err := bw.WriteString(s)
+	return err
+}
+
+func readString(br *bufio.Reader) (string, error) {
+	n, err := readCount(br, maxOriginLen)
+	if err != nil {
+		return "", err
+	}
+	if n == 0 {
+		return "", fmt.Errorf("empty origin")
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+func writeFloat(bw *bufio.Writer, v float64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+	_, _ = bw.Write(b[:])
+}
+
+func readFloat(br *bufio.Reader) (float64, error) {
+	var b [8]byte
+	if _, err := io.ReadFull(br, b[:]); err != nil {
+		return 0, err
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(b[:])), nil
+}
+
+// readScale reads and validates a model scale: real learners keep it in
+// (0, 1] via renormalization, so anything non-positive or non-finite marks
+// a corrupt or hostile frame.
+func readScale(br *bufio.Reader) (float64, error) {
+	s, err := readFloat(br)
+	if err != nil {
+		return 0, err
+	}
+	if math.IsNaN(s) || math.IsInf(s, 0) || s <= 0 {
+		return 0, fmt.Errorf("corrupt model scale %g", s)
+	}
+	return s, nil
+}
+
+func writeWeighted(bw *bufio.Writer, ws []stream.Weighted) error {
+	writeUvarint(bw, uint64(len(ws)))
+	for _, w := range ws {
+		writeUvarint(bw, uint64(w.Index))
+		writeFloat(bw, w.Weight)
+	}
+	return nil
+}
+
+func readWeighted(br *bufio.Reader) ([]stream.Weighted, error) {
+	n, err := readCount(br, maxHeavyEntries)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]stream.Weighted, 0, upfrontCap(n))
+	for i := 0; i < n; i++ {
+		k, err := readUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		if k > math.MaxUint32 {
+			return nil, fmt.Errorf("weighted key %d overflows", k)
+		}
+		w, err := readFloat(br)
+		if err != nil {
+			return nil, err
+		}
+		if math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("weighted entry %d is non-finite", i)
+		}
+		out = append(out, stream.Weighted{Index: uint32(k), Weight: w})
+	}
+	return out, nil
+}
+
+func sortedKeys(m map[string]int64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -48,7 +48,7 @@ type Sharded struct {
 
 	syncMu    sync.Mutex // single-flight snapshot/merge
 	viewMu    sync.RWMutex
-	view      *mergedModel
+	view      *Mixed
 	wg        sync.WaitGroup
 	closeOnce sync.Once
 }
@@ -169,17 +169,23 @@ func (w *WMSketch) heavyWeights() []stream.Weighted {
 	return out
 }
 
-// foldedSketch returns a deep copy of the AWM-Sketch's projection with
-// every active-set weight written back (sketch(i) += S[i] − Query(i), the
-// same reconciliation Algorithm 2 performs on eviction) and the decay
-// factor folded in, so the copy answers √s·median queries for *all*
-// features, heap-resident or not.
-func (a *AWMSketch) foldedSketch() *sketch.CountSketch {
+// rawSketch returns a deep copy of the AWM-Sketch's projection with every
+// active-set weight written back (sketch(i) += S[i] − Query(i), the same
+// reconciliation Algorithm 2 performs on eviction) but the decay scale NOT
+// folded, so it answers √s·scale·median queries for *all* features.
+func (a *AWMSketch) rawSketch() *sketch.CountSketch {
 	c := a.cs.Clone()
 	for _, e := range a.active.Entries() {
 		delta := e.Weight - a.sqrtS*c.Estimate(e.Key)
 		c.Update(e.Key, delta/a.sqrtS)
 	}
+	return c
+}
+
+// foldedSketch is rawSketch with the decay factor folded in, so the copy
+// answers √s·median queries directly.
+func (a *AWMSketch) foldedSketch() *sketch.CountSketch {
+	c := a.rawSketch()
 	if a.scale != 1 {
 		c.Scale(a.scale)
 	}
@@ -258,10 +264,7 @@ func newShardedFromModels(cfg Config, opt ShardedOptions, models []shardModel) *
 func (s *Sharded) startWorkers() {
 	// Start with an empty (zero-sketch) snapshot so queries before the
 	// first sync are well defined.
-	s.view = &mergedModel{
-		cs:    sketch.NewCountSketch(s.cfg.Depth, s.cfg.Width, s.cfg.Seed),
-		sqrtS: s.sqrtS,
-	}
+	s.view = EmptyMixed(s.mixOptions())
 	s.wg.Add(len(s.workers))
 	for _, w := range s.workers {
 		go s.runWorker(w)
@@ -403,28 +406,31 @@ func (s *Sharded) Close() {
 	})
 }
 
-func (s *Sharded) install(v *mergedModel) {
+func (s *Sharded) install(v *Mixed) {
 	s.viewMu.Lock()
 	s.view = v
 	s.viewMu.Unlock()
 }
 
-func (s *Sharded) currentView() *mergedModel {
+func (s *Sharded) currentView() *Mixed {
 	s.viewMu.RLock()
 	v := s.view
 	s.viewMu.RUnlock()
 	return v
 }
 
+func (s *Sharded) mixOptions() MixOptions {
+	return MixOptions{Depth: s.cfg.Depth, Width: s.cfg.Width, Seed: s.cfg.Seed, HeapSize: s.cfg.HeapSize}
+}
+
 // buildView merges shard snapshots into a read-only model. In Hogwild mode
 // the shared sketch is atomically cloned and the union of worker heap keys
 // is re-estimated against it. In private-shard mode the folded shard
-// sketches are averaged (parameter mixing over the sub-stream models), and
-// every heavy-key candidate additionally gets an "exact" mixed weight — the
-// average over shards of the shard's exact heap weight where the key is
-// heap-resident and its sketch estimate where not — which Estimate and
+// sketches go through core.MixSnapshots — the same example-count-weighted
+// parameter mixing the cluster layer uses across machines — which also
+// gives every heavy-key candidate a mixed "exact" weight that Estimate and
 // TopK prefer over the (collision-noisier) merged-sketch query.
-func (s *Sharded) buildView(snaps []*shardSnapshot) *mergedModel {
+func (s *Sharded) buildView(snaps []*shardSnapshot) *Mixed {
 	if s.hog != nil {
 		merged := s.hog.cs.AtomicClone()
 		seen := make(map[uint32]struct{})
@@ -442,87 +448,43 @@ func (s *Sharded) buildView(snaps []*shardSnapshot) *mergedModel {
 		if len(top) > s.cfg.HeapSize {
 			top = top[:s.cfg.HeapSize]
 		}
-		return &mergedModel{cs: merged, sqrtS: s.sqrtS, top: top}
+		return &Mixed{cs: merged, sqrtS: s.sqrtS, top: top}
 	}
 
-	var live []*shardSnapshot
-	for _, sn := range snaps {
-		if sn.steps > 0 {
-			live = append(live, sn)
+	in := make([]Snapshot, len(snaps))
+	for i, sn := range snaps {
+		in[i] = Snapshot{
+			// Zero-padded so the canonical Origin order equals worker order.
+			Origin: fmt.Sprintf("%06d", i),
+			CS:     sn.folded,
+			Scale:  1, // shard snapshots arrive scale-folded
+			Heavy:  sn.heavy,
+			Steps:  sn.steps,
 		}
 	}
-	// Mixed candidate weights, computed against the per-shard folded
-	// sketches before they are destructively merged below.
-	exact := make(map[uint32]float64)
-	if len(live) > 0 {
-		shardVal := make([]map[uint32]float64, len(live))
-		for i, sn := range live {
-			m := make(map[uint32]float64, len(sn.heavy))
-			for _, hv := range sn.heavy {
-				m[hv.Index] = hv.Weight
-			}
-			shardVal[i] = m
-		}
-		for _, sn := range live {
-			for _, hv := range sn.heavy {
-				k := hv.Index
-				if _, done := exact[k]; done {
-					continue
-				}
-				sum := 0.0
-				for i, other := range live {
-					if v, ok := shardVal[i][k]; ok {
-						sum += v
-					} else {
-						sum += s.sqrtS * other.folded.Estimate(k)
-					}
-				}
-				exact[k] = sum / float64(len(live))
-			}
-		}
+	v, err := MixSnapshots(in, s.mixOptions())
+	if err != nil {
+		// Same shape and seed by construction; mixing cannot fail.
+		panic("core: shard merge: " + err.Error())
 	}
-	var merged *sketch.CountSketch
-	for _, sn := range live {
-		if merged == nil {
-			merged = sn.folded
-		} else {
-			// Same shape and seed by construction; Merge cannot fail.
-			if err := merged.Merge(sn.folded); err != nil {
-				panic("core: shard merge: " + err.Error())
-			}
-		}
-	}
-	if merged == nil {
-		merged = sketch.NewCountSketch(s.cfg.Depth, s.cfg.Width, s.cfg.Seed)
-	} else if len(live) > 1 {
-		merged.Scale(1 / float64(len(live)))
-	}
-	top := make([]stream.Weighted, 0, len(exact))
-	for k, v := range exact {
-		top = append(top, stream.Weighted{Index: k, Weight: v})
-	}
-	stream.SortWeighted(top)
-	if len(top) > s.cfg.HeapSize {
-		top = top[:s.cfg.HeapSize]
-	}
-	return &mergedModel{cs: merged, sqrtS: s.sqrtS, top: top, exact: exact}
+	return v
 }
 
 // Predict evaluates the margin under the current merged snapshot.
 func (s *Sharded) Predict(x stream.Vector) float64 {
-	return s.currentView().predict(x)
+	return s.currentView().Predict(x)
 }
 
 // Estimate returns the merged-model weight estimate for feature i, as of
 // the last snapshot refresh.
 func (s *Sharded) Estimate(i uint32) float64 {
-	return s.currentView().estimate(i)
+	return s.currentView().Estimate(i)
 }
 
 // TopK returns the k heaviest features of the merged model, as of the last
 // snapshot refresh.
 func (s *Sharded) TopK(k int) []stream.Weighted {
-	return s.currentView().topK(k)
+	return s.currentView().TopK(k)
 }
 
 // Steps returns the number of updates routed so far (not necessarily yet
@@ -533,40 +495,5 @@ func (s *Sharded) Steps() int64 { return s.pending.Load() }
 // state: P private shards, or in Hogwild mode one shared sketch plus P
 // private heaps. The merged query snapshot is transient and not charged.
 func (s *Sharded) MemoryBytes() int { return s.memBytes }
-
-// mergedModel is an immutable merged snapshot served to queries. All its
-// methods are read-only and safe for concurrent use.
-type mergedModel struct {
-	cs    *sketch.CountSketch
-	sqrtS float64
-	top   []stream.Weighted // descending |weight|, ≤ HeapSize entries
-	// exact holds mixed heavy-key weights (private-shard mode); preferred
-	// over the merged-sketch median query when present.
-	exact map[uint32]float64
-}
-
-func (m *mergedModel) estimate(i uint32) float64 {
-	if w, ok := m.exact[i]; ok {
-		return w
-	}
-	return m.sqrtS * m.cs.Estimate(i)
-}
-
-func (m *mergedModel) predict(x stream.Vector) float64 {
-	dot := 0.0
-	for _, f := range x {
-		dot += f.Value * m.cs.SumSigned(f.Index)
-	}
-	return dot / m.sqrtS
-}
-
-func (m *mergedModel) topK(k int) []stream.Weighted {
-	if k > len(m.top) {
-		k = len(m.top)
-	}
-	out := make([]stream.Weighted, k)
-	copy(out, m.top[:k])
-	return out
-}
 
 var _ stream.Learner = (*Sharded)(nil)

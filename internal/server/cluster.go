@@ -1,0 +1,158 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+
+	"wmsketch/internal/cluster"
+	"wmsketch/internal/core"
+)
+
+// Cluster wiring: wmserve nodes replicate model state peer-to-peer and
+// serve queries from the merged view (CLUSTER.md). The server owns the
+// cluster.Node, exposes its pull/push/status endpoints, and hands it a
+// snapshotter that always reflects the *current* backend (checkpoint
+// restores swap the backend under the node without re-wiring).
+
+// ClusterOptions configures replication; it is enabled when Peers is
+// non-empty.
+type ClusterOptions struct {
+	// Self is this node's unique id; conventionally its advertised URL.
+	// Required when Peers is set.
+	Self string
+	// Peers are the base URLs of the gossip partners.
+	Peers []string
+	// Interval is the gossip cadence (0 → 2s, negative → manual rounds
+	// only).
+	Interval time.Duration
+	// HistoryDepth is how many snapshot versions are retained as delta
+	// bases (0 → 8).
+	HistoryDepth int
+}
+
+func (o *ClusterOptions) enabled() bool { return len(o.Peers) > 0 }
+
+// backendSnapshotter adapts the server's swappable backend to
+// core.Snapshotter.
+type backendSnapshotter struct{ s *Server }
+
+func (bs backendSnapshotter) ModelSnapshot() (core.Snapshot, error) {
+	var sn core.Snapshot
+	var err error
+	bs.s.withBackend(func(b learner) {
+		sr, ok := b.(core.Snapshotter)
+		if !ok {
+			err = fmt.Errorf("backend %T cannot snapshot its model", b)
+			return
+		}
+		sn, err = sr.ModelSnapshot()
+	})
+	return sn, err
+}
+
+// startCluster builds and starts the cluster node. Called from New.
+func (s *Server) startCluster() error {
+	if s.opt.Cluster.Self == "" {
+		return fmt.Errorf("server: cluster mode requires a node id (-node-id)")
+	}
+	n, err := cluster.NewNode(cluster.Config{
+		Self:  s.opt.Cluster.Self,
+		Peers: s.opt.Cluster.Peers,
+		Mix: core.MixOptions{
+			Depth: s.opt.Config.Depth, Width: s.opt.Config.Width,
+			Seed: s.opt.Config.Seed, HeapSize: s.opt.Config.HeapSize,
+		},
+		Local:        backendSnapshotter{s},
+		Interval:     s.opt.Cluster.Interval,
+		HistoryDepth: s.opt.Cluster.HistoryDepth,
+		AuthToken:    s.opt.AuthToken,
+	})
+	if err != nil {
+		return err
+	}
+	s.cluster = n
+	n.Start()
+	return nil
+}
+
+// ClusterNode exposes the node for harnesses that drive gossip rounds
+// deterministically (the cluster smoke test); nil when cluster mode is
+// off.
+func (s *Server) ClusterNode() *cluster.Node { return s.cluster }
+
+// publishRestored pushes a just-restored backend into the cluster view
+// (no-op outside cluster mode). Versions are example counts, so a restore
+// to an *older* model cannot be published — the merged view keeps serving
+// the newer pre-restore state, and the returned warning says so instead
+// of letting the backend and the served view diverge silently.
+func (s *Server) publishRestored() (warning string, err error) {
+	if s.cluster == nil {
+		return "", nil
+	}
+	_, published, err := s.cluster.PublishLocal()
+	if err != nil {
+		return "", err
+	}
+	if !published {
+		return "restored model was not published to the cluster: its example count does not " +
+			"exceed the version this node already announced, so cluster queries keep serving " +
+			"the newer state (to roll a cluster back, restore on every node or rejoin under a fresh -node-id)", nil
+	}
+	return "", nil
+}
+
+// handleClusterPull answers a peer's digest with the frames it is missing,
+// our own digest leading so the peer can push back what we lack.
+func (s *Server) handleClusterPull(w http.ResponseWriter, r *http.Request) {
+	if s.cluster == nil {
+		writeError(w, http.StatusNotFound, "cluster mode is not enabled")
+		return
+	}
+	var req cluster.PullRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	// Publish before answering so a pull always sees our latest local
+	// state, even between gossip rounds.
+	if _, _, err := s.cluster.PublishLocal(); err != nil {
+		writeError(w, http.StatusInternalServerError, "publish: %v", err)
+		return
+	}
+	frames := s.cluster.BuildFrames(req.Digest, true)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if _, err := cluster.WriteFrames(w, frames); err != nil {
+		// Mid-stream failure: abort the connection, the peer retries.
+		panic(http.ErrAbortHandler)
+	}
+}
+
+// handleClusterPush ingests frames a peer decided we are missing.
+func (s *Server) handleClusterPush(w http.ResponseWriter, r *http.Request) {
+	if s.cluster == nil {
+		writeError(w, http.StatusNotFound, "cluster mode is not enabled")
+		return
+	}
+	if !s.authorized(w, r) {
+		return
+	}
+	frames, err := cluster.ReadFrames(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad frame stream: %v", err)
+		return
+	}
+	res := s.cluster.ApplyFrames(frames)
+	writeJSON(w, http.StatusOK, cluster.PushResponse{
+		Applied: res.Applied, Stale: res.Stale, Rejected: res.Rejected, Changed: res.Changed,
+	})
+}
+
+// handleClusterStatus reports replication state: known origins and their
+// versions, per-peer round health, and transfer counters.
+func (s *Server) handleClusterStatus(w http.ResponseWriter, r *http.Request) {
+	if s.cluster == nil {
+		writeError(w, http.StatusNotFound, "cluster mode is not enabled")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.cluster.Status())
+}

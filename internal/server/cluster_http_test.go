@@ -1,0 +1,207 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"wmsketch/internal/core"
+	"wmsketch/internal/datagen"
+	"wmsketch/internal/stream"
+)
+
+// clusterPair boots n servers wired as a full mesh over httptest
+// listeners, gossip driven manually.
+func clusterServers(t *testing.T, n int, token string) ([]*Server, []*httptest.Server) {
+	t.Helper()
+	// Reserve listeners first so every node knows all URLs up front.
+	https := make([]*httptest.Server, n)
+	urls := make([]string, n)
+	for i := range https {
+		https[i] = httptest.NewUnstartedServer(nil)
+		urls[i] = "http://" + https[i].Listener.Addr().String()
+	}
+	srvs := make([]*Server, n)
+	for i := range srvs {
+		opt := testOptions(t, BackendAWM)
+		opt.AuthToken = token
+		opt.Cluster = ClusterOptions{
+			Self:     urls[i],
+			Peers:    append(append([]string{}, urls[:i]...), urls[i+1:]...),
+			Interval: -1,
+		}
+		srv, err := New(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srvs[i] = srv
+		https[i].Config.Handler = srv
+		https[i].Start()
+	}
+	t.Cleanup(func() {
+		for i := range srvs {
+			https[i].Close()
+			_ = srvs[i].Close()
+		}
+	})
+	return srvs, https
+}
+
+// TestClusterOverHTTPConverges: three real servers, disjoint training,
+// gossip over the actual endpoints until every node serves the identical
+// merged view.
+func TestClusterOverHTTPConverges(t *testing.T) {
+	srvs, https := clusterServers(t, 3, "")
+	gen := datagen.RCV1Like(23)
+	data := gen.Take(1800)
+	for i, hs := range https {
+		part := make([]stream.Example, 0, 600)
+		for j := i; j < len(data); j += 3 {
+			part = append(part, data[j])
+		}
+		if code := doJSON(t, "POST", hs.URL+"/v1/update", UpdateRequest{Examples: toWire(part)}, nil); code != 200 {
+			t.Fatalf("node %d update: HTTP %d", i, code)
+		}
+		doJSON(t, "POST", hs.URL+"/v1/sync", struct{}{}, nil)
+	}
+	for round := 0; round < 3; round++ {
+		for _, s := range srvs {
+			s.ClusterNode().GossipOnce()
+		}
+	}
+	// Every node must know all three origins at equal versions…
+	ref := srvs[0].ClusterNode().Digest()
+	if len(ref) != 3 {
+		t.Fatalf("node 0 knows %d origins, want 3: %v", len(ref), ref)
+	}
+	for i, s := range srvs[1:] {
+		d := s.ClusterNode().Digest()
+		for k, v := range ref {
+			if d[k] != v {
+				t.Fatalf("node %d digest %v disagrees with node 0's %v", i+1, d, ref)
+			}
+		}
+	}
+	// …and serve bit-identical estimates from the merged view.
+	var top TopKResponse
+	if code := doJSON(t, "GET", https[0].URL+"/v1/topk?k=8", nil, &top); code != 200 || len(top.Features) == 0 {
+		t.Fatalf("topk: code %d, %d features", code, len(top.Features))
+	}
+	for _, f := range top.Features {
+		var e0, e1, e2 EstimateResponse
+		doJSON(t, "GET", https[0].URL+"/v1/estimate?i="+itoa(f.I), nil, &e0)
+		doJSON(t, "GET", https[1].URL+"/v1/estimate?i="+itoa(f.I), nil, &e1)
+		doJSON(t, "GET", https[2].URL+"/v1/estimate?i="+itoa(f.I), nil, &e2)
+		if e0.Weights[0] != e1.Weights[0] || e1.Weights[0] != e2.Weights[0] {
+			t.Fatalf("estimate(%d) differs across nodes: %v %v %v", f.I, e0.Weights[0], e1.Weights[0], e2.Weights[0])
+		}
+	}
+	// Status reflects the exchange.
+	var st map[string]interface{}
+	if code := doJSON(t, "GET", https[0].URL+"/v1/cluster/status", nil, &st); code != 200 {
+		t.Fatalf("status: HTTP %d", code)
+	}
+	if st["self"] == "" || st["origins"] == nil {
+		t.Fatalf("thin status document: %v", st)
+	}
+}
+
+// TestClusterPushRequiresAuth: with a token configured, unauthenticated
+// pushes must 401 and authenticated gossip must still converge (peers
+// share the token).
+func TestClusterPushRequiresAuth(t *testing.T) {
+	const token = "mesh-token"
+	srvs, https := clusterServers(t, 2, token)
+
+	// Raw unauthenticated push: 401.
+	resp, err := http.Post(https[0].URL+"/v1/cluster/push", "application/octet-stream",
+		strings.NewReader("FCMW"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("unauthenticated push: HTTP %d, want 401", resp.StatusCode)
+	}
+
+	// Train node 1 (authorized), then gossip: node 0 pulls node 1's state,
+	// and node 1's push back to node 0 carries the shared token.
+	req, _ := http.NewRequest("POST", https[1].URL+"/v1/update",
+		strings.NewReader(`{"example":{"y":1,"x":[{"i":3,"v":1}]}}`))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Authorization", "Bearer "+token)
+	r2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if r2.StatusCode != 200 {
+		t.Fatalf("authorized update: HTTP %d", r2.StatusCode)
+	}
+	srvs[0].ClusterNode().GossipOnce()
+	srvs[1].ClusterNode().GossipOnce()
+	d := srvs[0].ClusterNode().Digest()
+	if len(d) != 2 {
+		t.Fatalf("authenticated gossip did not propagate: %v", d)
+	}
+	// Pull stays open (read path) even with auth on.
+	resp, err = http.Post(https[0].URL+"/v1/cluster/pull", "application/json",
+		strings.NewReader(`{"from":"probe","digest":{}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pull with no token: HTTP %d", resp.StatusCode)
+	}
+}
+
+// TestClusterEndpointsDisabledWithoutPeers: a plain server 404s the
+// cluster API.
+func TestClusterEndpointsDisabledWithoutPeers(t *testing.T) {
+	_, hs := newTestServer(t, BackendAWM)
+	if code := doJSON(t, "GET", hs.URL+"/v1/cluster/status", nil, nil); code != http.StatusNotFound {
+		t.Fatalf("status on non-cluster server: HTTP %d, want 404", code)
+	}
+	if code := doJSON(t, "POST", hs.URL+"/v1/cluster/pull", PullRequestJSON{}, nil); code != http.StatusNotFound {
+		t.Fatalf("pull on non-cluster server: HTTP %d, want 404", code)
+	}
+}
+
+// PullRequestJSON mirrors cluster.PullRequest for the disabled-endpoint
+// probe without importing the package here.
+type PullRequestJSON struct {
+	From   string           `json:"from"`
+	Digest map[string]int64 `json:"digest"`
+}
+
+func itoa(v uint32) string { return strconv.FormatUint(uint64(v), 10) }
+
+// TestClusterSmoke runs the full multi-node harness — the same entry point
+// `wmserve -cluster-smoke` and CI use.
+func TestClusterSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-node harness; skipped in -short")
+	}
+	opt := Options{
+		Backend: BackendAWM,
+		Config:  core.Config{Width: 4096, Depth: 1, HeapSize: 2048, Lambda: 1e-6, Seed: 42},
+	}
+	err := ClusterSmoke(opt, ClusterSmokeOptions{
+		JSONPath: filepath.Join(t.TempDir(), "bench_cluster.json"),
+	}, testWriter{t})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// testWriter routes harness narration through t.Logf.
+type testWriter struct{ t *testing.T }
+
+func (w testWriter) Write(p []byte) (int, error) {
+	w.t.Logf("%s", strings.TrimRight(string(p), "\n"))
+	return len(p), nil
+}

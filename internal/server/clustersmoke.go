@@ -1,0 +1,466 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"wmsketch/internal/core"
+	"wmsketch/internal/datagen"
+	"wmsketch/internal/stream"
+)
+
+// ClusterSmoke is the multi-node in-process harness behind
+// `wmserve -cluster-smoke`: it boots N wmserve nodes on loopback wired as
+// a full mesh, trains each on a disjoint partition of a labeled stream
+// over real HTTP (streaming NDJSON ingest), gossips to quiescence, and
+// verifies the paper's mergeability claim end to end — every node's
+// holdout error must land within Epsilon (relative) of a single learner
+// trained on the union. It also verifies delta compression does its job:
+// the incremental-round bytes on the wire must come in under the
+// full-sync round's. The measurements land in a JSON report (CI keeps
+// BENCH_cluster.json).
+
+// ClusterSmokeOptions configures the harness.
+type ClusterSmokeOptions struct {
+	// Nodes is the cluster size (0 → 3).
+	Nodes int
+	// Examples is the total training-stream length, split round-robin
+	// across nodes in two stages (0 → 9000).
+	Examples int
+	// Holdout is the evaluation-set size (0 → 4000).
+	Holdout int
+	// Epsilon is the allowed relative error gap vs the union learner
+	// (0 → 0.05).
+	Epsilon float64
+	// JSONPath receives the report ("" disables).
+	JSONPath string
+	// Seed drives the synthetic stream.
+	Seed int64
+	// MaxRounds bounds the gossip rounds per phase (0 → 32).
+	MaxRounds int
+}
+
+func (o *ClusterSmokeOptions) fill() {
+	if o.Nodes <= 0 {
+		o.Nodes = 3
+	}
+	if o.Examples <= 0 {
+		o.Examples = 9000
+	}
+	if o.Holdout <= 0 {
+		o.Holdout = 4000
+	}
+	if o.Epsilon <= 0 {
+		o.Epsilon = 0.05
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	if o.MaxRounds <= 0 {
+		o.MaxRounds = 32
+	}
+}
+
+// ClusterSmokeReport is the JSON document the harness writes.
+type ClusterSmokeReport struct {
+	Nodes    int   `json:"nodes"`
+	Examples int   `json:"examples"`
+	Holdout  int   `json:"holdout"`
+	Seed     int64 `json:"seed"`
+
+	RoundsFullPhase    int     `json:"rounds_full_phase"`
+	RoundsDeltaPhase   int     `json:"rounds_delta_phase"`
+	BytesFullPhase     int64   `json:"bytes_full_phase"`
+	BytesDeltaPhase    int64   `json:"bytes_delta_phase"`
+	BytesPerFullRound  float64 `json:"bytes_per_full_round"`
+	BytesPerDeltaRound float64 `json:"bytes_per_delta_round"`
+	BytesIdleRound     int64   `json:"bytes_idle_round"`
+	FullFrames         int64   `json:"full_frames"`
+	DeltaFrames        int64   `json:"delta_frames"`
+
+	ErrUnion       float64   `json:"err_union"`
+	ErrPartitioned []float64 `json:"err_partitioned"` // before any gossip
+	ErrConverged   []float64 `json:"err_converged"`
+	MaxRelGap      float64   `json:"max_rel_gap"`
+	Epsilon        float64   `json:"epsilon"`
+
+	WallSeconds float64 `json:"wall_seconds"`
+}
+
+// smokeNode is one booted wmserve instance.
+type smokeNode struct {
+	srv  *Server
+	hs   *http.Server
+	ln   net.Listener
+	base string
+}
+
+// ClusterSmoke runs the harness; opt supplies the sketch configuration
+// (Backend/Config/Sharded), smk the cluster-specific knobs.
+func ClusterSmoke(opt Options, smk ClusterSmokeOptions, verbose io.Writer) error {
+	if verbose == nil {
+		verbose = io.Discard
+	}
+	smk.fill()
+	start := time.Now()
+
+	// Data: a labeled stream split into disjoint round-robin partitions,
+	// plus a holdout drawn after the training prefix.
+	gen := datagen.RCV1Like(smk.Seed)
+	train := gen.Take(smk.Examples)
+	holdout := gen.Take(smk.Holdout)
+	stage1 := train[:2*len(train)/3]
+	stage2 := train[2*len(train)/3:]
+
+	// The union baseline: one learner, the whole stream, in order.
+	union := core.NewAWMSketch(opt.Config)
+	for _, ex := range train {
+		union.Update(ex.X, ex.Y)
+	}
+	errUnion := holdoutError(holdout, func(x stream.Vector) float64 { return union.Predict(x) })
+	if errUnion == 0 {
+		return fmt.Errorf("cluster-smoke: degenerate stream (union learner has zero holdout error)")
+	}
+	fmt.Fprintf(verbose, "cluster-smoke: union learner holdout error %.4f over %d examples\n",
+		errUnion, len(holdout))
+
+	// Boot N nodes on loopback, full mesh. Listeners come first so every
+	// node knows the others' URLs at construction.
+	lns := make([]net.Listener, smk.Nodes)
+	urls := make([]string, smk.Nodes)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		defer ln.Close()
+		lns[i] = ln
+		urls[i] = "http://" + ln.Addr().String()
+	}
+	nodes := make([]*smokeNode, smk.Nodes)
+	for i := range nodes {
+		nopt := opt
+		nopt.CheckpointPath = ""
+		// Single-model nodes keep the convergence math deterministic and
+		// their raw-space deltas sparse; sharded backends replicate too,
+		// but re-merge noise pushes them toward full frames (CLUSTER.md).
+		nopt.Backend = BackendAWM
+		nopt.Cluster = ClusterOptions{
+			Self:     urls[i],
+			Peers:    otherURLs(urls, i),
+			Interval: -1, // harness drives rounds deterministically
+		}
+		srv, err := New(nopt)
+		if err != nil {
+			return fmt.Errorf("node %d: %w", i, err)
+		}
+		hs := &http.Server{Handler: srv}
+		go func(ln net.Listener) { _ = hs.Serve(ln) }(lns[i])
+		nodes[i] = &smokeNode{srv: srv, hs: hs, ln: lns[i], base: urls[i]}
+		defer func(n *smokeNode) { _ = n.hs.Close(); _ = n.srv.Close() }(nodes[i])
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	// Stage 1: disjoint training over real HTTP via streaming NDJSON.
+	if err := ingestPartitions(client, nodes, stage1); err != nil {
+		return err
+	}
+	// Publish local state everywhere, then measure the pre-gossip errors:
+	// each node has seen only its partition.
+	for _, n := range nodes {
+		if err := postEmpty(client, n.base+"/v1/sync"); err != nil {
+			return err
+		}
+	}
+	errPart := make([]float64, len(nodes))
+	for i, n := range nodes {
+		e, err := httpHoldoutError(client, n.base, holdout)
+		if err != nil {
+			return err
+		}
+		errPart[i] = e
+	}
+	fmt.Fprintf(verbose, "cluster-smoke: pre-gossip per-node errors %v\n", fmtErrs(errPart))
+
+	// Phase A: gossip to quiescence from cold — full snapshots dominate.
+	roundsA, err := gossipToQuiescence(nodes, smk.MaxRounds)
+	if err != nil {
+		return err
+	}
+	bytesA, fullsA, deltasA := transferTotals(nodes)
+
+	// Stage 2: continuous training with gossip interleaved at a realistic
+	// cadence — small increments between rounds, so with every base acked
+	// this phase must ride on delta frames.
+	const deltaChunks = 8
+	chunkLen := (len(stage2) + deltaChunks - 1) / deltaChunks
+	roundsB := 0
+	for c := 0; c*chunkLen < len(stage2); c++ {
+		end := (c + 1) * chunkLen
+		if end > len(stage2) {
+			end = len(stage2)
+		}
+		if err := ingestPartitions(client, nodes, stage2[c*chunkLen:end]); err != nil {
+			return err
+		}
+		for _, n := range nodes {
+			if err := postEmpty(client, n.base+"/v1/sync"); err != nil {
+				return err
+			}
+		}
+		for _, n := range nodes {
+			n.srv.ClusterNode().GossipOnce()
+		}
+		roundsB++
+	}
+	settle, err := gossipToQuiescence(nodes, smk.MaxRounds)
+	if err != nil {
+		return err
+	}
+	roundsB += settle
+	bytesAll, fullsAll, deltasAll := transferTotals(nodes)
+	bytesB := bytesAll - bytesA
+	deltasB := deltasAll - deltasA
+
+	// A fully quiescent round moves digests only — the at-rest cost of the
+	// anti-entropy loop.
+	for _, n := range nodes {
+		n.srv.ClusterNode().GossipOnce()
+	}
+	bytesAfterIdle, _, _ := transferTotals(nodes)
+	bytesIdle := bytesAfterIdle - bytesAll
+
+	if deltasB == 0 {
+		return fmt.Errorf("cluster-smoke: incremental phase sent no delta frames (fulls %d → %d)",
+			fullsA, fullsAll)
+	}
+	bytesPerFullRound := float64(bytesA) / float64(roundsA)
+	bytesPerDeltaRound := float64(bytesB) / float64(roundsB)
+	if bytesPerDeltaRound >= 0.8*bytesPerFullRound {
+		return fmt.Errorf("cluster-smoke: delta rounds average %.0f B, not measurably under the full-sync rounds' %.0f B",
+			bytesPerDeltaRound, bytesPerFullRound)
+	}
+	fmt.Fprintf(verbose,
+		"cluster-smoke: full-sync phase %d rounds / %d B (%d full, %d delta); delta phase %d rounds / %d B (%d delta) — %.0f B/round vs %.0f B/round (%.1f%%); idle round %d B\n",
+		roundsA, bytesA, fullsA, deltasA, roundsB, bytesB, deltasB,
+		bytesPerFullRound, bytesPerDeltaRound, 100*bytesPerDeltaRound/bytesPerFullRound, bytesIdle)
+
+	// Converged evaluation over HTTP: every node must now answer within
+	// Epsilon (relative) of the union learner.
+	errConv := make([]float64, len(nodes))
+	maxGap := 0.0
+	for i, n := range nodes {
+		e, err := httpHoldoutError(client, n.base, holdout)
+		if err != nil {
+			return err
+		}
+		errConv[i] = e
+		gap := absf(e-errUnion) / errUnion
+		if gap > maxGap {
+			maxGap = gap
+		}
+	}
+	fmt.Fprintf(verbose, "cluster-smoke: converged errors %v vs union %.4f (max relative gap %.3f, ε %.3f)\n",
+		fmtErrs(errConv), errUnion, maxGap, smk.Epsilon)
+	if maxGap > smk.Epsilon {
+		return fmt.Errorf("cluster-smoke: converged error gap %.4f exceeds ε %.4f (union %.4f, nodes %v)",
+			maxGap, smk.Epsilon, errUnion, errConv)
+	}
+
+	report := ClusterSmokeReport{
+		Nodes: smk.Nodes, Examples: smk.Examples, Holdout: smk.Holdout, Seed: smk.Seed,
+		RoundsFullPhase: roundsA, RoundsDeltaPhase: roundsB,
+		BytesFullPhase: bytesA, BytesDeltaPhase: bytesB,
+		BytesPerFullRound: bytesPerFullRound, BytesPerDeltaRound: bytesPerDeltaRound,
+		BytesIdleRound: bytesIdle,
+		FullFrames:     fullsAll, DeltaFrames: deltasAll,
+		ErrUnion: errUnion, ErrPartitioned: errPart, ErrConverged: errConv,
+		MaxRelGap: maxGap, Epsilon: smk.Epsilon,
+		WallSeconds: time.Since(start).Seconds(),
+	}
+	if smk.JSONPath != "" {
+		blob, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(smk.JSONPath, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(verbose, "cluster-smoke: wrote %s\n", smk.JSONPath)
+	}
+	return nil
+}
+
+// ingestPartitions streams each node its round-robin partition as NDJSON —
+// the bulk-ingest path, exercised end to end.
+func ingestPartitions(client *http.Client, nodes []*smokeNode, examples []stream.Example) error {
+	for i, n := range nodes {
+		var buf bytes.Buffer
+		enc := json.NewEncoder(&buf)
+		count := 0
+		for j := i; j < len(examples); j += len(nodes) {
+			if err := enc.Encode(exampleWire(examples[j])); err != nil {
+				return err
+			}
+			count++
+		}
+		resp, err := client.Post(n.base+"/v1/update", "application/x-ndjson", &buf)
+		if err != nil {
+			return err
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("node %d ingest: HTTP %d: %s", i, resp.StatusCode, body)
+		}
+		var up UpdateResponse
+		if err := json.Unmarshal(body, &up); err != nil {
+			return err
+		}
+		if up.Applied != count {
+			return fmt.Errorf("node %d ingest applied %d, want %d", i, up.Applied, count)
+		}
+	}
+	return nil
+}
+
+// gossipToQuiescence drives synchronized rounds until every node reports
+// the same digest (and at least two rounds have run, so push-backs have
+// settled), or maxRounds is hit.
+func gossipToQuiescence(nodes []*smokeNode, maxRounds int) (int, error) {
+	for round := 1; round <= maxRounds; round++ {
+		for _, n := range nodes {
+			n.srv.ClusterNode().GossipOnce()
+		}
+		if round >= 2 && digestsAgree(nodes) {
+			return round, nil
+		}
+	}
+	return maxRounds, fmt.Errorf("cluster-smoke: no quiescence after %d rounds", maxRounds)
+}
+
+func digestsAgree(nodes []*smokeNode) bool {
+	ref := nodes[0].srv.ClusterNode().Digest()
+	if len(ref) < len(nodes) {
+		return false // not every origin has propagated yet
+	}
+	for _, n := range nodes[1:] {
+		d := n.srv.ClusterNode().Digest()
+		if len(d) != len(ref) {
+			return false
+		}
+		for k, v := range ref {
+			if d[k] != v {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// transferTotals sums bytes/frames moved across all nodes' push paths plus
+// pull responses, as seen by the receiving side (BytesIn counts decoded
+// pull payloads; push bytes land on the pushing node's BytesOut).
+func transferTotals(nodes []*smokeNode) (bytes, fulls, deltas int64) {
+	for _, n := range nodes {
+		st := n.srv.ClusterNode().Status()
+		bytes += st.BytesIn + st.BytesOut
+		fulls += st.FullsOut
+		deltas += st.DeltasOut
+	}
+	return bytes, fulls, deltas
+}
+
+// httpHoldoutError measures the misclassification rate of a node's
+// /v1/predict over the holdout set.
+func httpHoldoutError(client *http.Client, base string, holdout []stream.Example) (float64, error) {
+	wrong := 0
+	for i := range holdout {
+		blob, err := json.Marshal(PredictRequest{X: vecWire(holdout[i].X)})
+		if err != nil {
+			return 0, err
+		}
+		resp, err := client.Post(base+"/v1/predict", "application/json", bytes.NewReader(blob))
+		if err != nil {
+			return 0, err
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return 0, fmt.Errorf("predict: HTTP %d: %s", resp.StatusCode, body)
+		}
+		var pr PredictResponse
+		if err := json.Unmarshal(body, &pr); err != nil {
+			return 0, err
+		}
+		if pr.Label != holdout[i].Y {
+			wrong++
+		}
+	}
+	return float64(wrong) / float64(len(holdout)), nil
+}
+
+// holdoutError is the local (non-HTTP) counterpart, matching the predict
+// handler's sign convention.
+func holdoutError(holdout []stream.Example, predict func(stream.Vector) float64) float64 {
+	wrong := 0
+	for _, ex := range holdout {
+		label := -1
+		if predict(ex.X) > 0 {
+			label = 1
+		}
+		if label != ex.Y {
+			wrong++
+		}
+	}
+	return float64(wrong) / float64(len(holdout))
+}
+
+func otherURLs(urls []string, self int) []string {
+	out := make([]string, 0, len(urls)-1)
+	for i, u := range urls {
+		if i != self {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+func exampleWire(ex stream.Example) ExampleJSON {
+	return ExampleJSON{Y: ex.Y, X: vecWire(ex.X)}
+}
+
+func postEmpty(client *http.Client, url string) error {
+	resp, err := client.Post(url, "application/json", strings.NewReader("{}"))
+	if err != nil {
+		return err
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("POST %s: HTTP %d: %s", url, resp.StatusCode, body)
+	}
+	return nil
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func fmtErrs(errs []float64) []string {
+	out := make([]string, len(errs))
+	for i, e := range errs {
+		out[i] = fmt.Sprintf("%.4f", e)
+	}
+	return out
+}

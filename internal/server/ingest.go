@@ -1,0 +1,142 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"mime"
+	"net/http"
+	"strings"
+
+	"wmsketch/internal/stream"
+)
+
+// Streaming bulk ingest. A JSON array of examples must be fully buffered
+// and decoded before the first update applies, which caps practical batch
+// sizes well below what one HTTP request could carry. Declaring a
+// line-oriented content type on POST /v1/update switches the handler to a
+// stream parser: examples apply in chunks as lines arrive, memory stays
+// O(chunk), and a multi-hundred-megabyte backfill is one request.
+//
+//	Content-Type: application/x-ndjson   one ExampleJSON object per line
+//	Content-Type: text/libsvm            raw libsvm lines ("1 3:0.5 7:1.2")
+//
+// Lines that are blank (either format) or #-comments (libsvm) are skipped.
+// A malformed line aborts the stream with a 400 naming the line; examples
+// already applied stay applied — the error body reports the count so the
+// client can resume idempotently-enough for training purposes (online SGD
+// has no exactly-once story to preserve).
+const (
+	// maxStreamIngestBytes caps one streaming ingest request body.
+	maxStreamIngestBytes = 256 << 20
+	// maxIngestLineBytes caps one line; a maximal accepted libsvm line
+	// (MaxLibSVMFeatures features) fits with room to spare.
+	maxIngestLineBytes = 64 << 20
+	// ingestChunk is how many parsed examples are applied per backend
+	// round-trip.
+	ingestChunk = 512
+)
+
+// isStreamingIngest reports whether the update request declares a
+// line-oriented body.
+func isStreamingIngest(r *http.Request) bool {
+	return ingestKind(r) != ""
+}
+
+// ingestKind classifies the declared content type: "ndjson", "libsvm", or
+// "" for the default JSON document handling.
+func ingestKind(r *http.Request) string {
+	ct := r.Header.Get("Content-Type")
+	if ct == "" {
+		return ""
+	}
+	mt, _, err := mime.ParseMediaType(ct)
+	if err != nil {
+		return ""
+	}
+	switch mt {
+	case "application/x-ndjson", "application/ndjson", "application/jsonl", "application/x-jsonlines":
+		return "ndjson"
+	case "text/libsvm", "application/x-libsvm":
+		return "libsvm"
+	}
+	return ""
+}
+
+// handleStreamingUpdate consumes a line-oriented body, applying examples
+// in chunks as they parse.
+func (s *Server) handleStreamingUpdate(w http.ResponseWriter, r *http.Request) {
+	kind := ingestKind(r)
+	parse := parseNDJSONLine
+	if kind == "libsvm" {
+		parse = parseLibSVMIngestLine
+	}
+
+	sc := bufio.NewScanner(r.Body)
+	sc.Buffer(make([]byte, 64<<10), maxIngestLineBytes)
+	var (
+		applied int64
+		steps   int64
+		lineNo  int
+		batch   = make([]stream.Example, 0, ingestChunk)
+	)
+	for sc.Scan() {
+		lineNo++
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		if kind == "libsvm" && line[0] == '#' {
+			continue
+		}
+		ex, err := parse(line)
+		if err != nil {
+			writeError(w, http.StatusBadRequest,
+				"%s line %d: %v (%d examples already applied)", kind, lineNo, err, applied)
+			return
+		}
+		batch = append(batch, ex)
+		if len(batch) == ingestChunk {
+			steps = s.applyBatch(batch)
+			applied += int64(len(batch))
+			// The backend retains the batch (sharded workers consume it
+			// asynchronously); a fresh slice per chunk, never a reused one.
+			batch = make([]stream.Example, 0, ingestChunk)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		// Oversize bodies surface here via MaxBytesReader, oversize lines
+		// via bufio.ErrTooLong; both are client faults.
+		writeError(w, http.StatusBadRequest,
+			"%s stream after line %d: %v (%d examples already applied)", kind, lineNo, err, applied)
+		return
+	}
+	if len(batch) > 0 {
+		steps = s.applyBatch(batch)
+		applied += int64(len(batch))
+	}
+	if applied == 0 {
+		writeError(w, http.StatusBadRequest, "no examples")
+		return
+	}
+	writeJSON(w, http.StatusOK, UpdateResponse{Applied: int(applied), Steps: steps})
+}
+
+func parseNDJSONLine(line []byte) (stream.Example, error) {
+	var e ExampleJSON
+	dec := json.NewDecoder(bytes.NewReader(line))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&e); err != nil {
+		return stream.Example{}, fmt.Errorf("bad example object: %v", err)
+	}
+	// Trailing garbage after the object would silently vanish otherwise.
+	if dec.More() {
+		return stream.Example{}, fmt.Errorf("trailing data after example object")
+	}
+	return toExample(&e)
+}
+
+func parseLibSVMIngestLine(line []byte) (stream.Example, error) {
+	return stream.ParseLibSVMLine(strings.TrimSpace(string(line)))
+}

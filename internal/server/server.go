@@ -23,6 +23,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"wmsketch/internal/cluster"
 	"wmsketch/internal/core"
 	"wmsketch/internal/stream"
 )
@@ -67,6 +68,14 @@ type Options struct {
 	// updates is tuned for batch training, not serving). 0 selects 200ms;
 	// negative disables the loop (POST /v1/sync still refreshes on demand).
 	RefreshInterval time.Duration
+	// AuthToken, when set, gates every mutating endpoint (/v1/update,
+	// /v1/checkpoint, /v1/checkpoint/upload, /v1/cluster/push) behind a
+	// bearer-token check. Read-only endpoints stay open.
+	AuthToken string
+	// Cluster configures peer-to-peer model replication (CLUSTER.md).
+	// Enabled when Peers is non-empty; queries are then served from the
+	// cluster-merged view instead of the local backend alone.
+	Cluster ClusterOptions
 }
 
 // Server is the HTTP serving layer. It implements http.Handler.
@@ -79,6 +88,9 @@ type Server struct {
 	// request handlers hold it for read.
 	mu      sync.RWMutex
 	backend learner
+
+	// cluster is non-nil when Options.Cluster is enabled.
+	cluster *cluster.Node
 
 	updates   atomic.Int64
 	predicts  atomic.Int64
@@ -115,6 +127,14 @@ func New(opt Options) (*Server, error) {
 		opt.RefreshInterval = 200 * time.Millisecond
 	}
 	s := &Server{opt: opt, backend: b, start: time.Now(), stopRefresh: make(chan struct{})}
+	if opt.Cluster.enabled() {
+		if err := s.startCluster(); err != nil {
+			if sh, ok := b.(*core.Sharded); ok {
+				sh.Close()
+			}
+			return nil, err
+		}
+	}
 	s.routes()
 	if opt.Backend == BackendSharded && opt.RefreshInterval > 0 {
 		s.refreshWG.Add(1)
@@ -159,6 +179,11 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/topk", s.handleTopK)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("POST /v1/checkpoint", s.handleCheckpoint)
+	s.mux.HandleFunc("GET /v1/checkpoint/download", s.handleCheckpointDownload)
+	s.mux.HandleFunc("POST /v1/checkpoint/upload", s.handleCheckpointUpload)
+	s.mux.HandleFunc("POST /v1/cluster/pull", s.handleClusterPull)
+	s.mux.HandleFunc("POST /v1/cluster/push", s.handleClusterPush)
+	s.mux.HandleFunc("GET /v1/cluster/status", s.handleClusterStatus)
 	s.mux.HandleFunc("POST /v1/sync", s.handleSync)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
@@ -166,9 +191,24 @@ func (s *Server) routes() {
 	})
 }
 
+// bodyLimit returns the request-size cap per route: bulk-transfer routes
+// (streaming ingest, checkpoint upload, cluster push) legitimately carry
+// more than ordinary JSON bodies.
+func bodyLimit(r *http.Request) int64 {
+	switch r.URL.Path {
+	case "/v1/update":
+		if isStreamingIngest(r) {
+			return maxStreamIngestBytes
+		}
+	case "/v1/checkpoint/upload", "/v1/cluster/push":
+		return maxTransferBytes
+	}
+	return maxRequestBytes
+}
+
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBytes)
+	r.Body = http.MaxBytesReader(w, r.Body, bodyLimit(r))
 	s.mux.ServeHTTP(w, r)
 }
 
@@ -178,6 +218,9 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 func (s *Server) Close() error {
 	s.stopOnce.Do(func() { close(s.stopRefresh) })
 	s.refreshWG.Wait()
+	if s.cluster != nil {
+		s.cluster.Close()
+	}
 	var err error
 	if s.opt.CheckpointPath != "" {
 		_, err = s.saveCheckpoint(s.opt.CheckpointPath)
@@ -191,8 +234,16 @@ func (s *Server) Close() error {
 }
 
 // Restore loads a checkpoint from path into the server — the boot-time
-// counterpart of POST /v1/checkpoint {"action":"restore"}.
-func (s *Server) Restore(path string) error { return s.restoreCheckpoint(path) }
+// counterpart of POST /v1/checkpoint {"action":"restore"}. In cluster
+// mode the restored model is published immediately, which is how a
+// restarted node re-announces itself at its pre-restart version.
+func (s *Server) Restore(path string) error {
+	if err := s.restoreCheckpoint(path); err != nil {
+		return err
+	}
+	_, err := s.publishRestored()
+	return err
+}
 
 // withBackend runs fn on the active backend under the read lock, so a
 // concurrent checkpoint restore (which swaps the backend under the write
@@ -201,6 +252,33 @@ func (s *Server) withBackend(fn func(b learner)) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	fn(s.backend)
+}
+
+// predict/estimate/topK route queries to the cluster-merged view when
+// cluster mode is on (every node's state, weighted by example count) and
+// to the local backend otherwise.
+func (s *Server) predict(x stream.Vector) (margin float64) {
+	if s.cluster != nil {
+		return s.cluster.View().Predict(x)
+	}
+	s.withBackend(func(b learner) { margin = b.Predict(x) })
+	return margin
+}
+
+func (s *Server) estimate(i uint32) (est float64) {
+	if s.cluster != nil {
+		return s.cluster.View().Estimate(i)
+	}
+	s.withBackend(func(b learner) { est = b.Estimate(i) })
+	return est
+}
+
+func (s *Server) topK(k int) (top []stream.Weighted) {
+	if s.cluster != nil {
+		return s.cluster.View().TopK(k)
+	}
+	s.withBackend(func(b learner) { top = b.TopK(k) })
+	return top
 }
 
 // ---- wire types ----
@@ -279,6 +357,10 @@ type StatsResponse struct {
 	Restores      int64   `json:"restores"`
 	MemoryBytes   int     `json:"memory_bytes"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Cluster fields, present only in cluster mode; /v1/cluster/status has
+	// the full replication picture.
+	ClusterSelf  string `json:"cluster_self,omitempty"`
+	ClusterPeers int    `json:"cluster_peers,omitempty"`
 }
 
 // CheckpointRequest triggers a save or restore. Path defaults to the
@@ -293,6 +375,10 @@ type CheckpointResponse struct {
 	Action string `json:"action"`
 	Path   string `json:"path"`
 	Bytes  int64  `json:"bytes,omitempty"`
+	// Warning surfaces restore-time caveats that are not errors, e.g. a
+	// cluster-mode restore to an older model that version monotonicity
+	// keeps out of the merged view.
+	Warning string `json:"warning,omitempty"`
 }
 
 type errorResponse struct {
@@ -354,6 +440,13 @@ func toVector(fs []FeatureJSON) (stream.Vector, error) {
 // ---- handlers ----
 
 func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	if !s.authorized(w, r) {
+		return
+	}
+	if isStreamingIngest(r) {
+		s.handleStreamingUpdate(w, r)
+		return
+	}
 	var req UpdateRequest
 	if !decodeBody(w, r, &req) {
 		return
@@ -375,7 +468,16 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		}
 		batch[i] = ex
 	}
-	var steps int64
+	steps := s.applyBatch(batch)
+	writeJSON(w, http.StatusOK, UpdateResponse{Applied: len(batch), Steps: steps})
+}
+
+// applyBatch trains the backend on a validated batch and returns the step
+// counter after it.
+func (s *Server) applyBatch(batch []stream.Example) (steps int64) {
+	if len(batch) == 0 {
+		return 0
+	}
 	s.withBackend(func(b learner) {
 		if sh, ok := b.(*core.Sharded); ok {
 			sh.UpdateBatch(batch)
@@ -387,7 +489,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		steps = b.Steps()
 	})
 	s.updates.Add(int64(len(batch)))
-	writeJSON(w, http.StatusOK, UpdateResponse{Applied: len(batch), Steps: steps})
+	return steps
 }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
@@ -412,8 +514,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	var margin float64
-	s.withBackend(func(b learner) { margin = b.Predict(x) })
+	margin := s.predict(x)
 	label := -1
 	if margin > 0 {
 		label = 1
@@ -433,8 +534,7 @@ func (s *Server) handleEstimateGet(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad index %q", raw)
 		return
 	}
-	var est float64
-	s.withBackend(func(b learner) { est = b.Estimate(uint32(i)) })
+	est := s.estimate(uint32(i))
 	s.estimates.Add(1)
 	writeJSON(w, http.StatusOK, EstimateResponse{
 		Weights: []WeightJSON{{I: uint32(i), W: est}},
@@ -458,11 +558,9 @@ func (s *Server) handleEstimatePost(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	out := make([]WeightJSON, len(req.Indices))
-	s.withBackend(func(b learner) {
-		for i, idx := range req.Indices {
-			out[i] = WeightJSON{I: idx, W: b.Estimate(idx)}
-		}
-	})
+	for i, idx := range req.Indices {
+		out[i] = WeightJSON{I: idx, W: s.estimate(idx)}
+	}
 	s.estimates.Add(int64(len(out)))
 	writeJSON(w, http.StatusOK, EstimateResponse{Weights: out})
 }
@@ -477,8 +575,7 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		}
 		k = v
 	}
-	var top []stream.Weighted
-	s.withBackend(func(b learner) { top = b.TopK(k) })
+	top := s.topK(k)
 	out := make([]WeightJSON, len(top))
 	for i, e := range top {
 		out[i] = WeightJSON{I: e.Index, W: e.Weight}
@@ -505,10 +602,17 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if s.opt.Backend == BackendSharded {
 		resp.Workers = s.opt.Sharded.Workers
 	}
+	if s.cluster != nil {
+		resp.ClusterSelf = s.cluster.Self()
+		resp.ClusterPeers = len(s.opt.Cluster.Peers)
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if !s.authorized(w, r) {
+		return
+	}
 	var req CheckpointRequest
 	if !decodeBody(w, r, &req) {
 		return
@@ -535,7 +639,12 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		s.restores.Add(1)
-		writeJSON(w, http.StatusOK, CheckpointResponse{Action: "restore", Path: path})
+		warning, err := s.publishRestored()
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "restored but publish failed: %v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, CheckpointResponse{Action: "restore", Path: path, Warning: warning})
 	default:
 		writeError(w, http.StatusBadRequest, "action must be save or restore, got %q", req.Action)
 	}
@@ -543,7 +652,9 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 
 // handleSync forces a sharded snapshot refresh: after it returns, queries
 // reflect every update routed before the call. No-op for single-model
-// backends, whose queries are always current.
+// backends, whose queries are always current. In cluster mode it also
+// publishes the refreshed local model into the cluster view, so queries
+// that follow see local progress without waiting for a gossip round.
 func (s *Server) handleSync(w http.ResponseWriter, r *http.Request) {
 	var steps int64
 	s.withBackend(func(b learner) {
@@ -552,6 +663,12 @@ func (s *Server) handleSync(w http.ResponseWriter, r *http.Request) {
 		}
 		steps = b.Steps()
 	})
+	if s.cluster != nil {
+		if _, _, err := s.cluster.PublishLocal(); err != nil {
+			writeError(w, http.StatusInternalServerError, "publish: %v", err)
+			return
+		}
+	}
 	writeJSON(w, http.StatusOK, UpdateResponse{Steps: steps})
 }
 
@@ -585,7 +702,12 @@ func (s *Server) restoreCheckpoint(path string) error {
 		return err
 	}
 	defer f.Close()
+	return s.restoreFromReader(f)
+}
 
+// restoreFromReader builds a fresh backend from serialized state and swaps
+// it in — shared by file restore and POST /v1/checkpoint/upload.
+func (s *Server) restoreFromReader(f io.Reader) error {
 	var fresh learner
 	switch s.opt.Backend {
 	case BackendSharded:

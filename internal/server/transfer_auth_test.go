@@ -1,0 +1,179 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"wmsketch/internal/datagen"
+)
+
+// TestCheckpointDownloadUploadRoundTrip: download a trained node's state,
+// upload it into a fresh node, and verify the fresh node answers exactly
+// like the original — restore without shared disk.
+func TestCheckpointDownloadUploadRoundTrip(t *testing.T) {
+	for _, backend := range backends() {
+		t.Run(backend, func(t *testing.T) {
+			_, source := newTestServer(t, backend)
+			gen := datagen.RCV1Like(11)
+			if code := doJSON(t, "POST", source.URL+"/v1/update",
+				UpdateRequest{Examples: toWire(gen.Take(1200))}, nil); code != 200 {
+				t.Fatalf("update: HTTP %d", code)
+			}
+			doJSON(t, "POST", source.URL+"/v1/sync", struct{}{}, nil)
+
+			resp, err := http.Get(source.URL + "/v1/checkpoint/download")
+			if err != nil {
+				t.Fatal(err)
+			}
+			blob, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("download: HTTP %d", resp.StatusCode)
+			}
+			if len(blob) == 0 {
+				t.Fatal("empty checkpoint")
+			}
+
+			_, target := newTestServer(t, backend)
+			up, err := http.Post(target.URL+"/v1/checkpoint/upload", "application/octet-stream", bytes.NewReader(blob))
+			if err != nil {
+				t.Fatal(err)
+			}
+			body, _ := io.ReadAll(up.Body)
+			up.Body.Close()
+			if up.StatusCode != http.StatusOK {
+				t.Fatalf("upload: HTTP %d: %s", up.StatusCode, body)
+			}
+
+			var srcTop, dstTop TopKResponse
+			if code := doJSON(t, "GET", source.URL+"/v1/topk?k=16", nil, &srcTop); code != 200 {
+				t.Fatalf("source topk: HTTP %d", code)
+			}
+			if code := doJSON(t, "GET", target.URL+"/v1/topk?k=16", nil, &dstTop); code != 200 {
+				t.Fatalf("target topk: HTTP %d", code)
+			}
+			if len(srcTop.Features) == 0 {
+				t.Fatal("source served no top-k")
+			}
+			for i := range srcTop.Features {
+				if srcTop.Features[i] != dstTop.Features[i] {
+					t.Fatalf("top-k[%d] differs after transfer: %+v vs %+v",
+						i, dstTop.Features[i], srcTop.Features[i])
+				}
+			}
+			var src, dst EstimateResponse
+			probe := srcTop.Features[0].I
+			doJSON(t, "GET", fmt.Sprintf("%s/v1/estimate?i=%d", source.URL, probe), nil, &src)
+			doJSON(t, "GET", fmt.Sprintf("%s/v1/estimate?i=%d", target.URL, probe), nil, &dst)
+			if src.Weights[0] != dst.Weights[0] {
+				t.Fatalf("estimate differs after transfer: %v vs %v", dst.Weights[0], src.Weights[0])
+			}
+		})
+	}
+}
+
+// TestCheckpointUploadRejectsGarbage: corrupt bodies must not replace the
+// backend.
+func TestCheckpointUploadRejectsGarbage(t *testing.T) {
+	_, hs := newTestServer(t, BackendAWM)
+	doJSON(t, "POST", hs.URL+"/v1/update", UpdateRequest{
+		Example: &ExampleJSON{Y: 1, X: []FeatureJSON{{I: 3, V: 1}}},
+	}, nil)
+
+	resp, err := http.Post(hs.URL+"/v1/checkpoint/upload", "application/octet-stream",
+		bytes.NewReader([]byte("definitely not a checkpoint")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage upload: HTTP %d, want 400", resp.StatusCode)
+	}
+	// The old model must still be serving.
+	var st StatsResponse
+	if code := doJSON(t, "GET", hs.URL+"/v1/stats", nil, &st); code != 200 || st.Steps != 1 {
+		t.Fatalf("backend lost after rejected upload: code %d, %+v", code, st)
+	}
+}
+
+func newAuthServer(t *testing.T, token string) *httptest.Server {
+	t.Helper()
+	opt := testOptions(t, BackendAWM)
+	opt.AuthToken = token
+	srv, err := New(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		hs.Close()
+		_ = srv.Close()
+	})
+	return hs
+}
+
+// TestAuthTokenGatesMutatingEndpoints: without (or with a wrong) bearer
+// token every mutating endpoint must 401; with it, they work; read-only
+// endpoints stay open throughout.
+func TestAuthTokenGatesMutatingEndpoints(t *testing.T) {
+	const token = "sekrit-cluster-token"
+	hs := newAuthServer(t, token)
+
+	mutating := []struct {
+		method, path, ct, body string
+	}{
+		{"POST", "/v1/update", "application/json", `{"example":{"y":1,"x":[{"i":3,"v":1}]}}`},
+		{"POST", "/v1/update", "application/x-ndjson", `{"y":1,"x":[{"i":3,"v":1}]}`},
+		{"POST", "/v1/checkpoint", "application/json", `{"action":"save"}`},
+		{"POST", "/v1/checkpoint/upload", "application/octet-stream", "x"},
+	}
+	send := func(m, path, ct, body, auth string) int {
+		req, err := http.NewRequest(m, hs.URL+path, bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", ct)
+		if auth != "" {
+			req.Header.Set("Authorization", auth)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	for _, m := range mutating {
+		if code := send(m.method, m.path, m.ct, m.body, ""); code != http.StatusUnauthorized {
+			t.Fatalf("%s %s (%s) without token: HTTP %d, want 401", m.method, m.path, m.ct, code)
+		}
+		if code := send(m.method, m.path, m.ct, m.body, "Bearer wrong-token"); code != http.StatusUnauthorized {
+			t.Fatalf("%s %s with wrong token: HTTP %d, want 401", m.method, m.path, code)
+		}
+		if code := send(m.method, m.path, m.ct, m.body, "Basic "+token); code != http.StatusUnauthorized {
+			t.Fatalf("%s %s with non-bearer scheme: HTTP %d, want 401", m.method, m.path, code)
+		}
+	}
+	// The correct token unlocks updates (and the model actually trains).
+	if code := send("POST", "/v1/update", "application/json",
+		`{"example":{"y":1,"x":[{"i":3,"v":1}]}}`, "Bearer "+token); code != http.StatusOK {
+		t.Fatalf("authorized update: HTTP %d", code)
+	}
+	// Read-only endpoints never require the token.
+	for _, path := range []string{"/v1/stats", "/v1/topk?k=4", "/v1/estimate?i=3", "/healthz", "/v1/checkpoint/download"} {
+		resp, err := http.Get(hs.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("read-only %s with no token: HTTP %d", path, resp.StatusCode)
+		}
+	}
+}

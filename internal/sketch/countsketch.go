@@ -75,6 +75,11 @@ func (cs *CountSketch) Width() int { return cs.width }
 // Size returns the total number of buckets (depth × width).
 func (cs *CountSketch) Size() int { return cs.depth * cs.width }
 
+// Seed returns the hash seed. Sketches merge (and diff) only when their
+// shapes and seeds agree; replication layers check it before adopting
+// remote state.
+func (cs *CountSketch) Seed() int64 { return cs.seed }
+
 // Update adds delta to key's bucket in every row, multiplied by the row sign.
 func (cs *CountSketch) Update(key uint32, delta float64) {
 	if cs.depth == 1 {

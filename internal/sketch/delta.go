@@ -1,0 +1,98 @@
+package sketch
+
+import (
+	"fmt"
+	"math"
+)
+
+// Delta extraction and application for sketch replication.
+//
+// The WM-Sketch's linear mergeability makes whole-sketch exchange the
+// natural replication primitive, but a full snapshot resends every bucket
+// even when only a few changed since the receiver's last copy. Between two
+// versions of the *same* sketch the difference is typically sparse — a
+// gossip round that applied U updates touches at most U·nnz·depth buckets,
+// and a quiescent sketch touches none — so peers that remember which
+// version a receiver holds can ship only the changed buckets (the
+// delta-reconciliation idea of rateless-set-reconcile, specialized to the
+// dense-array case where positions are shared coordinates, not set
+// members).
+//
+// A BucketChange carries the bucket's *new value*, not an additive
+// increment: applying a change is idempotent, so a frame replayed by a
+// retrying peer cannot double-count. Applying the full change list from
+// Diff(base, cur) onto a bit-wise copy of base reconstructs cur exactly.
+
+// BucketChange records one changed bucket: its flat row-major index
+// (row·width + column) and its new value.
+type BucketChange struct {
+	Index uint32
+	Value float64
+}
+
+// Diff returns the buckets where cur differs from base, in ascending flat
+// index order, carrying cur's values. The two sketches must share shape and
+// seed; Diff on incompatible sketches returns an error. Bit-wise equality
+// is the comparison: a bucket that left and returned to its old value is
+// (correctly) not reported.
+func Diff(base, cur *CountSketch) ([]BucketChange, error) {
+	if err := compatible(base.depth, cur.depth, base.width, cur.width, base.seed, cur.seed); err != nil {
+		return nil, err
+	}
+	var changes []BucketChange
+	for j := range cur.rows {
+		b, c := base.rows[j], cur.rows[j]
+		off := uint32(j * cur.width)
+		for i := range c {
+			if c[i] != b[i] {
+				changes = append(changes, BucketChange{Index: off + uint32(i), Value: c[i]})
+			}
+		}
+	}
+	return changes, nil
+}
+
+// ApplyDiff sets each changed bucket to its new value. Indices are bounds-
+// checked and values NaN/Inf-rejected before any mutation, so a corrupt
+// frame leaves the sketch untouched. Changes must target the same shape the
+// diff was taken against; applying Diff(base, cur) to a copy of base yields
+// cur bit for bit.
+func (cs *CountSketch) ApplyDiff(changes []BucketChange) error {
+	size := uint32(cs.depth * cs.width)
+	for i, ch := range changes {
+		if ch.Index >= size {
+			return fmt.Errorf("sketch: delta change %d targets bucket %d, sketch has %d", i, ch.Index, size)
+		}
+		if math.IsNaN(ch.Value) || math.IsInf(ch.Value, 0) {
+			return fmt.Errorf("sketch: delta change %d (bucket %d) is non-finite", i, ch.Index)
+		}
+	}
+	w := uint32(cs.width)
+	for _, ch := range changes {
+		cs.rows[ch.Index/w][ch.Index%w] = ch.Value
+	}
+	return nil
+}
+
+// AddScaled adds c·other into cs bucket-wise: cs += c·other. With c == 1
+// the addition is performed without the multiply, so it is bit-identical to
+// Merge. Used by weighted parameter mixing (Σᵢ wᵢ·zᵢ, then one final
+// scale by 1/Σwᵢ). Shapes and seeds must match.
+func (cs *CountSketch) AddScaled(other *CountSketch, c float64) error {
+	if err := compatible(cs.depth, other.depth, cs.width, other.width, cs.seed, other.seed); err != nil {
+		return err
+	}
+	for j := range cs.rows {
+		dst, src := cs.rows[j], other.rows[j]
+		if c == 1 {
+			for b := range dst {
+				dst[b] += src[b]
+			}
+		} else {
+			for b := range dst {
+				dst[b] += c * src[b]
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,157 @@
+package sketch
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestDiffApplyReconstructsExactly drives a sketch through random updates,
+// diffs consecutive versions, and verifies that applying each diff to a
+// copy of the previous version reproduces the next version bit for bit —
+// the invariant cluster delta frames rely on.
+func TestDiffApplyReconstructsExactly(t *testing.T) {
+	for _, depth := range []int{1, 4} {
+		rng := rand.New(rand.NewSource(7))
+		cur := NewCountSketch(depth, 256, 42)
+		replica := NewCountSketch(depth, 256, 42)
+		prev := cur.Clone()
+		for round := 0; round < 20; round++ {
+			for i := 0; i < rng.Intn(300); i++ {
+				cur.Update(rng.Uint32()%4096, rng.NormFloat64())
+			}
+			changes, err := Diff(prev, cur)
+			if err != nil {
+				t.Fatalf("depth=%d: Diff: %v", depth, err)
+			}
+			if err := replica.ApplyDiff(changes); err != nil {
+				t.Fatalf("depth=%d: ApplyDiff: %v", depth, err)
+			}
+			for j := 0; j < depth; j++ {
+				got, want := replica.Row(j), cur.Row(j)
+				for b := range want {
+					if got[b] != want[b] {
+						t.Fatalf("depth=%d round=%d: replica row %d bucket %d = %v, want %v",
+							depth, round, j, b, got[b], want[b])
+					}
+				}
+			}
+			prev = cur.Clone()
+		}
+	}
+}
+
+// TestDiffAscendingAndMinimal checks ordering and that untouched buckets are
+// never reported.
+func TestDiffAscendingAndMinimal(t *testing.T) {
+	base := NewCountSketch(2, 64, 1)
+	cur := base.Clone()
+	cur.Update(5, 1.5)
+	cur.Update(99, -2.0)
+	changes, err := Diff(base, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each update touches one bucket per row: at most 4 changes (collisions
+	// can make it fewer).
+	if len(changes) == 0 || len(changes) > 4 {
+		t.Fatalf("got %d changes, want 1..4", len(changes))
+	}
+	for i := 1; i < len(changes); i++ {
+		if changes[i].Index <= changes[i-1].Index {
+			t.Fatalf("indices not strictly ascending: %v", changes)
+		}
+	}
+	// A value that returns to its base state must not appear.
+	cur2 := base.Clone()
+	cur2.Update(5, 1.5)
+	cur2.Update(5, -1.5)
+	changes, err = Diff(base, cur2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(changes) != 0 {
+		t.Fatalf("round-tripped bucket reported as changed: %v", changes)
+	}
+}
+
+func TestDiffIncompatible(t *testing.T) {
+	a := NewCountSketch(1, 64, 1)
+	if _, err := Diff(a, NewCountSketch(1, 128, 1)); err == nil {
+		t.Fatal("shape mismatch not rejected")
+	}
+	if _, err := Diff(a, NewCountSketch(1, 64, 2)); err == nil {
+		t.Fatal("seed mismatch not rejected")
+	}
+}
+
+func TestApplyDiffRejectsCorruptFrames(t *testing.T) {
+	cs := NewCountSketch(2, 64, 1)
+	cs.Update(3, 1.0)
+	snapshot := cs.Clone()
+
+	if err := cs.ApplyDiff([]BucketChange{{Index: 128, Value: 1}}); err == nil {
+		t.Fatal("out-of-range index not rejected")
+	}
+	if err := cs.ApplyDiff([]BucketChange{{Index: 0, Value: math.NaN()}}); err == nil {
+		t.Fatal("NaN value not rejected")
+	}
+	if err := cs.ApplyDiff([]BucketChange{{Index: 0, Value: math.Inf(1)}}); err == nil {
+		t.Fatal("Inf value not rejected")
+	}
+	// A rejected frame must leave the sketch untouched, even when valid
+	// changes precede the corrupt one.
+	if err := cs.ApplyDiff([]BucketChange{{Index: 1, Value: 9}, {Index: 999, Value: 1}}); err == nil {
+		t.Fatal("mixed frame not rejected")
+	}
+	for j := 0; j < 2; j++ {
+		got, want := cs.Row(j), snapshot.Row(j)
+		for b := range want {
+			if got[b] != want[b] {
+				t.Fatalf("rejected frame mutated row %d bucket %d", j, b)
+			}
+		}
+	}
+}
+
+// TestAddScaledMatchesMergeAtUnitScale pins the c == 1 fast path to Merge's
+// exact arithmetic: weighted mixing with equal weights must stay
+// bit-identical to the historical unweighted average.
+func TestAddScaledMatchesMergeAtUnitScale(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := NewCountSketch(3, 128, 5)
+	b := NewCountSketch(3, 128, 5)
+	for i := 0; i < 500; i++ {
+		a.Update(rng.Uint32()%1024, rng.NormFloat64())
+		b.Update(rng.Uint32()%1024, rng.NormFloat64())
+	}
+	viaMerge := a.Clone()
+	if err := viaMerge.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	viaAdd := a.Clone()
+	if err := viaAdd.AddScaled(b, 1); err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 3; j++ {
+		g, w := viaAdd.Row(j), viaMerge.Row(j)
+		for i := range w {
+			if g[i] != w[i] {
+				t.Fatalf("AddScaled(·, 1) diverges from Merge at row %d bucket %d", j, i)
+			}
+		}
+	}
+	// And the scaled path is plain arithmetic.
+	scaled := NewCountSketch(3, 128, 5)
+	if err := scaled.AddScaled(b, 0.25); err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 3; j++ {
+		g, src := scaled.Row(j), b.Row(j)
+		for i := range src {
+			if g[i] != 0.25*src[i] {
+				t.Fatalf("AddScaled(·, 0.25) wrong at row %d bucket %d", j, i)
+			}
+		}
+	}
+}

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json bench-serve serve-smoke cluster-smoke bench-cluster
+.PHONY: all build vet test race bench bench-json bench-serve serve-smoke cluster-smoke bench-cluster bench-sim fuzz-smoke
 
 all: vet build test
 
@@ -49,3 +49,16 @@ cluster-smoke:
 # (full-sync rounds vs delta rounds vs idle rounds) to BENCH_cluster.json.
 bench-cluster:
 	$(GO) run ./cmd/wmserve -cluster-smoke -cluster-json BENCH_cluster.json
+
+# Discrete-event robustness gate: 100 in-memory nodes under 10% message
+# loss, a 30-round partition, and 20% churn, fixed seed. Fails unless
+# survivors converge within the relative-error gate AND every churned-out
+# node's origin is GC'd to zero weight. Writes BENCH_sim.json. CI runs this.
+bench-sim:
+	$(GO) run ./cmd/wmserve -sim -sim-json BENCH_sim.json
+
+# Short fuzz pass over the gossip wire decoder: hostile byte streams must
+# be rejected cleanly (no panic, no unbounded allocation, CRC-verified
+# payloads). CI runs this from the seeded corpus.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzReadFrames -fuzztime 20s ./internal/cluster

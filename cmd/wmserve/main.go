@@ -18,6 +18,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -29,6 +30,7 @@ import (
 	"syscall"
 	"time"
 
+	"wmsketch/internal/cluster/sim"
 	"wmsketch/internal/core"
 	"wmsketch/internal/server"
 )
@@ -64,6 +66,10 @@ func main() {
 		nodeID         = flag.String("node-id", "", "cluster: this node's unique id (default: this node's advertised http://addr)")
 		gossipInterval = flag.Duration("gossip-interval", 2*time.Second, "cluster: anti-entropy round cadence")
 		clusterHistory = flag.Int("cluster-history", 8, "cluster: snapshot versions kept as delta bases before falling back to full sync")
+		gossipTimeout  = flag.Duration("gossip-timeout", 10*time.Second, "cluster: wall-clock budget for one peer's gossip round (negative disables the deadline)")
+		gossipFanout   = flag.Int("gossip-fanout", 0, "cluster: peers sampled per round (0 = log2 of the peer count, negative = full sweep)")
+		originGC       = flag.Duration("origin-gc", 15*time.Minute, "cluster: idle age before a departed node's model decays out of the served mix (negative disables)")
+		chaosSpec      = flag.String("chaos", "", "cluster: fault-inject outbound gossip, e.g. drop=0.1,dup=0.05,corrupt=0.01,delay=50ms,seed=7 (testing only)")
 
 		loadgen  = flag.Bool("loadgen", false, "run the load generator instead of serving")
 		target   = flag.String("target", "", "loadgen: drive this URL instead of a self-hosted server")
@@ -77,6 +83,11 @@ func main() {
 		clusterSmoke = flag.Bool("cluster-smoke", false, "run the multi-node convergence self-test and exit (CI runs this)")
 		clusterNodes = flag.Int("cluster-nodes", 3, "cluster-smoke: number of in-process nodes")
 		clusterJSON  = flag.String("cluster-json", "BENCH_cluster.json", "cluster-smoke: write the convergence/bytes report here ('' disables)")
+
+		simMode  = flag.Bool("sim", false, "run the discrete-event cluster simulation (100 nodes, loss+partition+churn) and exit (CI runs this)")
+		simNodes = flag.Int("sim-nodes", 0, "sim: fleet size override (0 = the standard 100-node acceptance scenario)")
+		simSeed  = flag.Int64("sim-seed", 0, "sim: scenario seed override (0 = the standard fixed seed)")
+		simJSON  = flag.String("sim-json", "BENCH_sim.json", "sim: write the report here ('' disables)")
 	)
 	flag.Parse()
 
@@ -103,14 +114,24 @@ func main() {
 			self = "http://" + *addr
 		}
 		opt.Cluster = server.ClusterOptions{
-			Self:         self,
-			Peers:        splitPeers(*peers),
-			Interval:     *gossipInterval,
-			HistoryDepth: *clusterHistory,
+			Self:          self,
+			Peers:         splitPeers(*peers),
+			Interval:      *gossipInterval,
+			HistoryDepth:  *clusterHistory,
+			GossipTimeout: *gossipTimeout,
+			Fanout:        *gossipFanout,
+			OriginGCAfter: *originGC,
+			Chaos:         *chaosSpec,
 		}
 	}
 
 	switch {
+	case *simMode:
+		if err := runSim(*simNodes, *simSeed, *simJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "sim: FAIL:", err)
+			os.Exit(1)
+		}
+		fmt.Println("sim: ok")
 	case *clusterSmoke:
 		err := server.ClusterSmoke(opt, server.ClusterSmokeOptions{
 			Nodes:    *clusterNodes,
@@ -156,6 +177,46 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// runSim drives the discrete-event cluster simulation (loss + partition +
+// churn under a fixed seed), writes the report, and fails when the fleet
+// does not converge — the CI robustness gate.
+func runSim(nodes int, seed int64, jsonPath string) error {
+	sc := sim.Default100()
+	if nodes > 0 {
+		sc.Nodes = nodes
+	}
+	if seed != 0 {
+		sc.Seed = seed
+	}
+	sc.Logf = func(format string, args ...interface{}) {
+		fmt.Printf(format+"\n", args...)
+	}
+	rep, err := sim.Run(sc)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("sim: %d live / %d dead nodes, %d RPCs (%d dropped, %d partition-refused, %d corrupted), %.1f MB on wire\n",
+		rep.LiveNodes, rep.DeadNodes, rep.RPCs, rep.Dropped, rep.PartitionRefusals, rep.Corrupted,
+		float64(rep.BytesOnWire)/1e6)
+	fmt.Printf("sim: max rel err %.4g (gate %.2f), %d/%d fully synced, max dead-origin weight %g, %d origins GCed\n",
+		rep.MaxRelErr, sim.RelErrGate, rep.FullySynced, rep.LiveNodes, rep.MaxDeadWeight, rep.OriginsGCed)
+	if jsonPath != "" {
+		blob, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Println("wrote", jsonPath)
+	}
+	if !rep.Converged {
+		return fmt.Errorf("fleet did not converge: max rel err %.4g, max dead-origin weight %g",
+			rep.MaxRelErr, rep.MaxDeadWeight)
+	}
+	return nil
 }
 
 func serve(opt server.Options, addr string, restore bool) error {

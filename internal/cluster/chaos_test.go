@@ -1,0 +1,164 @@
+package cluster
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// recordingRT is a scriptable http.RoundTripper that records requests and
+// answers each with a fixed body.
+type recordingRT struct {
+	calls  int
+	bodies []string // request bodies seen
+	reply  string
+}
+
+func (r *recordingRT) RoundTrip(req *http.Request) (*http.Response, error) {
+	r.calls++
+	if req.Body != nil {
+		b, _ := io.ReadAll(req.Body)
+		req.Body.Close()
+		r.bodies = append(r.bodies, string(b))
+	}
+	return &http.Response{
+		StatusCode: http.StatusOK,
+		Body:       io.NopCloser(strings.NewReader(r.reply)),
+		Header:     make(http.Header),
+	}, nil
+}
+
+func chaosReq(t *testing.T, host, body string) *http.Request {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, "http://"+host+"/v1/cluster/pull", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return req
+}
+
+func TestChaosDropAndPartition(t *testing.T) {
+	base := &recordingRT{reply: "ok"}
+	ct := NewChaosTransport(base, ChaosConfig{
+		Seed: 42, Drop: 1,
+		Partition: func(host string) bool { return host == "cut:1" },
+	})
+	if _, err := ct.RoundTrip(chaosReq(t, "cut:1", "")); err == nil {
+		t.Fatal("partitioned host reachable")
+	}
+	if _, err := ct.RoundTrip(chaosReq(t, "up:1", "")); err == nil {
+		t.Fatal("drop=1 let a request through")
+	}
+	if base.calls != 0 {
+		t.Fatalf("faulted requests reached the base transport %d times", base.calls)
+	}
+	st := ct.Stats()
+	if st.Dropped != 1 || st.Partitioned != 1 {
+		t.Fatalf("stats %+v, want 1 dropped + 1 partitioned", st)
+	}
+}
+
+func TestChaosDuplicateReplaysBody(t *testing.T) {
+	base := &recordingRT{reply: "ok"}
+	ct := NewChaosTransport(base, ChaosConfig{Seed: 7, Dup: 1})
+	resp, err := ct.RoundTrip(chaosReq(t, "up:1", "payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if base.calls != 2 {
+		t.Fatalf("dup=1 sent %d requests, want 2", base.calls)
+	}
+	if len(base.bodies) != 2 || base.bodies[0] != "payload" || base.bodies[1] != "payload" {
+		t.Fatalf("duplicated bodies %q, want two copies of the payload", base.bodies)
+	}
+	if st := ct.Stats(); st.Duplicated != 1 {
+		t.Fatalf("stats %+v, want 1 duplicated", st)
+	}
+}
+
+// TestChaosCorruptionRejectedByDecoder: a corrupted frame stream must fail
+// frame decoding, never be ingested.
+func TestChaosCorruptionRejectedByDecoder(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := WriteFrames(&buf, []Frame{{Kind: kindDigest, Digest: map[string]int64{"a": 3}}}); err != nil {
+		t.Fatal(err)
+	}
+	clean := buf.String()
+	base := &recordingRT{reply: clean}
+	ct := NewChaosTransport(base, ChaosConfig{Seed: 3, Corrupt: 1})
+	resp, err := ct.RoundTrip(chaosReq(t, "up:1", ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(body) == clean {
+		t.Fatal("corrupt=1 left the body intact")
+	}
+	if _, err := ReadFrames(bytes.NewReader(body)); err == nil {
+		// Flips in the header break magic/version/kind checks; flips in the
+		// payload or trailer fail the per-frame CRC.
+		t.Fatal("decoder accepted a corrupted stream")
+	}
+}
+
+// TestChaosDeterministicSchedule: the same seed produces the same
+// drop/pass schedule; a different seed produces a different one.
+func TestChaosDeterministicSchedule(t *testing.T) {
+	schedule := func(seed int64) string {
+		ct := NewChaosTransport(&recordingRT{reply: "ok"}, ChaosConfig{Seed: seed, Drop: 0.5})
+		var sb strings.Builder
+		for i := 0; i < 64; i++ {
+			if resp, err := ct.RoundTrip(chaosReq(t, "up:1", "")); err != nil {
+				sb.WriteByte('x')
+			} else {
+				resp.Body.Close()
+				sb.WriteByte('.')
+			}
+		}
+		return sb.String()
+	}
+	a, b := schedule(11), schedule(11)
+	if a != b {
+		t.Fatalf("same seed, different schedules:\n%s\n%s", a, b)
+	}
+	if c := schedule(12); c == a {
+		t.Fatalf("different seeds produced the same 64-request schedule")
+	}
+	if !strings.Contains(a, "x") || !strings.Contains(a, ".") {
+		t.Fatalf("drop=0.5 schedule is degenerate: %s", a)
+	}
+}
+
+func TestParseChaos(t *testing.T) {
+	cfg, err := ParseChaos("drop=0.1,dup=0.05,corrupt=0.01,delay=50ms,delayp=0.5,seed=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Drop != 0.1 || cfg.Dup != 0.05 || cfg.Corrupt != 0.01 ||
+		cfg.Delay != 50*time.Millisecond || cfg.DelayProb != 0.5 || cfg.Seed != 7 {
+		t.Fatalf("parsed %+v", cfg)
+	}
+	// delay alone implies delayp=1.
+	cfg, err = ParseChaos("delay=10ms")
+	if err != nil || cfg.DelayProb != 1 {
+		t.Fatalf("bare delay: %+v, %v", cfg, err)
+	}
+	for _, bad := range []string{"drop=2", "drop=-1", "delay=xyz", "nope=1", "drop"} {
+		if _, err := ParseChaos(bad); err == nil {
+			t.Fatalf("ParseChaos(%q) accepted garbage", bad)
+		}
+	}
+	// ChaosConfig holds a func field, so compare the parsed fields directly.
+	if cfg, err := ParseChaos(""); err != nil || cfg.Drop != 0 || cfg.Dup != 0 ||
+		cfg.Corrupt != 0 || cfg.Delay != 0 || cfg.DelayProb != 0 || cfg.Seed != 0 {
+		t.Fatalf("empty spec: %+v, %v", cfg, err)
+	}
+}

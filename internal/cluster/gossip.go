@@ -2,10 +2,9 @@ package cluster
 
 import (
 	"bytes"
-	"encoding/json"
+	"context"
 	"fmt"
 	"io"
-	"net/http"
 	"sort"
 	"sync"
 	"time"
@@ -47,20 +46,33 @@ type peerState struct {
 	url string
 
 	mu           sync.Mutex
+	state        PeerLiveness
 	rounds       int64
 	failures     int64 // consecutive
 	totalFails   int64
 	lastError    string
 	lastSuccess  time.Time
+	lastOK       time.Time // last success, or boot time — the dead clock's epoch
 	backoffUntil time.Time
 	bytesIn      int64
 	bytesOut     int64
 	framesIn     int64
 	framesOut    int64
+	// fullRetries counts consecutive rounds that needed an inline full
+	// re-pull; past maxInlineFullRetries the re-pull is deferred to the
+	// next round's digest instead (forceFull), so a flapping peer cannot
+	// double every round's cost forever.
+	fullRetries int
+	forceFull   map[string]bool
 }
 
 // maxBackoff caps the per-peer retry backoff.
 const maxBackoff = time.Minute
+
+// maxInlineFullRetries bounds how many consecutive rounds may re-pull
+// inline for missing delta bases before the re-pull is deferred to the
+// next round's digest.
+const maxInlineFullRetries = 2
 
 // Start launches the background gossip loop (no-op when Interval < 0 or
 // there are no peers). Close stops it.
@@ -92,23 +104,19 @@ func (n *Node) Close() {
 	n.wg.Wait()
 }
 
-// GossipOnce runs one full round: publish the local model, then reconcile
-// with every peer whose backoff window has passed. It returns the number
-// of peers successfully reconciled. Tests and the smoke harness call it
-// directly for deterministic rounds.
+// GossipOnce runs one round: publish the local model, sweep the origin GC,
+// then reconcile with a random sample of live peers (plus an occasional
+// dead-peer probe). It returns the number of peers successfully
+// reconciled. Tests, the smoke harness, and the simulator call it directly
+// for deterministic rounds.
 func (n *Node) GossipOnce() int {
 	n.rounds.Add(1)
 	if _, _, err := n.PublishLocal(); err != nil {
 		n.cfg.Logf("cluster: publish: %v", err)
 	}
+	n.sweepOrigins()
 	ok := 0
-	for _, p := range n.peers {
-		p.mu.Lock()
-		wait := time.Until(p.backoffUntil)
-		p.mu.Unlock()
-		if wait > 0 {
-			continue
-		}
+	for _, p := range n.samplePeers() {
 		if err := n.gossipPeer(p); err != nil {
 			n.peerFailed(p, err)
 		} else {
@@ -120,6 +128,7 @@ func (n *Node) GossipOnce() int {
 }
 
 func (n *Node) peerFailed(p *peerState, err error) {
+	now := n.cfg.Now()
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.failures++
@@ -135,47 +144,96 @@ func (n *Node) peerFailed(p *peerState, err error) {
 	if backoff > maxBackoff {
 		backoff = maxBackoff
 	}
-	p.backoffUntil = time.Now().Add(backoff)
+	p.backoffUntil = now.Add(backoff)
+	if st := n.classifyLocked(p, now); st != p.state {
+		n.cfg.Logf("cluster: peer %s %s -> %s", p.url, p.state, st)
+		p.state = st
+	}
 	n.cfg.Logf("cluster: peer %s failed (%d consecutive, next attempt in %s): %v",
 		p.url, p.failures, backoff.Round(time.Millisecond), err)
 }
 
 func (n *Node) peerSucceeded(p *peerState) {
+	now := n.cfg.Now()
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if p.state != PeerAlive {
+		n.cfg.Logf("cluster: peer %s %s -> alive", p.url, p.state)
+	}
+	p.state = PeerAlive
 	p.rounds++
 	p.failures = 0
 	p.lastError = ""
-	p.lastSuccess = time.Now()
+	p.lastSuccess = now
+	p.lastOK = now
 	p.backoffUntil = time.Time{}
 }
 
-// gossipPeer reconciles with one peer: pull, apply, push back.
+// gossipPeer reconciles with one peer: pull, apply, push back. The whole
+// round shares one context deadline (RPCTimeout), so a stalled peer costs
+// bounded wall time however many RPCs the round needs.
 func (n *Node) gossipPeer(p *peerState) error {
-	res, err := n.pull(p, n.Digest())
+	ctx := context.Background()
+	if n.cfg.RPCTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, n.cfg.RPCTimeout)
+		defer cancel()
+	}
+	digest := n.Digest()
+	// Origins whose inline re-pull was deferred last round: zero their
+	// digest entries so this round's single pull fetches fulls.
+	p.mu.Lock()
+	for origin := range p.forceFull {
+		digest[origin] = 0
+	}
+	p.forceFull = nil
+	p.mu.Unlock()
+	res, err := n.pull(ctx, p, digest)
 	if err != nil {
 		return err
 	}
 	// Deltas whose base we lack: re-pull those origins with a zeroed digest
-	// entry, which forces full frames.
+	// entry, which forces full frames — but only a bounded number of rounds
+	// in a row. A peer that keeps flapping gets its fulls folded into the
+	// next round's pull instead of doubling this round's cost again.
 	if len(res.NeedFull) > 0 {
-		retry := n.Digest()
-		for _, origin := range res.NeedFull {
-			retry[origin] = 0
-		}
-		if r2, err := n.pull(p, retry); err == nil {
-			if r2.TheirDigest != nil {
-				res.TheirDigest = r2.TheirDigest
+		p.mu.Lock()
+		p.fullRetries++
+		deferred := p.fullRetries > maxInlineFullRetries
+		if deferred {
+			if p.forceFull == nil {
+				p.forceFull = make(map[string]bool, len(res.NeedFull))
 			}
-		} else {
-			return fmt.Errorf("full re-pull: %w", err)
+			for _, origin := range res.NeedFull {
+				p.forceFull[origin] = true
+			}
 		}
+		p.mu.Unlock()
+		if deferred {
+			n.retriesDeferred.Add(1)
+		} else {
+			retry := n.Digest()
+			for _, origin := range res.NeedFull {
+				retry[origin] = 0
+			}
+			if r2, err := n.pull(ctx, p, retry); err == nil {
+				if r2.TheirDigest != nil {
+					res.TheirDigest = r2.TheirDigest
+				}
+			} else {
+				return fmt.Errorf("full re-pull: %w", err)
+			}
+		}
+	} else {
+		p.mu.Lock()
+		p.fullRetries = 0
+		p.mu.Unlock()
 	}
 	// Push back whatever the peer is missing.
 	if res.TheirDigest != nil {
 		frames := n.BuildFrames(res.TheirDigest, false)
 		if len(frames) > 0 {
-			if err := n.push(p, frames); err != nil {
+			if err := n.push(ctx, p, frames); err != nil {
 				return fmt.Errorf("push: %w", err)
 			}
 		}
@@ -183,29 +241,17 @@ func (n *Node) gossipPeer(p *peerState) error {
 	return nil
 }
 
-// pull POSTs our digest and applies the peer's response frames.
-func (n *Node) pull(p *peerState, digest map[string]int64) (ApplyResult, error) {
-	body, err := json.Marshal(PullRequest{From: n.cfg.Self, Digest: digest})
+// pull sends our digest over the transport and applies the peer's response
+// frames.
+func (n *Node) pull(ctx context.Context, p *peerState, digest map[string]int64) (ApplyResult, error) {
+	rc, err := n.cfg.Transport.Pull(ctx, p.url, PullRequest{From: n.cfg.Self, Digest: digest})
 	if err != nil {
 		return ApplyResult{}, err
 	}
-	req, err := http.NewRequest(http.MethodPost, p.url+"/v1/cluster/pull", bytes.NewReader(body))
-	if err != nil {
-		return ApplyResult{}, err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := n.cfg.Client.Do(req)
-	if err != nil {
-		return ApplyResult{}, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return ApplyResult{}, fmt.Errorf("pull: HTTP %d: %s", resp.StatusCode, msg)
-	}
+	defer rc.Close()
 	// Decode straight off the wire — a full sync of a large model must not
 	// be buffered whole just to count its bytes.
-	cr := &countingReader{r: io.LimitReader(resp.Body, maxPullBytes)}
+	cr := &countingReader{r: io.LimitReader(rc, maxPullBytes)}
 	frames, err := ReadFrames(cr)
 	if err != nil {
 		return ApplyResult{}, err
@@ -232,29 +278,15 @@ func (c *countingReader) Read(p []byte) (int, error) {
 	return n, err
 }
 
-// push POSTs frames the peer is missing.
-func (n *Node) push(p *peerState, frames []Frame) error {
+// push sends frames the peer is missing over the transport.
+func (n *Node) push(ctx context.Context, p *peerState, frames []Frame) error {
 	var buf bytes.Buffer
 	nBytes, err := WriteFrames(&buf, frames)
 	if err != nil {
 		return err
 	}
-	req, err := http.NewRequest(http.MethodPost, p.url+"/v1/cluster/push", &buf)
-	if err != nil {
+	if err := n.cfg.Transport.Push(ctx, p.url, buf.Bytes()); err != nil {
 		return err
-	}
-	req.Header.Set("Content-Type", "application/octet-stream")
-	if n.cfg.AuthToken != "" {
-		req.Header.Set("Authorization", "Bearer "+n.cfg.AuthToken)
-	}
-	resp, err := n.cfg.Client.Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return fmt.Errorf("HTTP %d: %s", resp.StatusCode, msg)
 	}
 	n.bytesOut.Add(nBytes)
 	n.framesOut.Add(int64(len(frames)))
@@ -270,6 +302,7 @@ func (n *Node) push(p *peerState, frames []Frame) error {
 // PeerStatus is one peer's round state as reported by /v1/cluster/status.
 type PeerStatus struct {
 	URL                 string    `json:"url"`
+	State               string    `json:"state"`
 	Rounds              int64     `json:"rounds"`
 	ConsecutiveFailures int64     `json:"consecutive_failures"`
 	TotalFailures       int64     `json:"total_failures"`
@@ -288,6 +321,11 @@ type OriginStatus struct {
 	Version int64  `json:"version"`
 	Steps   int64  `json:"steps"`
 	Heavy   int    `json:"heavy"`
+	// GCFactor is the origin's current mix-weight factor: 1 fresh, in
+	// (0,1) on the decay ramp, 0 tombstoned.
+	GCFactor float64 `json:"gc_factor"`
+	// Gone marks a tombstoned origin (version retained, snapshot freed).
+	Gone bool `json:"gone,omitempty"`
 }
 
 // Status is the /v1/cluster/status document.
@@ -308,6 +346,14 @@ type Status struct {
 	DeltasIn       int64 `json:"deltas_in"`
 	StaleDropped   int64 `json:"stale_dropped"`
 	RejectedFrames int64 `json:"rejected_frames"`
+	// OriginsGCed counts origins tombstoned by the age-based GC;
+	// RetriesDeferred counts rounds where the inline full re-pull was
+	// pushed to the next round's digest instead.
+	OriginsGCed     int64 `json:"origins_gced"`
+	RetriesDeferred int64 `json:"retries_deferred"`
+
+	// Health is the membership summary also surfaced by /healthz.
+	Health Health `json:"health"`
 }
 
 // Status snapshots the node's replication state.
@@ -323,9 +369,13 @@ func (n *Node) Status() Status {
 		DeltasOut:      n.deltasOut.Load(),
 		FullsIn:        n.fullsIn.Load(),
 		DeltasIn:       n.deltasIn.Load(),
-		StaleDropped:   n.staleDropped.Load(),
-		RejectedFrames: n.rejectedFrames.Load(),
+		StaleDropped:    n.staleDropped.Load(),
+		RejectedFrames:  n.rejectedFrames.Load(),
+		OriginsGCed:     n.originsGCed.Load(),
+		RetriesDeferred: n.retriesDeferred.Load(),
+		Health:          n.Health(),
 	}
+	now := n.cfg.Now()
 	n.mu.Lock()
 	ids := make([]string, 0, len(n.origins))
 	for id := range n.origins {
@@ -336,6 +386,7 @@ func (n *Node) Status() Status {
 		o := n.origins[id]
 		st.Origins = append(st.Origins, OriginStatus{
 			ID: o.id, Version: o.version, Steps: o.snap.Steps, Heavy: len(o.snap.Heavy),
+			GCFactor: n.originFactorLocked(o, now), Gone: o.gone,
 		})
 		if id == n.cfg.Self {
 			st.Version = o.version
@@ -346,6 +397,7 @@ func (n *Node) Status() Status {
 		p.mu.Lock()
 		st.Peers = append(st.Peers, PeerStatus{
 			URL:                 p.url,
+			State:               p.state.String(),
 			Rounds:              p.rounds,
 			ConsecutiveFailures: p.failures,
 			TotalFailures:       p.totalFails,

@@ -2,6 +2,8 @@ package cluster
 
 import (
 	"fmt"
+	"hash/fnv"
+	"math/rand"
 	"net/http"
 	"sort"
 	"sync"
@@ -40,8 +42,47 @@ type Config struct {
 	// requests (the receiving node's -auth-token must match).
 	AuthToken string
 	// Client is the HTTP client used for gossip; nil selects a client with
-	// a 15s timeout.
+	// a 15s timeout (a coarse backstop — per-round deadlines come from
+	// RPCTimeout).
 	Client *http.Client
+	// RPCTimeout bounds one peer round's RPCs: pull, the bounded full
+	// re-pull, and the push-back share a single context deadline, so a
+	// stalled peer costs at most this much wall time per round. 0 selects
+	// 10s; negative disables the deadline (the Client timeout still
+	// applies per request).
+	RPCTimeout time.Duration
+	// Fanout is how many peers each round samples. 0 selects
+	// ⌈log₂(N+1)⌉ with a floor of 3 (so clusters of ≤3 peers keep full
+	// sweeps); negative forces a full sweep of every peer.
+	Fanout int
+	// SuspectAfter is the consecutive-failure count that marks a peer
+	// suspect. 0 selects 3.
+	SuspectAfter int
+	// DeadAfter is how long a failing peer goes without a successful round
+	// before it is declared dead and leaves the sampling pool (it is still
+	// probed occasionally so a rejoin is noticed). 0 selects
+	// max(30s, 10×Interval).
+	DeadAfter time.Duration
+	// OriginGCAfter is the idle age (no version advance) past which an
+	// origin's mix weight starts decaying toward zero, so departed nodes
+	// fade from the served model instead of freezing into it. 0 selects
+	// 15m; negative disables origin GC.
+	OriginGCAfter time.Duration
+	// OriginGCDecay is the width of the linear decay ramp from full weight
+	// to tombstoned. 0 selects OriginGCAfter/2.
+	OriginGCDecay time.Duration
+	// Seed drives peer sampling and dead-peer probing. 0 derives a seed
+	// from Self, so distinct nodes sample distinct sequences and a fixed
+	// (Self, Seed) pair replays deterministically.
+	Seed int64
+	// Now is the clock; nil selects time.Now. Tests and the discrete-event
+	// simulator inject virtual clocks here, which is what makes membership
+	// timing (backoff, suspect/dead promotion, origin GC) drivable without
+	// wall-clock sleeps.
+	Now func() time.Time
+	// Transport carries gossip RPCs; nil selects HTTP via Client, with
+	// AuthToken on pushes.
+	Transport Transport
 	// Logf receives gossip diagnostics; nil discards them.
 	Logf func(format string, args ...interface{})
 }
@@ -68,6 +109,35 @@ func (c *Config) fill() error {
 	if c.Client == nil {
 		c.Client = &http.Client{Timeout: 15 * time.Second}
 	}
+	if c.RPCTimeout == 0 {
+		c.RPCTimeout = 10 * time.Second
+	}
+	if c.SuspectAfter <= 0 {
+		c.SuspectAfter = 3
+	}
+	if c.DeadAfter == 0 {
+		c.DeadAfter = 10 * c.Interval
+		if c.DeadAfter < 30*time.Second {
+			c.DeadAfter = 30 * time.Second
+		}
+	}
+	if c.OriginGCAfter == 0 {
+		c.OriginGCAfter = 15 * time.Minute
+	}
+	if c.OriginGCDecay <= 0 {
+		c.OriginGCDecay = c.OriginGCAfter / 2
+	}
+	if c.Seed == 0 {
+		h := fnv.New64a()
+		_, _ = h.Write([]byte(c.Self))
+		c.Seed = int64(h.Sum64())
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	if c.Transport == nil {
+		c.Transport = httpTransport{client: c.Client, authToken: c.AuthToken}
+	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...interface{}) {}
 	}
@@ -81,12 +151,24 @@ type versioned struct {
 }
 
 // originState is everything known about one node's model: the current
-// snapshot plus a bounded history of recent versions kept as delta bases.
+// snapshot plus a bounded history of recent versions kept as delta bases,
+// and the GC bookkeeping that ages it out of the mix once it stops
+// advancing.
 type originState struct {
 	id      string
 	version int64
 	snap    core.Snapshot
 	history []versioned // ascending version, ≤ HistoryDepth entries, includes current
+	// lastAdvance is when this node last adopted a NEW version of the
+	// origin (local observation time — frames carry no timestamps).
+	lastAdvance time.Time
+	// gone marks a tombstone: the snapshot is freed and the origin mixes at
+	// zero weight, but the version is retained so peers cannot gossip the
+	// dead state back. A genuinely newer version revives it.
+	gone bool
+	// factorQ is the quantized GC factor at the last view rebuild, used to
+	// re-dirty the view only when the decay ramp has moved perceptibly.
+	factorQ uint8
 }
 
 func (o *originState) baseFor(version int64) (core.Snapshot, bool) {
@@ -98,9 +180,11 @@ func (o *originState) baseFor(version int64) (core.Snapshot, bool) {
 	return core.Snapshot{}, false
 }
 
-func (o *originState) adopt(version int64, snap core.Snapshot, depth int) {
+func (o *originState) adopt(version int64, snap core.Snapshot, depth int, now time.Time) {
 	o.version = version
 	o.snap = snap
+	o.lastAdvance = now
+	o.gone = false
 	o.history = append(o.history, versioned{version: version, snap: snap})
 	if len(o.history) > depth {
 		o.history = o.history[len(o.history)-depth:]
@@ -116,8 +200,17 @@ type Node struct {
 	mu      sync.Mutex // guards origins and view rebuild
 	origins map[string]*originState
 	view    atomic.Pointer[core.Mixed]
+	// viewDirty marks the served view stale; View() rebuilds lazily, so a
+	// burst of applied frames (or a 100-node simulator round) costs one
+	// re-mix at the next query instead of one per frame batch.
+	viewDirty atomic.Bool
 
 	peers []*peerState
+
+	// rng drives peer sampling and dead-peer probing, seeded from
+	// cfg.Seed for deterministic replay; rmu serializes access.
+	rmu sync.Mutex
+	rng *rand.Rand
 
 	stop     chan struct{}
 	wg       sync.WaitGroup
@@ -136,6 +229,8 @@ type Node struct {
 	deltasIn       atomic.Int64
 	staleDropped   atomic.Int64
 	rejectedFrames atomic.Int64
+	originsGCed    atomic.Int64
+	retriesDeferred atomic.Int64
 }
 
 // NewNode validates cfg and assembles a node. The gossip loop starts on
@@ -148,9 +243,13 @@ func NewNode(cfg Config) (*Node, error) {
 		cfg:     cfg,
 		origins: make(map[string]*originState),
 		stop:    make(chan struct{}),
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
 	}
+	now := cfg.Now()
 	for _, u := range cfg.Peers {
-		n.peers = append(n.peers, &peerState{url: u})
+		// lastOK starts at boot time so a peer that never answers is
+		// promoted dead by the DeadAfter clock, not instantly at start.
+		n.peers = append(n.peers, &peerState{url: u, lastOK: now})
 	}
 	n.view.Store(core.EmptyMixed(cfg.Mix))
 	return n, nil
@@ -160,8 +259,18 @@ func NewNode(cfg Config) (*Node, error) {
 func (n *Node) Self() string { return n.cfg.Self }
 
 // View returns the current merged model over every known origin (self
-// included). It refreshes after each publish and each applied frame.
-func (n *Node) View() *core.Mixed { return n.view.Load() }
+// included), weighted by example count and faded by origin-GC age. The
+// view rebuilds lazily on first access after any state change.
+func (n *Node) View() *core.Mixed {
+	if n.viewDirty.Load() {
+		n.mu.Lock()
+		if n.viewDirty.Load() {
+			n.rebuildViewLocked()
+		}
+		n.mu.Unlock()
+	}
+	return n.view.Load()
+}
 
 // PublishLocal snapshots the local learner and, when it has progressed,
 // installs it as this origin's newest version. Returns the current version
@@ -188,8 +297,8 @@ func (n *Node) PublishLocal() (int64, bool, error) {
 	if sn.Steps <= self.version {
 		return self.version, false, nil
 	}
-	self.adopt(sn.Steps, sn, n.cfg.HistoryDepth)
-	n.rebuildViewLocked()
+	self.adopt(sn.Steps, sn, n.cfg.HistoryDepth, n.cfg.Now())
+	n.viewDirty.Store(true)
 	return self.version, true, nil
 }
 
@@ -228,6 +337,11 @@ func (n *Node) BuildFrames(theirs map[string]int64, includeDigest bool) []Frame 
 	sort.Strings(ids)
 	for _, id := range ids {
 		o := n.origins[id]
+		// Tombstoned origins have no snapshot to serve; the digest still
+		// carries their version so peers do not push the dead state back.
+		if o.gone {
+			continue
+		}
 		acked := theirs[id]
 		if o.version <= acked {
 			continue
@@ -343,11 +457,11 @@ func (n *Node) ApplyFrames(frames []Frame) ApplyResult {
 			o = &originState{id: f.Origin}
 			n.origins[f.Origin] = o
 		}
-		o.adopt(f.Version, snap, n.cfg.HistoryDepth)
+		o.adopt(f.Version, snap, n.cfg.HistoryDepth, n.cfg.Now())
 		res.Applied++
 	}
 	if res.Applied > 0 {
-		n.rebuildViewLocked()
+		n.viewDirty.Store(true)
 		res.Changed = true
 	}
 	return res
@@ -379,13 +493,25 @@ func applyDelta(base core.Snapshot, f *Frame) (core.Snapshot, error) {
 	return core.Snapshot{Origin: f.Origin, CS: cs, Scale: f.Scale, Heavy: heavy, Steps: f.Version}, nil
 }
 
-// rebuildViewLocked re-mixes every origin's current snapshot. Caller holds
-// n.mu.
+// rebuildViewLocked re-mixes every origin's current snapshot, weighting
+// each by its example count times its origin-GC factor (tombstoned and
+// fully-decayed origins contribute nothing). Caller holds n.mu.
 func (n *Node) rebuildViewLocked() {
+	now := n.cfg.Now()
 	snaps := make([]core.Snapshot, 0, len(n.origins))
 	for _, o := range n.origins {
-		snaps = append(snaps, o.snap)
+		f := n.originFactorLocked(o, now)
+		o.factorQ = quantizeFactor(f)
+		if f <= 0 {
+			continue
+		}
+		sn := o.snap
+		sn.WeightFactor = f
+		snaps = append(snaps, sn)
 	}
+	// Clear the dirty bit even on the (unreachable) mix error below, so a
+	// poisoned state cannot spin the rebuild on every query.
+	n.viewDirty.Store(false)
 	v, err := core.MixSnapshots(snaps, n.cfg.Mix)
 	if err != nil {
 		// Unreachable: geometry is validated at frame ingest. Keep the old
@@ -394,6 +520,21 @@ func (n *Node) rebuildViewLocked() {
 		return
 	}
 	n.view.Store(v)
+}
+
+// OriginMixWeights reports each known origin's effective mixing weight
+// (Steps × GC factor; zero once decayed or tombstoned) at the current
+// clock — the observable the simulator's GC assertions are written
+// against.
+func (n *Node) OriginMixWeights() map[string]float64 {
+	now := n.cfg.Now()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make(map[string]float64, len(n.origins))
+	for id, o := range n.origins {
+		out[id] = float64(o.snap.Steps) * n.originFactorLocked(o, now)
+	}
+	return out
 }
 
 // diffHeavy computes the set difference between two canonical heavy lists:

@@ -1,0 +1,118 @@
+package sim
+
+import (
+	"testing"
+)
+
+// TestFaultFreeFleetConvergesExactly: with no faults, after training stops
+// and the fleet quiesces, every node's served view is bit-identical to the
+// union baseline — gossip mixing is exact, not approximate.
+func TestFaultFreeFleetConvergesExactly(t *testing.T) {
+	rep, err := Run(Scenario{
+		Nodes:       16,
+		Rounds:      40,
+		TrainRounds: 25,
+		Seed:        3,
+		Logf:        t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FullySynced != rep.LiveNodes {
+		t.Fatalf("only %d/%d nodes fully synced with no faults", rep.FullySynced, rep.LiveNodes)
+	}
+	if rep.MaxRelErr != 0 {
+		t.Fatalf("fault-free convergence is not exact: max rel err %g", rep.MaxRelErr)
+	}
+	if rep.Dropped != 0 || rep.Corrupted != 0 || rep.PartitionRefusals != 0 {
+		t.Fatalf("faults injected in a fault-free run: %+v", rep)
+	}
+}
+
+// TestSameSeedSameRun: the simulator is deterministic — two runs of the
+// same scenario produce identical fault schedules and identical outcomes.
+func TestSameSeedSameRun(t *testing.T) {
+	sc := Scenario{Nodes: 12, Rounds: 30, TrainRounds: 20, Seed: 9, Loss: 0.2, Corrupt: 0.05}
+	a, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.RPCs != b.RPCs || a.Dropped != b.Dropped || a.Corrupted != b.Corrupted ||
+		a.MaxRelErr != b.MaxRelErr || a.BytesOnWire != b.BytesOnWire {
+		t.Fatalf("same seed, different runs:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestCorruptionNeverReachesState: heavy corruption must surface as
+// rejected frames and failed rounds, never as divergent model state — the
+// fleet still converges because every corrupt stream is refused whole.
+func TestCorruptionNeverReachesState(t *testing.T) {
+	rep, err := Run(Scenario{
+		Nodes:       12,
+		Rounds:      50,
+		TrainRounds: 30,
+		Seed:        11,
+		Corrupt:     0.15,
+		Logf:        t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Corrupted == 0 {
+		t.Fatal("corrupt=0.15 injected nothing")
+	}
+	if rep.MaxRelErr > RelErrGate {
+		t.Fatalf("corruption leaked into state: max rel err %g", rep.MaxRelErr)
+	}
+}
+
+// TestAcceptanceScenario is the CI gate from the ISSUE: 100 nodes, 10%
+// message loss, one 30-round partition, 20% churn, fixed seed. Survivors
+// must converge within the relative-error gate, and every churned-out
+// node's origin must weigh exactly zero in every survivor's view.
+func TestAcceptanceScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("100-node scenario skipped in -short")
+	}
+	rep, err := Run(withLog(Default100(), t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.LiveNodes != 80 || rep.DeadNodes != 20 {
+		t.Fatalf("churn: %d live / %d dead, want 80/20", rep.LiveNodes, rep.DeadNodes)
+	}
+	if rep.Dropped == 0 || rep.PartitionRefusals == 0 {
+		t.Fatalf("fault schedule did not fire: %+v", rep)
+	}
+	if rep.MaxRelErr > RelErrGate {
+		t.Fatalf("max relative error %.4g exceeds the %.0f%% gate (mean %.4g, %d/%d synced)",
+			rep.MaxRelErr, RelErrGate*100, rep.MeanRelErr, rep.FullySynced, rep.LiveNodes)
+	}
+	if rep.MaxDeadWeight != 0 {
+		t.Fatalf("a dead origin still weighs %g in a survivor's view; origin GC failed", rep.MaxDeadWeight)
+	}
+	if rep.OriginsGCed == 0 {
+		t.Fatal("no origins were tombstoned despite 20%% churn")
+	}
+	if !rep.Converged {
+		t.Fatalf("report not marked converged: %+v", rep)
+	}
+	// Bytes-on-wire sanity ceiling: the whole 130-round, 100-node run must
+	// stay within a fixed transfer budget, or delta compression/digests
+	// have regressed.
+	const bytesBudget = int64(2 << 30)
+	if rep.BytesOnWire <= 0 || rep.BytesOnWire > bytesBudget {
+		t.Fatalf("bytes on wire %d outside (0, %d]", rep.BytesOnWire, bytesBudget)
+	}
+	t.Logf("acceptance: %.1f MB on wire, %d RPCs, %d dropped, %d partition refusals, %d GCed",
+		float64(rep.BytesOnWire)/1e6, rep.RPCs, rep.Dropped, rep.PartitionRefusals, rep.OriginsGCed)
+}
+
+func withLog(sc Scenario, t *testing.T) Scenario {
+	sc.Logf = t.Logf
+	return sc
+}

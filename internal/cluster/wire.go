@@ -11,8 +11,10 @@ package cluster
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 	"sort"
@@ -28,11 +30,23 @@ import (
 //	version uint32
 //	frames  until EOF
 //
-// and each frame is a kind byte followed by kind-specific fields. Origins
-// are length-prefixed UTF-8 strings; counts and bucket indices are
-// uvarints; model versions are uvarints (a version IS the origin's example
-// count, so it is non-negative and monotonic); weights and bucket values
-// are raw float64 bits.
+// and each frame is
+//
+//	kind    byte
+//	length  uvarint (payload bytes)
+//	payload length bytes, kind-specific fields
+//	crc32   uint32 (IEEE, over the payload)
+//
+// The per-frame CRC exists because structural validation alone cannot
+// catch payload corruption: a bit flip inside a float64 weight is still
+// finite, bounded, and perfectly parseable — without the checksum it would
+// be ingested into model state at a valid version and gossip onward. With
+// it, any corrupted frame fails the stream whole and the round is retried.
+//
+// Within a payload: origins are length-prefixed UTF-8 strings; counts and
+// bucket indices are uvarints; model versions are uvarints (a version IS
+// the origin's example count, so it is non-negative and monotonic);
+// weights and bucket values are raw float64 bits.
 //
 // Frame kinds:
 //
@@ -48,11 +62,13 @@ import (
 //	        absolute, not additive, so replay is harmless.
 const (
 	frameMagic   = 0x574d4346 // "WMCF"
-	wireVersion  = 1
+	wireVersion  = 2 // v2 added per-frame length + CRC32
 	kindDigest   = byte(1)
 	kindFull     = byte(2)
 	kindDelta    = byte(3)
 	maxOriginLen = 256
+	// maxFrameBytes bounds one frame's declared payload length.
+	maxFrameBytes = 1 << 28
 	// Per-kind count bounds, each matched to what the data can legitimately
 	// hold: a digest has one entry per cluster member, a heavy list is
 	// capped by the serialization layer's heap bound (2^24, mirroring
@@ -124,7 +140,8 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 }
 
 // WriteFrames encodes the stream header and frames, returning the bytes
-// written.
+// written. Each frame's payload is length-prefixed and trailed by its
+// CRC32, so receivers can prove integrity before decoding a byte of it.
 func WriteFrames(w io.Writer, frames []Frame) (int64, error) {
 	cw := &countingWriter{w: w}
 	bw := bufio.NewWriter(cw)
@@ -134,19 +151,46 @@ func WriteFrames(w io.Writer, frames []Frame) (int64, error) {
 	if _, err := bw.Write(hdr[:]); err != nil {
 		return cw.n, err
 	}
+	var scratch bytes.Buffer
 	for i := range frames {
-		if err := writeFrame(bw, &frames[i]); err != nil {
+		scratch.Reset()
+		if err := writeFramePayload(&scratch, &frames[i]); err != nil {
 			return cw.n, fmt.Errorf("cluster: frame %d (%q): %w", i, frames[i].Origin, err)
+		}
+		payload := scratch.Bytes()
+		if len(payload) > maxFrameBytes {
+			return cw.n, fmt.Errorf("cluster: frame %d (%q): payload %d exceeds %d bytes",
+				i, frames[i].Origin, len(payload), maxFrameBytes)
+		}
+		if err := bw.WriteByte(frames[i].Kind); err != nil {
+			return cw.n, err
+		}
+		writeUvarint(bw, uint64(len(payload)))
+		if _, err := bw.Write(payload); err != nil {
+			return cw.n, err
+		}
+		var crc [4]byte
+		binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(payload))
+		if _, err := bw.Write(crc[:]); err != nil {
+			return cw.n, err
 		}
 	}
 	err := bw.Flush()
 	return cw.n, err
 }
 
-func writeFrame(bw *bufio.Writer, f *Frame) error {
-	if err := bw.WriteByte(f.Kind); err != nil {
+// writeFramePayload encodes f's kind-specific fields into buf.
+func writeFramePayload(buf *bytes.Buffer, f *Frame) error {
+	bw := bufio.NewWriter(buf)
+	if err := writeFrameFields(bw, buf, f); err != nil {
 		return err
 	}
+	return bw.Flush()
+}
+
+// writeFrameFields writes through bw; the kindFull arm flushes and hands
+// the sketch's own serializer the raw buffer, as it writes directly.
+func writeFrameFields(bw *bufio.Writer, raw *bytes.Buffer, f *Frame) error {
 	switch f.Kind {
 	case kindDigest:
 		writeUvarint(bw, uint64(len(f.Digest)))
@@ -173,7 +217,7 @@ func writeFrame(bw *bufio.Writer, f *Frame) error {
 		if err := bw.Flush(); err != nil {
 			return err
 		}
-		_, err := f.CS.WriteTo(bw)
+		_, err := f.CS.WriteTo(raw)
 		return err
 	case kindDelta:
 		if err := writeString(bw, f.Origin); err != nil {
@@ -202,9 +246,10 @@ func writeFrame(bw *bufio.Writer, f *Frame) error {
 	}
 }
 
-// ReadFrames decodes a full frame stream. Every count is bounded and every
-// float checked finite before it can reach model state, so a corrupt or
-// hostile stream yields an error, not an OOM or a poisoned sketch.
+// ReadFrames decodes a full frame stream. Every frame's CRC is verified
+// before its payload is decoded, every count is bounded, and every float
+// checked finite before it can reach model state — so a corrupt, truncated,
+// or hostile stream yields an error, not an OOM or a poisoned sketch.
 func ReadFrames(r io.Reader) ([]Frame, error) {
 	br := bufio.NewReader(r)
 	var hdr [8]byte
@@ -226,12 +271,65 @@ func ReadFrames(r io.Reader) ([]Frame, error) {
 		if err != nil {
 			return nil, err
 		}
-		f, err := readFrame(br, kind)
+		if kind != kindDigest && kind != kindFull && kind != kindDelta {
+			return nil, fmt.Errorf("cluster: frame %d: unknown frame kind %d", len(frames), kind)
+		}
+		payload, err := readPayload(br)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: frame %d: %w", len(frames), err)
+		}
+		f, err := decodeFramePayload(kind, payload)
 		if err != nil {
 			return nil, fmt.Errorf("cluster: frame %d: %w", len(frames), err)
 		}
 		frames = append(frames, f)
 	}
+}
+
+// readPayload reads one frame's length-prefixed payload and verifies its
+// CRC. The declared length is bounded, and allocation grows by bounded
+// chunks as bytes actually arrive, so a tiny hostile frame claiming a huge
+// payload cannot demand the memory up front.
+func readPayload(br *bufio.Reader) ([]byte, error) {
+	n, err := readCount(br, maxFrameBytes)
+	if err != nil {
+		return nil, fmt.Errorf("payload length: %w", err)
+	}
+	payload := make([]byte, 0, upfrontCap(n))
+	for len(payload) < n {
+		chunk := n - len(payload)
+		if chunk > maxUpfrontAlloc {
+			chunk = maxUpfrontAlloc
+		}
+		start := len(payload)
+		payload = append(payload, make([]byte, chunk)...)
+		if _, err := io.ReadFull(br, payload[start:]); err != nil {
+			return nil, fmt.Errorf("truncated payload: %w", err)
+		}
+	}
+	var crc [4]byte
+	if _, err := io.ReadFull(br, crc[:]); err != nil {
+		return nil, fmt.Errorf("truncated checksum: %w", err)
+	}
+	if got, want := crc32.ChecksumIEEE(payload), binary.LittleEndian.Uint32(crc[:]); got != want {
+		return nil, fmt.Errorf("checksum mismatch (payload %#x, trailer %#x)", got, want)
+	}
+	return payload, nil
+}
+
+// decodeFramePayload decodes one CRC-verified payload and requires it to
+// be fully consumed — trailing bytes mark a malformed frame.
+func decodeFramePayload(kind byte, payload []byte) (Frame, error) {
+	pr := bytes.NewReader(payload)
+	br := bufio.NewReader(pr)
+	f, err := readFrame(br, kind)
+	if err != nil {
+		return f, err
+	}
+	if br.Buffered() > 0 || pr.Len() > 0 {
+		return f, fmt.Errorf("%d trailing bytes after payload", br.Buffered()+pr.Len())
+	}
+	return f, nil
 }
 
 func readFrame(br *bufio.Reader, kind byte) (Frame, error) {

@@ -52,6 +52,14 @@ type Snapshot struct {
 	// Steps is the number of examples observed; it is the snapshot's mixing
 	// weight.
 	Steps int64
+	// WeightFactor scales the snapshot's mixing weight multiplicatively
+	// (effective weight = Steps·WeightFactor). 0 means unset and is treated
+	// as 1, so hand-built snapshots stay valid. The cluster layer uses
+	// factors in (0,1) to fade a departed origin out of the merged view
+	// (origin GC) instead of letting its frozen example count weigh in
+	// forever; a snapshot the caller wants fully excluded should simply not
+	// be passed.
+	WeightFactor float64
 }
 
 // scaleOr1 returns the snapshot's scale with the zero value defaulted.
@@ -60,6 +68,15 @@ func (sn *Snapshot) scaleOr1() float64 {
 		return 1
 	}
 	return sn.Scale
+}
+
+// factorOr1 returns the snapshot's weight factor with the zero value
+// defaulted.
+func (sn *Snapshot) factorOr1() float64 {
+	if sn.WeightFactor == 0 {
+		return 1
+	}
+	return sn.WeightFactor
 }
 
 // Snapshotter is implemented by learners that can export their model state
@@ -114,7 +131,7 @@ func EmptyMixed(opt MixOptions) *Mixed {
 func MixSnapshots(snaps []Snapshot, opt MixOptions) (*Mixed, error) {
 	live := make([]Snapshot, 0, len(snaps))
 	for _, sn := range snaps {
-		if sn.Steps > 0 && sn.CS != nil {
+		if sn.Steps > 0 && sn.CS != nil && sn.factorOr1() > 0 {
 			live = append(live, sn)
 		}
 	}
@@ -125,12 +142,16 @@ func MixSnapshots(snaps []Snapshot, opt MixOptions) (*Mixed, error) {
 		return EmptyMixed(opt), nil
 	}
 
-	// Weights: example counts, except that the all-equal case uses 1 so the
-	// equal-weight mix stays bit-identical to the historical unweighted
-	// average (w·x/(K·w) and x/K differ in the last ulp).
+	// Weights: example counts scaled by the per-snapshot factor, except that
+	// the all-equal case uses 1 so the equal-weight mix stays bit-identical
+	// to the historical unweighted average (w·x/(K·w) and x/K differ in the
+	// last ulp).
+	effective := func(sn Snapshot) float64 {
+		return float64(sn.Steps) * sn.factorOr1()
+	}
 	equal := true
 	for _, sn := range live[1:] {
-		if sn.Steps != live[0].Steps {
+		if effective(sn) != effective(live[0]) {
 			equal = false
 			break
 		}
@@ -139,7 +160,7 @@ func MixSnapshots(snaps []Snapshot, opt MixOptions) (*Mixed, error) {
 		if equal {
 			return 1
 		}
-		return float64(sn.Steps)
+		return effective(sn)
 	}
 	var totalW float64
 	for _, sn := range live {

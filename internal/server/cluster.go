@@ -29,6 +29,21 @@ type ClusterOptions struct {
 	// HistoryDepth is how many snapshot versions are retained as delta
 	// bases (0 → 8).
 	HistoryDepth int
+	// GossipTimeout bounds one peer round's RPCs with a shared context
+	// deadline (0 → 10s, negative disables the deadline).
+	GossipTimeout time.Duration
+	// Fanout is how many peers each gossip round samples (0 → ⌈log₂(N+1)⌉
+	// floored at 3, negative → full sweep).
+	Fanout int
+	// OriginGCAfter is the idle age past which a departed origin's mix
+	// weight starts decaying (0 → 15m, negative disables origin GC);
+	// OriginGCDecay is the decay ramp width (0 → OriginGCAfter/2).
+	OriginGCAfter time.Duration
+	OriginGCDecay time.Duration
+	// Chaos, when non-empty, is a fault-injection spec ("drop=0.1,dup=0.05,
+	// corrupt=0.01,delay=50ms,delayp=0.5,seed=7") applied to this node's
+	// *outbound* gossip transport — a testing aid, never for production.
+	Chaos string
 }
 
 func (o *ClusterOptions) enabled() bool { return len(o.Peers) > 0 }
@@ -56,6 +71,17 @@ func (s *Server) startCluster() error {
 	if s.opt.Cluster.Self == "" {
 		return fmt.Errorf("server: cluster mode requires a node id (-node-id)")
 	}
+	var client *http.Client
+	if s.opt.Cluster.Chaos != "" {
+		chaos, err := cluster.ParseChaos(s.opt.Cluster.Chaos)
+		if err != nil {
+			return fmt.Errorf("server: -chaos: %w", err)
+		}
+		client = &http.Client{
+			Timeout:   15 * time.Second,
+			Transport: cluster.NewChaosTransport(http.DefaultTransport, chaos),
+		}
+	}
 	n, err := cluster.NewNode(cluster.Config{
 		Self:  s.opt.Cluster.Self,
 		Peers: s.opt.Cluster.Peers,
@@ -63,10 +89,15 @@ func (s *Server) startCluster() error {
 			Depth: s.opt.Config.Depth, Width: s.opt.Config.Width,
 			Seed: s.opt.Config.Seed, HeapSize: s.opt.Config.HeapSize,
 		},
-		Local:        backendSnapshotter{s},
-		Interval:     s.opt.Cluster.Interval,
-		HistoryDepth: s.opt.Cluster.HistoryDepth,
-		AuthToken:    s.opt.AuthToken,
+		Local:         backendSnapshotter{s},
+		Interval:      s.opt.Cluster.Interval,
+		HistoryDepth:  s.opt.Cluster.HistoryDepth,
+		AuthToken:     s.opt.AuthToken,
+		Client:        client,
+		RPCTimeout:    s.opt.Cluster.GossipTimeout,
+		Fanout:        s.opt.Cluster.Fanout,
+		OriginGCAfter: s.opt.Cluster.OriginGCAfter,
+		OriginGCDecay: s.opt.Cluster.OriginGCDecay,
 	})
 	if err != nil {
 		return err

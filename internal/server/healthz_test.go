@@ -1,0 +1,134 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"wmsketch/internal/cluster"
+	"wmsketch/internal/core"
+)
+
+// TestHealthzPlain: outside cluster mode /healthz answers a bare ok with no
+// cluster section.
+func TestHealthzPlain(t *testing.T) {
+	_, hs := newTestServer(t, BackendAWM)
+	var resp HealthzResponse
+	if code := doJSON(t, "GET", hs.URL+"/healthz", nil, &resp); code != http.StatusOK {
+		t.Fatalf("healthz: HTTP %d", code)
+	}
+	if resp.Status != "ok" || resp.Cluster != nil {
+		t.Fatalf("plain healthz: %+v", resp)
+	}
+}
+
+// TestHealthzClusterHealthy: a healthy mesh reports every peer alive and no
+// degraded bit.
+func TestHealthzClusterHealthy(t *testing.T) {
+	srvs, https := clusterServers(t, 2, "")
+	srvs[0].ClusterNode().GossipOnce()
+	var resp HealthzResponse
+	if code := doJSON(t, "GET", https[0].URL+"/healthz", nil, &resp); code != http.StatusOK {
+		t.Fatalf("healthz: HTTP %d", code)
+	}
+	if resp.Status != "ok" || resp.Cluster == nil {
+		t.Fatalf("cluster healthz: %+v", resp)
+	}
+	if resp.Cluster.PeersTotal != 1 || resp.Cluster.PeersAlive != 1 || resp.Cluster.Degraded {
+		t.Fatalf("healthy mesh: %+v", *resp.Cluster)
+	}
+	if resp.Cluster.LastSuccess.IsZero() {
+		t.Fatal("last_success not recorded after a successful round")
+	}
+}
+
+// downTransport fails every gossip RPC — the peer looks unreachable.
+type downTransport struct{}
+
+func (downTransport) Pull(context.Context, string, cluster.PullRequest) (io.ReadCloser, error) {
+	return nil, fmt.Errorf("connection refused")
+}
+func (downTransport) Push(context.Context, string, []byte) error {
+	return fmt.Errorf("connection refused")
+}
+
+// TestHealthzDegraded: when the node's only peer stops answering for long
+// enough to be suspected, /healthz still returns 200 (the node keeps
+// serving) but flips status to "degraded" and says why in the counts.
+func TestHealthzDegraded(t *testing.T) {
+	srv, hs := newTestServer(t, BackendAWM)
+	var (
+		mu  sync.Mutex
+		now = time.Unix(1_700_000_000, 0)
+	)
+	n, err := cluster.NewNode(cluster.Config{
+		Self:  "healthz-test",
+		Peers: []string{"http://dead:1"},
+		Mix: core.MixOptions{
+			Depth: srv.opt.Config.Depth, Width: srv.opt.Config.Width,
+			Seed: srv.opt.Config.Seed, HeapSize: srv.opt.Config.HeapSize,
+		},
+		Local:     backendSnapshotter{srv},
+		Interval:  -1,
+		Seed:      1,
+		Transport: downTransport{},
+		Now: func() time.Time {
+			mu.Lock()
+			defer mu.Unlock()
+			return now
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.cluster = n
+	// Three consecutive failed rounds promote the peer to suspect; advance
+	// the virtual clock past the growing backoff between attempts.
+	for i := 0; i < 3; i++ {
+		n.GossipOnce()
+		mu.Lock()
+		now = now.Add(10 * time.Second)
+		mu.Unlock()
+	}
+	var resp HealthzResponse
+	if code := doJSON(t, "GET", hs.URL+"/healthz", nil, &resp); code != http.StatusOK {
+		t.Fatalf("degraded healthz must stay 200, got %d", code)
+	}
+	if resp.Status != "degraded" || resp.Cluster == nil || !resp.Cluster.Degraded {
+		t.Fatalf("degraded mesh not reported: %+v", resp)
+	}
+	if resp.Cluster.PeersAlive != 0 || resp.Cluster.PeersSuspect+resp.Cluster.PeersDead != 1 {
+		t.Fatalf("peer counts: %+v", *resp.Cluster)
+	}
+}
+
+// TestClusterOptionsPlumbing: the serving-layer knobs reach cluster.Config —
+// a bad chaos spec must fail construction, a good one must not.
+func TestClusterOptionsPlumbing(t *testing.T) {
+	opt := testOptions(t, BackendAWM)
+	opt.Cluster = ClusterOptions{
+		Self:          "http://127.0.0.1:0",
+		Peers:         []string{"http://127.0.0.1:1"},
+		Interval:      -1,
+		GossipTimeout: 5 * time.Second,
+		Fanout:        2,
+		OriginGCAfter: time.Minute,
+		Chaos:         "drop=not-a-number",
+	}
+	if _, err := New(opt); err == nil {
+		t.Fatal("bad -chaos spec accepted")
+	}
+	opt.Cluster.Chaos = "drop=0.5,seed=9"
+	srv, err := New(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if srv.ClusterNode() == nil {
+		t.Fatal("cluster node not started")
+	}
+}

@@ -185,10 +185,34 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/cluster/push", s.handleClusterPush)
 	s.mux.HandleFunc("GET /v1/cluster/status", s.handleClusterStatus)
 	s.mux.HandleFunc("POST /v1/sync", s.handleSync)
-	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.WriteHeader(http.StatusOK)
-		_, _ = w.Write([]byte("ok\n"))
-	})
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+}
+
+// HealthzResponse is the /healthz body: overall status plus, in cluster
+// mode, the peer-liveness summary.
+type HealthzResponse struct {
+	// Status is "ok", or "degraded" when fewer than half the configured
+	// peers are alive.
+	Status string `json:"status"`
+	// Cluster carries peer liveness counts and the degraded bit; omitted
+	// outside cluster mode.
+	Cluster *cluster.Health `json:"cluster,omitempty"`
+}
+
+// handleHealthz reports liveness. The status code is always 200 — a
+// degraded node still serves queries, so load balancers must not evict it;
+// orchestration that wants to act on partial partitions reads the degraded
+// bit from the body (or /v1/cluster/status for per-peer detail).
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	resp := HealthzResponse{Status: "ok"}
+	if s.cluster != nil {
+		h := s.cluster.Health()
+		resp.Cluster = &h
+		if h.Degraded {
+			resp.Status = "degraded"
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // bodyLimit returns the request-size cap per route: bulk-transfer routes

@@ -2,9 +2,15 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json bench-serve serve-smoke cluster-smoke bench-cluster bench-sim fuzz-smoke
+# Pinned external linter versions: CI installs exactly these, so a lint
+# run is reproducible. Locally they are optional — `make lint` skips any
+# that are not on PATH and always runs wmlint.
+STATICCHECK_VERSION ?= 2025.1.1
+GOVULNCHECK_VERSION ?= v1.1.4
 
-all: vet build test
+.PHONY: all build vet test race bench bench-json bench-serve serve-smoke cluster-smoke bench-cluster bench-sim fuzz-smoke lint lint-tools
+
+all: vet build lint test
 
 build:
 	$(GO) build ./...
@@ -57,8 +63,32 @@ bench-cluster:
 bench-sim:
 	$(GO) run ./cmd/wmserve -sim -sim-json BENCH_sim.json
 
-# Short fuzz pass over the gossip wire decoder: hostile byte streams must
-# be rejected cleanly (no panic, no unbounded allocation, CRC-verified
-# payloads). CI runs this from the seeded corpus.
+# Short fuzz pass over the two restore surfaces hostile bytes can reach:
+# the gossip wire decoder and sketch checkpoint restore. Both must reject
+# cleanly (no panic, no unbounded allocation); accepted checkpoints must
+# round-trip bit-exactly. CI runs this from the seeded corpora.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzReadFrames -fuzztime 20s ./internal/cluster
+	$(GO) test -run '^$$' -fuzz FuzzReadCountSketch -fuzztime 20s ./internal/sketch
+
+# Static analysis gate (LINTING.md): wmlint (the project's own analyzers —
+# clockdet, maporder, decodebounds, guardedby, nonfinite) always runs and
+# must report zero findings; staticcheck and govulncheck run when
+# installed (CI installs the pinned versions via lint-tools).
+lint:
+	$(GO) run ./cmd/wmlint ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		echo "staticcheck ./..."; staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (make lint-tools)"; \
+	fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		echo "govulncheck ./..."; govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping (make lint-tools)"; \
+	fi
+
+# Install the pinned external linters (network required; CI uses this).
+lint-tools:
+	$(GO) install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)
+	$(GO) install golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION)

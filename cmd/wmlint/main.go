@@ -1,0 +1,107 @@
+// wmlint is the project's static-analysis driver: a multichecker over the
+// analyzers in internal/analysis/checkers, which mechanically enforce the
+// invariants the design leans on — virtual-time discipline in the cluster
+// layer (clockdet), deterministic iteration where bits hit the wire or a
+// float accumulator (maporder), bounded allocation on decode paths
+// (decodebounds), lock annotations (guardedby), and finiteness checks at
+// ingest boundaries (nonfinite). See LINTING.md.
+//
+// Usage:
+//
+//	wmlint [packages]        # default ./...
+//	wmlint -list             # describe the analyzers
+//
+// Findings print as path:line:col: message (analyzer); the exit status is
+// 1 when any finding survives `//lint:ignore` filtering, so `make lint`
+// and CI gate at zero.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"wmsketch/internal/analysis"
+	"wmsketch/internal/analysis/checkers"
+)
+
+func main() {
+	list := flag.Bool("list", false, "describe the analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range checkers.All() {
+			fmt.Printf("%s\n    %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	findings, err := run(flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wmlint:", err)
+		os.Exit(2)
+	}
+	for _, d := range findings {
+		fmt.Println(d)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "wmlint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+func run(patterns []string) ([]analysis.Diagnostic, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		return nil, err
+	}
+	root, err := findModuleRoot(cwd)
+	if err != nil {
+		return nil, err
+	}
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := loader.Expand(cwd, patterns)
+	if err != nil {
+		return nil, err
+	}
+	var findings []analysis.Diagnostic
+	for _, dir := range dirs {
+		pkg, err := loader.Load(dir)
+		if err != nil {
+			return nil, err
+		}
+		diags, err := analysis.Run(pkg, checkers.All())
+		if err != nil {
+			return nil, err
+		}
+		findings = append(findings, diags...)
+	}
+	// Print paths relative to the invocation directory, like go vet.
+	for i := range findings {
+		if rel, err := filepath.Rel(cwd, findings[i].Pos.Filename); err == nil {
+			findings[i].Pos.Filename = rel
+		}
+	}
+	return findings, nil
+}
+
+func findModuleRoot(dir string) (string, error) {
+	d := dir
+	for {
+		if fi, err := os.Stat(filepath.Join(d, "go.mod")); err == nil && !fi.IsDir() {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("no go.mod at or above %s", dir)
+		}
+		d = parent
+	}
+}

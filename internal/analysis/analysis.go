@@ -1,0 +1,106 @@
+// Package analysis is a small, dependency-free static-analysis framework
+// modeled on golang.org/x/tools/go/analysis: an Analyzer inspects one
+// type-checked package at a time and reports Diagnostics. The project's
+// invariant checkers (cmd/wmlint, see LINTING.md) are built on it rather
+// than on x/tools so the lint suite builds from a clean module cache with
+// the standard library alone.
+//
+// The deliberate differences from x/tools are small: there is no Fact or
+// Requires machinery (every analyzer here is a single intra-package pass),
+// and suppression is handled uniformly by the driver through
+// `//lint:ignore <analyzer> <reason>` comments (see Suppressed).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer is one invariant checker.
+type Analyzer struct {
+	// Name is the identifier used in diagnostics and in
+	// `//lint:ignore <name> <reason>` directives.
+	Name string
+	// Doc is the one-paragraph description `wmlint -help` prints: the
+	// invariant enforced and how to satisfy or deliberately suppress it.
+	Doc string
+	// Filter, when non-nil, restricts the analyzer to packages whose import
+	// path it accepts. Nil means every package.
+	Filter func(pkgPath string) bool
+	// Run inspects one package and reports findings via pass.Report*.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Dir is the directory the package was loaded from.
+	Dir string
+
+	diagnostics []Diagnostic
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.diagnostics = append(p.diagnostics, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of expression e, or nil if unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	return p.TypesInfo.TypeOf(e)
+}
+
+// Run applies every applicable analyzer to the package and returns the
+// surviving findings: diagnostics on lines carrying a matching
+// `//lint:ignore` directive are dropped, and malformed directives become
+// findings of their own so a typo cannot silently disable a checker.
+func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	ignores, bad := collectIgnores(pkg.Fset, pkg.Files)
+	var out []Diagnostic
+	out = append(out, bad...)
+	for _, a := range analyzers {
+		if a.Filter != nil && !a.Filter(pkg.Path) {
+			continue
+		}
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+			Dir:       pkg.Dir,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+		}
+		for _, d := range pass.diagnostics {
+			if ignores.suppressed(a.Name, d.Pos) {
+				continue
+			}
+			out = append(out, d)
+		}
+	}
+	return out, nil
+}

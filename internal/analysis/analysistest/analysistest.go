@@ -1,0 +1,159 @@
+// Package analysistest runs an analyzer over fixture packages and checks
+// its findings against `// want "regex"` expectations embedded in the
+// fixture source — the same convention as x/tools' analysistest, rebuilt
+// on the project's stdlib-only analysis framework.
+//
+// A fixture line that must be flagged carries a trailing comment:
+//
+//	for k := range m { // want `iterates a map`
+//
+// Multiple expectations on one line are multiple quoted regexps. Lines
+// without a want comment must produce no finding; both misses and
+// unexpected findings fail the test.
+package analysistest
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"strconv"
+	"testing"
+
+	"wmsketch/internal/analysis"
+)
+
+// TestData returns the caller's testdata directory.
+func TestData() string {
+	_, file, _, ok := runtime.Caller(1)
+	if !ok {
+		panic("analysistest: cannot locate caller")
+	}
+	return filepath.Join(filepath.Dir(file), "testdata")
+}
+
+// quoted matches one Go-quoted or backquoted string in a want comment.
+var quoted = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// wantRe matches the expectation marker and its argument list.
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+type expectation struct {
+	pos     token.Position
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads testdata/src/<fixture> for each fixture, applies the analyzer
+// (ignoring its package Filter, so fixtures can live anywhere), and
+// compares findings with want expectations.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, fixtures ...string) {
+	t.Helper()
+	moduleRoot := findModuleRoot(t, testdata)
+	for _, fixture := range fixtures {
+		fixture := fixture
+		t.Run(fixture, func(t *testing.T) {
+			t.Helper()
+			// A fresh loader per fixture keeps one broken fixture from
+			// poisoning another's package cache.
+			l, err := analysis.NewLoader(moduleRoot)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pkg, err := l.Load(filepath.Join(testdata, "src", fixture))
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			unfiltered := *a
+			unfiltered.Filter = nil
+			diags, err := analysis.Run(pkg, []*analysis.Analyzer{&unfiltered})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			expects := collectWants(t, pkg)
+			for _, d := range diags {
+				if !match(expects, d) {
+					t.Errorf("unexpected finding: %s", d)
+				}
+			}
+			for _, e := range expects {
+				if !e.matched {
+					t.Errorf("%s: no finding matched want %q", e.pos, e.re)
+				}
+			}
+		})
+	}
+}
+
+func match(expects []*expectation, d analysis.Diagnostic) bool {
+	for _, e := range expects {
+		if e.matched || e.pos.Filename != d.Pos.Filename || e.pos.Line != d.Pos.Line {
+			continue
+		}
+		if e.re.MatchString(d.Message) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+func collectWants(t *testing.T, pkg *analysis.Package) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				args := quoted.FindAllString(m[1], -1)
+				if len(args) == 0 {
+					t.Fatalf("%s: want comment with no quoted pattern: %s", pos, c.Text)
+				}
+				for _, q := range args {
+					s, err := unquote(q)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %s: %v", pos, q, err)
+					}
+					re, err := regexp.Compile(s)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, s, err)
+					}
+					out = append(out, &expectation{pos: pos, re: re})
+				}
+			}
+		}
+	}
+	return out
+}
+
+func unquote(q string) (string, error) {
+	if len(q) >= 2 && q[0] == '`' {
+		return q[1 : len(q)-1], nil
+	}
+	return strconv.Unquote(q)
+}
+
+func findModuleRoot(t *testing.T, dir string) string {
+	t.Helper()
+	d, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if fi, err := os.Stat(filepath.Join(d, "go.mod")); err == nil && !fi.IsDir() {
+			return d
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			t.Fatalf("analysistest: no go.mod above %s", dir)
+		}
+		d = parent
+	}
+}

@@ -1,0 +1,110 @@
+// Package checkers holds the project-specific analyzers wmlint runs. Each
+// one mechanically enforces an invariant the test suite can only probe:
+// clockdet (virtual-time discipline in the cluster layer), maporder
+// (no order-sensitive work inside map iteration), decodebounds (decoded
+// sizes are bounded before they allocate or slice), guardedby (annotated
+// fields are only touched under their mutex), and nonfinite (floats are
+// finiteness-checked at ingest boundaries). See LINTING.md for the full
+// contract of each, including how to suppress a deliberate exception with
+// `//lint:ignore <analyzer> <reason>`.
+package checkers
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+
+	"wmsketch/internal/analysis"
+)
+
+// All returns every analyzer in the suite, in stable order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{ClockDet, MapOrder, DecodeBounds, GuardedBy, NonFinite}
+}
+
+// pkgFunc reports whether call is a call of (or reference to) the function
+// pkgPath.name, e.g. pkgFunc(info, call.Fun, "time", "Now").
+func isPkgSelector(info *types.Info, e ast.Expr, pkgPath string, names map[string]bool) (string, bool) {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	// Qualified identifier: X must name the imported package itself.
+	base := sel.X
+	// binary.LittleEndian.Uint32: the package qualifier is one level down.
+	if inner, ok := sel.X.(*ast.SelectorExpr); ok {
+		base = inner.X
+	}
+	id, ok := base.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok || pn.Imported().Path() != pkgPath {
+		return "", false
+	}
+	if !names[sel.Sel.Name] {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// calleeName returns the bare name of a call's target: the selector's last
+// element or the identifier itself.
+func calleeName(call *ast.CallExpr) string {
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		return f.Sel.Name
+	}
+	return ""
+}
+
+// fullCalleeName renders a call target with its qualifier chain, e.g.
+// "sort.Strings" or "stream.SortWeighted", so regexes can match either the
+// package/receiver or the function name.
+func fullCalleeName(call *ast.CallExpr) string {
+	var render func(e ast.Expr) string
+	render = func(e ast.Expr) string {
+		switch v := e.(type) {
+		case *ast.Ident:
+			return v.Name
+		case *ast.SelectorExpr:
+			return render(v.X) + "." + v.Sel.Name
+		}
+		return ""
+	}
+	return render(call.Fun)
+}
+
+// containsCall reports whether any call under n has a qualified callee
+// name matching re.
+func containsCall(n ast.Node, re *regexp.Regexp) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := m.(*ast.CallExpr); ok && re.MatchString(fullCalleeName(call)) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// identObjs collects the objects of every identifier under e.
+func identObjs(info *types.Info, e ast.Expr) []types.Object {
+	var out []types.Object
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := info.Uses[id]; obj != nil {
+				out = append(out, obj)
+			}
+		}
+		return true
+	})
+	return out
+}

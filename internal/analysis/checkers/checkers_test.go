@@ -1,0 +1,34 @@
+package checkers
+
+import (
+	"path/filepath"
+	"testing"
+
+	"wmsketch/internal/analysis/analysistest"
+)
+
+// Fixtures live in the framework's shared corpus at
+// internal/analysis/testdata/src/<analyzer>.
+func testdata() string {
+	return filepath.Join(analysistest.TestData(), "..", "..", "testdata")
+}
+
+func TestClockDet(t *testing.T) {
+	analysistest.Run(t, testdata(), ClockDet, "clockdet")
+}
+
+func TestMapOrder(t *testing.T) {
+	analysistest.Run(t, testdata(), MapOrder, "maporder")
+}
+
+func TestDecodeBounds(t *testing.T) {
+	analysistest.Run(t, testdata(), DecodeBounds, "decodebounds")
+}
+
+func TestGuardedBy(t *testing.T) {
+	analysistest.Run(t, testdata(), GuardedBy, "guardedby")
+}
+
+func TestNonFinite(t *testing.T) {
+	analysistest.Run(t, testdata(), NonFinite, "nonfinite")
+}

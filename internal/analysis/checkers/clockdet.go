@@ -1,0 +1,51 @@
+package checkers
+
+import (
+	"go/ast"
+	"strings"
+
+	"wmsketch/internal/analysis"
+)
+
+// clockBanned are the time-package entry points that read or schedule on
+// the wall clock. time.Since and time.Until are included: both call
+// time.Now internally.
+var clockBanned = map[string]bool{
+	"Now": true, "After": true, "Sleep": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true, "AfterFunc": true,
+	"Since": true, "Until": true,
+}
+
+// ClockDet enforces the cluster layer's virtual-time discipline: inside
+// wmsketch/internal/cluster/... every read of the wall clock and every
+// timer must go through the injected Clock (clock.go), or the
+// discrete-event simulator cannot make a run a pure function of its seed.
+var ClockDet = &analysis.Analyzer{
+	Name: "clockdet",
+	Doc: "flags time.Now/After/Sleep/Tick/NewTimer/NewTicker/AfterFunc/Since/Until " +
+		"in internal/cluster/...; time must flow through the injected Clock so the " +
+		"simulator and membership tests run on virtual time. The Clock " +
+		"implementation itself carries //lint:ignore clockdet annotations.",
+	Filter: func(pkgPath string) bool {
+		return pkgPath == "wmsketch/internal/cluster" ||
+			strings.HasPrefix(pkgPath, "wmsketch/internal/cluster/")
+	},
+	Run: runClockDet,
+}
+
+func runClockDet(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if name, ok := isPkgSelector(pass.TypesInfo, sel, "time", clockBanned); ok {
+				pass.Reportf(sel.Pos(),
+					"time.%s bypasses the injected Clock; route it through Config.Clock so virtual-time runs stay deterministic", name)
+			}
+			return true
+		})
+	}
+	return nil
+}

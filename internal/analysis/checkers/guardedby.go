@@ -1,0 +1,141 @@
+package checkers
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"wmsketch/internal/analysis"
+)
+
+// GuardedBy enforces `// guarded by <mu>` field annotations: a struct
+// field carrying the annotation may only be touched in functions that
+// visibly hold the lock. A function is considered to hold <mu> when it
+// calls <something>.<mu>.Lock() or .RLock() itself, when its name ends in
+// "Locked" (the project convention for caller-holds-lock helpers), or when
+// the struct value was constructed locally (constructors initialize fields
+// before the value is shared).
+var GuardedBy = &analysis.Analyzer{
+	Name: "guardedby",
+	Doc: "enforces `// guarded by <mu>` field comments: annotated fields may only be " +
+		"accessed in functions that lock <mu>, in *Locked helpers, or on locally " +
+		"constructed values.",
+	Run: runGuardedBy,
+}
+
+var guardedByRe = regexp.MustCompile(`guarded by (\w+)`)
+
+func runGuardedBy(pass *analysis.Pass) error {
+	// Pass 1: collect annotated fields, keyed by their types.Object.
+	guards := make(map[types.Object]string)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mu := fieldGuard(field)
+				if mu == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					if obj := pass.TypesInfo.Defs[name]; obj != nil {
+						guards[obj] = mu
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(guards) == 0 {
+		return nil
+	}
+
+	// Pass 2: check every access.
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkGuardedFunc(pass, fn, guards)
+		}
+	}
+	return nil
+}
+
+// fieldGuard extracts the mutex name from a field's doc or line comment.
+func fieldGuard(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedByRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+func checkGuardedFunc(pass *analysis.Pass, fn *ast.FuncDecl, guards map[types.Object]string) {
+	if strings.HasSuffix(fn.Name.Name, "Locked") {
+		return
+	}
+	// Which mutex names does this function visibly lock?
+	held := make(map[string]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		if muSel, ok := sel.X.(*ast.SelectorExpr); ok {
+			held[muSel.Sel.Name] = true
+		} else if id, ok := sel.X.(*ast.Ident); ok {
+			held[id.Name] = true
+		}
+		return true
+	})
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selection, ok := pass.TypesInfo.Selections[sel]
+		if !ok || selection.Kind() != types.FieldVal {
+			return true
+		}
+		mu, guarded := guards[selection.Obj()]
+		if !guarded || held[mu] {
+			return true
+		}
+		if locallyConstructed(pass, fn, sel.X) {
+			return true
+		}
+		pass.Reportf(sel.Pos(),
+			"%s is guarded by %s but accessed without holding it — lock %s, or move the access into a %sLocked helper",
+			sel.Sel.Name, mu, mu, "...")
+		return true
+	})
+}
+
+// locallyConstructed reports whether the accessed base value is a variable
+// declared inside this function's body (not the receiver or a parameter):
+// a value still private to its constructor cannot be contended.
+func locallyConstructed(pass *analysis.Pass, fn *ast.FuncDecl, base ast.Expr) bool {
+	id, ok := base.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		return false
+	}
+	return obj.Pos() >= fn.Body.Pos() && obj.Pos() < fn.Body.End()
+}

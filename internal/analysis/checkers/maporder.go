@@ -1,0 +1,160 @@
+package checkers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+
+	"wmsketch/internal/analysis"
+)
+
+// MapOrder flags `range` over a map whose body does order-sensitive work:
+// accumulating floats (float addition does not commute bit-exactly),
+// appending to a slice that outlives the loop (wire-bound ordering), or
+// calling an encoder. Go randomizes map iteration order, so any of these
+// makes output depend on the iteration seed. The fix is to iterate sorted
+// keys (the sortedKeys helpers); appends are also accepted when the slice
+// is sorted right after the loop.
+var MapOrder = &analysis.Analyzer{
+	Name: "maporder",
+	Doc: "flags map iteration that accumulates floats, appends to an outer slice, " +
+		"or encodes: map order is randomized, so sort keys first (or sort the " +
+		"result immediately after the loop).",
+	Run: runMapOrder,
+}
+
+var (
+	encoderRe = regexp.MustCompile(`(?i)(write|encode|marshal)`)
+	sortRe    = regexp.MustCompile(`(?i)sort`)
+)
+
+func runMapOrder(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			block, ok := n.(*ast.BlockStmt)
+			if !ok {
+				return true
+			}
+			for i, stmt := range block.List {
+				rng, ok := stmt.(*ast.RangeStmt)
+				if !ok {
+					continue
+				}
+				t := pass.TypeOf(rng.X)
+				if t == nil {
+					continue
+				}
+				if _, isMap := t.Underlying().(*types.Map); !isMap {
+					continue
+				}
+				checkMapRange(pass, rng, block.List[i+1:])
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkMapRange inspects one map-range body. rest is the tail of the
+// enclosing block after the loop, consulted for the sorted-after escape.
+func checkMapRange(pass *analysis.Pass, rng *ast.RangeStmt, rest []ast.Stmt) {
+	sortedAfter := false
+	for _, s := range rest {
+		if containsCall(s, sortRe) {
+			sortedAfter = true
+			break
+		}
+	}
+	// The loop variables: an update keyed by them (m[k] -= w) touches each
+	// element independently, so iteration order cannot matter.
+	loopVars := make(map[types.Object]bool)
+	for _, e := range []ast.Expr{rng.Key, rng.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := pass.TypesInfo.Defs[id]; obj != nil {
+				loopVars[obj] = true
+			} else if obj := pass.TypesInfo.Uses[id]; obj != nil {
+				loopVars[obj] = true
+			}
+		}
+	}
+	perElement := func(lhs ast.Expr) bool {
+		for _, obj := range identObjs(pass.TypesInfo, lhs) {
+			if loopVars[obj] {
+				return true
+			}
+		}
+		return false
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch m := n.(type) {
+		case *ast.RangeStmt:
+			// A nested range gets its own report if it ranges a map; don't
+			// double-report its body against the outer loop.
+			if m != rng {
+				t := pass.TypeOf(m.X)
+				if t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						return false
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			switch m.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+				if isFloat(pass.TypeOf(m.Lhs[0])) && !perElement(m.Lhs[0]) {
+					pass.Reportf(m.Pos(),
+						"accumulates a float across a map iteration; float addition is order-sensitive and map order is randomized — iterate sorted keys")
+				}
+			case token.ASSIGN, token.DEFINE:
+				for _, rhs := range m.Rhs {
+					call, ok := rhs.(*ast.CallExpr)
+					if !ok {
+						continue
+					}
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" && !sortedAfter {
+						if target, outer := appendTarget(pass, m, rng); outer {
+							pass.Reportf(m.Pos(),
+								"appends to %s in map-iteration order, which is randomized — iterate sorted keys or sort the slice after the loop", target)
+						}
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if name := calleeName(m); name != "" && name != "append" && encoderRe.MatchString(name) {
+				pass.Reportf(m.Pos(),
+					"calls %s inside a map iteration, emitting in randomized map order — iterate sorted keys", name)
+			}
+		}
+		return true
+	})
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// appendTarget reports the appended-to expression and whether it outlives
+// the loop (declared before the range statement).
+func appendTarget(pass *analysis.Pass, assign *ast.AssignStmt, rng *ast.RangeStmt) (string, bool) {
+	if len(assign.Lhs) != 1 {
+		return "", false
+	}
+	id, ok := assign.Lhs[0].(*ast.Ident)
+	if !ok {
+		// p.frames = append(p.frames, ...): a field always outlives the loop.
+		if sel, ok := assign.Lhs[0].(*ast.SelectorExpr); ok {
+			return sel.Sel.Name, true
+		}
+		return "", false
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		obj = pass.TypesInfo.Defs[id]
+	}
+	if obj == nil {
+		return id.Name, false
+	}
+	return id.Name, obj.Pos() < rng.Pos()
+}

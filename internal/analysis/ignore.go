@@ -1,0 +1,60 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Suppression: a comment of the form
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// placed on the finding's line or on the line directly above it drops that
+// analyzer's findings there. The reason is mandatory — an unexplained
+// suppression is itself reported — so every deliberate exception in the
+// tree documents why the invariant does not apply.
+
+type ignoreKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+type ignoreSet map[ignoreKey]bool
+
+// suppressed reports whether a finding by analyzer at pos is covered by a
+// directive on its line or the line above.
+func (s ignoreSet) suppressed(analyzer string, pos token.Position) bool {
+	return s[ignoreKey{pos.Filename, pos.Line, analyzer}] ||
+		s[ignoreKey{pos.Filename, pos.Line - 1, analyzer}]
+}
+
+// collectIgnores scans every comment for lint:ignore directives. Malformed
+// directives (no analyzer, or no reason) are returned as diagnostics.
+func collectIgnores(fset *token.FileSet, files []*ast.File) (ignoreSet, []Diagnostic) {
+	set := make(ignoreSet)
+	var bad []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				fields := strings.Fields(text)
+				if len(fields) < 2 {
+					bad = append(bad, Diagnostic{
+						Analyzer: "lintdirective",
+						Pos:      pos,
+						Message:  "malformed //lint:ignore: want `//lint:ignore <analyzer> <reason>`",
+					})
+					continue
+				}
+				set[ignoreKey{pos.Filename, pos.Line, fields[0]}] = true
+			}
+		}
+	}
+	return set, bad
+}

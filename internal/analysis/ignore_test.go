@@ -1,0 +1,74 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parseOne(t *testing.T, src string) (*token.FileSet, []*ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, []*ast.File{f}
+}
+
+func TestIgnoreDirectiveSuppressesSameAndNextLine(t *testing.T) {
+	fset, files := parseOne(t, `package p
+
+//lint:ignore demo constructor runs before the value is shared
+var a = 1
+
+var b = 2 //lint:ignore demo deliberate exception
+`)
+	set, bad := collectIgnores(fset, files)
+	if len(bad) != 0 {
+		t.Fatalf("well-formed directives reported: %v", bad)
+	}
+	// Directive on line 3 covers findings on lines 3 and 4.
+	for _, line := range []int{3, 4} {
+		if !set.suppressed("demo", token.Position{Filename: "x.go", Line: line}) {
+			t.Fatalf("line %d not suppressed by the directive above it", line)
+		}
+	}
+	if !set.suppressed("demo", token.Position{Filename: "x.go", Line: 6}) {
+		t.Fatal("same-line directive did not suppress")
+	}
+	// A different analyzer's findings are untouched.
+	if set.suppressed("other", token.Position{Filename: "x.go", Line: 4}) {
+		t.Fatal("directive suppressed the wrong analyzer")
+	}
+	// Lines without a covering directive stay live.
+	if set.suppressed("demo", token.Position{Filename: "x.go", Line: 1}) {
+		t.Fatal("unrelated line suppressed")
+	}
+}
+
+func TestIgnoreDirectiveRequiresReason(t *testing.T) {
+	fset, files := parseOne(t, `package p
+
+//lint:ignore demo
+var a = 1
+
+//lint:ignore
+var b = 2
+`)
+	set, bad := collectIgnores(fset, files)
+	if len(bad) != 2 {
+		t.Fatalf("want 2 malformed-directive findings, got %v", bad)
+	}
+	for _, d := range bad {
+		if d.Analyzer != "lintdirective" || !strings.Contains(d.Message, "lint:ignore") {
+			t.Fatalf("bad malformed-directive diagnostic: %+v", d)
+		}
+	}
+	// A reasonless directive must not suppress anything.
+	if set.suppressed("demo", token.Position{Filename: "x.go", Line: 4}) {
+		t.Fatal("malformed directive suppressed a finding")
+	}
+}

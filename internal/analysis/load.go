@@ -1,0 +1,248 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	// Path is the import path ("wmsketch/internal/cluster").
+	Path string
+	// Dir is the directory the sources were read from.
+	Dir       string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// Loader loads packages from source with full type information. It is a
+// self-contained replacement for go/packages: module-local import paths
+// resolve against the module root (from go.mod), everything else against
+// GOROOT/src, so loading needs no module cache, no network, and no go
+// subprocess. Cgo is disabled so every package presents its pure-Go file
+// set. Loaded packages are cached for the loader's lifetime.
+type Loader struct {
+	fset       *token.FileSet
+	ctxt       build.Context
+	moduleRoot string
+	modulePath string
+	cache      map[string]*Package
+}
+
+// NewLoader returns a Loader for the module rooted at moduleRoot (the
+// directory containing go.mod).
+func NewLoader(moduleRoot string) (*Loader, error) {
+	abs, err := filepath.Abs(moduleRoot)
+	if err != nil {
+		return nil, err
+	}
+	mod, err := os.ReadFile(filepath.Join(abs, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("analysis: loader needs a module root: %w", err)
+	}
+	modPath := ""
+	for _, line := range strings.Split(string(mod), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			modPath = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if modPath == "" {
+		return nil, fmt.Errorf("analysis: no module directive in %s/go.mod", abs)
+	}
+	ctxt := build.Default
+	ctxt.CgoEnabled = false
+	return &Loader{
+		fset:       token.NewFileSet(),
+		ctxt:       ctxt,
+		moduleRoot: abs,
+		modulePath: modPath,
+		cache:      make(map[string]*Package),
+	}, nil
+}
+
+// Fset returns the loader's shared file set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// Load loads and type-checks the package in dir.
+func (l *Loader) Load(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	return l.loadDir(abs, l.pathForDir(abs))
+}
+
+// pathForDir derives the import path for a directory inside the module.
+func (l *Loader) pathForDir(abs string) string {
+	rel, err := filepath.Rel(l.moduleRoot, abs)
+	if err != nil || rel == ".." || strings.HasPrefix(rel, ".."+string(filepath.Separator)) {
+		return filepath.ToSlash(abs)
+	}
+	if rel == "." {
+		return l.modulePath
+	}
+	return l.modulePath + "/" + filepath.ToSlash(rel)
+}
+
+// dirForPath resolves an import path to a source directory: module-local
+// paths under the module root, anything else in GOROOT/src (with the
+// stdlib vendor directory as fallback).
+func (l *Loader) dirForPath(path string) (string, error) {
+	if path == l.modulePath {
+		return l.moduleRoot, nil
+	}
+	if rest, ok := strings.CutPrefix(path, l.modulePath+"/"); ok {
+		return filepath.Join(l.moduleRoot, filepath.FromSlash(rest)), nil
+	}
+	goroot := runtime.GOROOT()
+	dir := filepath.Join(goroot, "src", filepath.FromSlash(path))
+	if fi, err := os.Stat(dir); err == nil && fi.IsDir() {
+		return dir, nil
+	}
+	vdir := filepath.Join(goroot, "src", "vendor", filepath.FromSlash(path))
+	if fi, err := os.Stat(vdir); err == nil && fi.IsDir() {
+		return vdir, nil
+	}
+	return "", fmt.Errorf("analysis: cannot resolve import %q", path)
+}
+
+func (l *Loader) loadDir(dir, path string) (*Package, error) {
+	if p, ok := l.cache[path]; ok {
+		if p == nil {
+			return nil, fmt.Errorf("analysis: import cycle through %q", path)
+		}
+		return p, nil
+	}
+	l.cache[path] = nil // cycle guard
+
+	bp, err := l.ctxt.ImportDir(dir, 0)
+	if err != nil {
+		delete(l.cache, path)
+		return nil, fmt.Errorf("analysis: %s: %w", dir, err)
+	}
+	names := append([]string(nil), bp.GoFiles...)
+	sort.Strings(names)
+
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			delete(l.cache, path)
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{
+		Importer:    importerFunc(func(p string) (*types.Package, error) { return l.importPath(p) }),
+		FakeImportC: true,
+		Sizes:       types.SizesFor("gc", runtime.GOARCH),
+	}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		delete(l.cache, path)
+		return nil, fmt.Errorf("analysis: typecheck %s: %w", path, err)
+	}
+
+	p := &Package{Path: path, Dir: dir, Fset: l.fset, Files: files, Types: tpkg, TypesInfo: info}
+	l.cache[path] = p
+	return p, nil
+}
+
+func (l *Loader) importPath(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	dir, err := l.dirForPath(path)
+	if err != nil {
+		return nil, err
+	}
+	p, err := l.loadDir(dir, path)
+	if err != nil {
+		return nil, err
+	}
+	return p.Types, nil
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// Expand resolves go-tool-style package patterns relative to root: a plain
+// directory names itself, and a trailing "/..." walks the subtree. Like the
+// go tool, the walk skips testdata, vendor, and dot/underscore directories,
+// and directories with no buildable Go files are dropped silently from
+// wildcard matches.
+func (l *Loader) Expand(root string, patterns []string) ([]string, error) {
+	var dirs []string
+	seen := make(map[string]bool)
+	add := func(dir string, wildcard bool) error {
+		if seen[dir] {
+			return nil
+		}
+		if _, err := l.ctxt.ImportDir(dir, 0); err != nil {
+			if _, ok := err.(*build.NoGoError); ok && wildcard {
+				return nil
+			}
+			return err
+		}
+		seen[dir] = true
+		dirs = append(dirs, dir)
+		return nil
+	}
+	for _, pat := range patterns {
+		base, wild := strings.CutSuffix(pat, "...")
+		base = strings.TrimSuffix(base, "/")
+		if base == "" {
+			base = "."
+		}
+		start := base
+		if !filepath.IsAbs(start) {
+			start = filepath.Join(root, base)
+		}
+		if !wild {
+			if err := add(start, false); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		err := filepath.WalkDir(start, func(p string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if p != start && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return add(p, true)
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return dirs, nil
+}

@@ -1,0 +1,88 @@
+package analysis
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	abs, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return abs
+}
+
+// TestLoadTypeChecksRealPackage: the loader resolves module-local and
+// stdlib imports from source and produces full type information for a real
+// package with a deep dependency tree (internal/cluster imports net/http).
+func TestLoadTypeChecksRealPackage(t *testing.T) {
+	root := repoRoot(t)
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := l.Load(filepath.Join(root, "internal", "cluster"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Path != "wmsketch/internal/cluster" {
+		t.Fatalf("import path %q", p.Path)
+	}
+	if len(p.Files) == 0 || p.Types == nil || p.TypesInfo == nil {
+		t.Fatalf("incomplete package: %d files", len(p.Files))
+	}
+	if p.Types.Scope().Lookup("Node") == nil {
+		t.Fatal("type info missing cluster.Node")
+	}
+	// Test files must be excluded: analyzers police production code only.
+	for _, f := range p.Files {
+		name := l.Fset().Position(f.Pos()).Filename
+		if filepath.Base(name) == "membership_test.go" {
+			t.Fatal("loader included a _test.go file")
+		}
+	}
+}
+
+// TestExpandPatterns: "./..." walks the tree like the go tool — skipping
+// testdata, vendor, and dot/underscore directories — and plain directory
+// patterns name themselves.
+func TestExpandPatterns(t *testing.T) {
+	root := repoRoot(t)
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs, err := l.Expand(root, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(map[string]bool, len(dirs))
+	for _, d := range dirs {
+		rel, err := filepath.Rel(root, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got[filepath.ToSlash(rel)] = true
+	}
+	for _, want := range []string{"internal/cluster", "internal/sketch", "cmd/wmlint"} {
+		if !got[want] {
+			t.Fatalf("Expand(./...) missed %s (got %d dirs)", want, len(dirs))
+		}
+	}
+	for dir := range got {
+		if filepath.Base(dir) == "testdata" || len(dir) > len("internal/analysis/testdata") &&
+			dir[:len("internal/analysis/testdata")] == "internal/analysis/testdata" {
+			t.Fatalf("Expand descended into testdata: %s", dir)
+		}
+	}
+
+	one, err := l.Expand(root, []string{"./internal/hashing"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(one) != 1 || filepath.Base(one[0]) != "hashing" {
+		t.Fatalf("plain pattern: %v", one)
+	}
+}

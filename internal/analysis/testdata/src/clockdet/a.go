@@ -1,0 +1,36 @@
+package clockdet
+
+import "time"
+
+type clock interface {
+	Now() time.Time
+	After(d time.Duration) <-chan time.Time
+}
+
+func bad(d time.Duration) {
+	_ = time.Now()              // want `time\.Now bypasses the injected Clock`
+	<-time.After(d)             // want `time\.After bypasses the injected Clock`
+	time.Sleep(d)               // want `time\.Sleep bypasses the injected Clock`
+	_ = time.NewTimer(d)        // want `time\.NewTimer bypasses the injected Clock`
+	_ = time.NewTicker(d)       // want `time\.NewTicker bypasses the injected Clock`
+	_ = time.Since(time.Time{}) // want `time\.Since bypasses the injected Clock`
+}
+
+// good goes through the injected clock; durations and time.Time values are
+// not wall-clock reads and must not flag.
+func good(c clock, d time.Duration) time.Time {
+	deadline := c.Now().Add(2 * time.Second)
+	select {
+	case t := <-c.After(d):
+		return t
+	default:
+	}
+	return deadline
+}
+
+// wall is a deliberate exception: the suppression must hold the finding
+// back, so this function expects no diagnostics.
+func wall() time.Time {
+	//lint:ignore clockdet fixture exercises the suppression path
+	return time.Now()
+}

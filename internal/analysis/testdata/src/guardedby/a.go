@@ -1,0 +1,55 @@
+package guardedby
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+
+	rmu sync.RWMutex
+	// hits counts read-side lookups.
+	// guarded by rmu
+	hits int
+
+	free int // unannotated: never checked
+}
+
+func (c *counter) bad() int {
+	return c.n // want `n is guarded by mu but accessed without holding it`
+}
+
+func (c *counter) good() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func (c *counter) goodRead() int {
+	c.rmu.RLock()
+	defer c.rmu.RUnlock()
+	return c.hits
+}
+
+// hitsLocked follows the caller-holds-the-lock naming convention.
+func (c *counter) hitsLocked() int {
+	return c.hits
+}
+
+// newCounter initializes fields before the value is shared: allowed.
+func newCounter() *counter {
+	c := &counter{}
+	c.n = 1
+	c.hits = 0
+	return c
+}
+
+func (c *counter) badWrongLock() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+	c.hits++ // want `hits is guarded by rmu but accessed without holding it`
+}
+
+func (c *counter) goodUnguarded() int {
+	return c.free
+}

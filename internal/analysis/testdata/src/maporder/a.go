@@ -1,0 +1,78 @@
+package maporder
+
+import "sort"
+
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func badAccum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `accumulates a float across a map iteration`
+	}
+	return sum
+}
+
+func badAppend(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `appends to out in map-iteration order`
+	}
+	return out
+}
+
+func goodAppendSortedAfter(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func goodSortedKeysFirst(m map[string]float64) float64 {
+	var sum float64
+	for _, k := range sortedKeys(m) {
+		sum += m[k]
+	}
+	return sum
+}
+
+type encoder struct{}
+
+func (encoder) WriteString(s string) {}
+
+func badEncode(m map[string]int, e encoder) {
+	for k := range m {
+		e.WriteString(k) // want `calls WriteString inside a map iteration`
+	}
+}
+
+// A float update keyed by the loop variable touches each element
+// independently — order cannot matter, so it must not flag.
+func goodPerElementUpdate(m map[string]float64, w float64) {
+	for k := range m {
+		m[k] -= w
+	}
+	for k, v := range m {
+		m[k] = v * 0.5
+	}
+}
+
+// Integer accumulation commutes exactly and a loop-local slice cannot leak
+// iteration order: neither may flag.
+func goodLocalWork(m map[string]int) int {
+	n := 0
+	for k := range m {
+		tmp := make([]string, 0, 1)
+		tmp = append(tmp, k)
+		n += len(tmp)
+	}
+	return n
+}

@@ -1,0 +1,46 @@
+package nonfinite
+
+import (
+	"errors"
+	"math"
+	"strconv"
+)
+
+func parseBad(s string) (float64, error) {
+	return strconv.ParseFloat(s, 64) // want `ParseFloat crosses an ingest boundary in parseBad`
+}
+
+func parseGood(s string) (float64, error) {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, err
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, errors.New("non-finite value")
+	}
+	return v, nil
+}
+
+func decodeBad(bits uint64) float64 {
+	return math.Float64frombits(bits) // want `Float64frombits crosses an ingest boundary in decodeBad`
+}
+
+// Delegating to a validator by name (isBad, validate*, checkFinite, ...)
+// also clears the function.
+func decodeGoodDelegated(bits uint64) float64 {
+	v := math.Float64frombits(bits)
+	if isBad(v) {
+		return 0
+	}
+	return v
+}
+
+func isBad(v float64) bool {
+	return math.IsNaN(v) || math.IsInf(v, 0)
+}
+
+// frombitsHelper is outside the analyzer's scope: its name marks no ingest
+// boundary, so its caller owns validation.
+func frombitsHelper(bits uint64) float64 {
+	return math.Float64frombits(bits)
+}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"net/http"
 	"strconv"
@@ -38,6 +39,10 @@ type ChaosConfig struct {
 	// Partition, when non-nil, fails any request whose target host it
 	// reports as unreachable.
 	Partition func(host string) bool
+	// Clock drives the Delay injection; nil selects WallClock. The
+	// simulator and tests inject a VirtualClock so a delay schedule runs
+	// on virtual time — deterministic, with zero wall-clock sleeps.
+	Clock Clock
 }
 
 // ChaosStats counts injected faults.
@@ -64,6 +69,9 @@ func NewChaosTransport(base http.RoundTripper, cfg ChaosConfig) *ChaosTransport 
 	seed := cfg.Seed
 	if seed == 0 {
 		seed = 1
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = WallClock
 	}
 	return &ChaosTransport{base: base, cfg: cfg, rng: rand.New(rand.NewSource(seed))}
 }
@@ -113,8 +121,11 @@ func (c *ChaosTransport) RoundTrip(req *http.Request) (*http.Response, error) {
 		return nil, fmt.Errorf("chaos: dropped request to %s", req.URL.Host)
 	}
 	if delay && c.cfg.Delay > 0 {
+		// The delay runs on the injected Clock, not the time package, so a
+		// delay schedule under the simulator's VirtualClock is a pure
+		// function of the seed — virtual time, zero wall-clock sleeps.
 		select {
-		case <-time.After(c.cfg.Delay):
+		case <-c.cfg.Clock.After(c.cfg.Delay):
 		case <-req.Context().Done():
 			return nil, req.Context().Err()
 		}
@@ -182,7 +193,9 @@ func ParseChaos(s string) (ChaosConfig, error) {
 		switch key {
 		case "drop", "dup", "corrupt", "delayp":
 			p, err := strconv.ParseFloat(val, 64)
-			if err != nil || p < 0 || p > 1 {
+			// NaN compares false to both bounds, so reject it explicitly —
+			// a NaN probability would poison every rng comparison.
+			if err != nil || math.IsNaN(p) || p < 0 || p > 1 {
 				return cfg, fmt.Errorf("chaos: %s must be a probability in [0,1], got %q", key, val)
 			}
 			switch key {

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"bytes"
+	"context"
 	"io"
 	"net/http"
 	"strings"
@@ -137,6 +138,104 @@ func TestChaosDeterministicSchedule(t *testing.T) {
 	}
 }
 
+// TestChaosDelayRunsOnInjectedClock: with a VirtualClock injected, the
+// delay blocks until the clock is advanced — no wall-clock sleeping — and
+// a canceled request context unblocks it.
+func TestChaosDelayRunsOnInjectedClock(t *testing.T) {
+	clock := NewVirtualClock(time.Unix(0, 0))
+	base := &recordingRT{reply: "ok"}
+	ct := NewChaosTransport(base, ChaosConfig{
+		Seed: 5, DelayProb: 1, Delay: time.Hour, Clock: clock,
+	})
+
+	done := make(chan error, 1)
+	go func() {
+		resp, err := ct.RoundTrip(chaosReq(t, "up:1", ""))
+		if err == nil {
+			resp.Body.Close()
+		}
+		done <- err
+	}()
+
+	// An hour of virtual delay must not complete on its own.
+	select {
+	case <-done:
+		t.Fatal("delayed request completed without the clock advancing")
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	clock.Advance(time.Hour)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("delayed request failed after release: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Advance did not release the delayed request")
+	}
+	if st := ct.Stats(); st.Delayed != 1 {
+		t.Fatalf("stats %+v, want 1 delayed", st)
+	}
+
+	// A canceled context aborts the virtual wait instead of leaking the
+	// goroutine until the next Advance.
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		_, err := ct.RoundTrip(chaosReq(t, "up:1", "").WithContext(ctx))
+		done <- err
+	}()
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("canceled delayed request returned no error")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("context cancel did not unblock the delayed request")
+	}
+}
+
+// TestChaosDelayScheduleDeterministic: which requests get delayed is a pure
+// function of the seed, independent of the clock driving the delays.
+func TestChaosDelayScheduleDeterministic(t *testing.T) {
+	schedule := func(seed int64) string {
+		clock := NewVirtualClock(time.Unix(0, 0))
+		ct := NewChaosTransport(&recordingRT{reply: "ok"}, ChaosConfig{
+			Seed: seed, DelayProb: 0.5, Delay: time.Minute, Clock: clock,
+		})
+		var sb strings.Builder
+		for i := 0; i < 64; i++ {
+			before := ct.Stats().Delayed
+			done := make(chan struct{})
+			go func() {
+				if resp, err := ct.RoundTrip(chaosReq(t, "up:1", "")); err == nil {
+					resp.Body.Close()
+				}
+				close(done)
+			}()
+			// Lock-step: wait for the roll, then release any pending delay.
+			for ct.Stats().Requests == int64(i) {
+				time.Sleep(time.Millisecond)
+			}
+			if ct.Stats().Delayed > before {
+				sb.WriteByte('d')
+				clock.Advance(time.Minute)
+			} else {
+				sb.WriteByte('.')
+			}
+			<-done
+		}
+		return sb.String()
+	}
+	a, b := schedule(11), schedule(11)
+	if a != b {
+		t.Fatalf("same seed, different delay schedules:\n%s\n%s", a, b)
+	}
+	if !strings.Contains(a, "d") || !strings.Contains(a, ".") {
+		t.Fatalf("delayp=0.5 schedule is degenerate: %s", a)
+	}
+}
+
 func TestParseChaos(t *testing.T) {
 	cfg, err := ParseChaos("drop=0.1,dup=0.05,corrupt=0.01,delay=50ms,delayp=0.5,seed=7")
 	if err != nil {
@@ -151,7 +250,7 @@ func TestParseChaos(t *testing.T) {
 	if err != nil || cfg.DelayProb != 1 {
 		t.Fatalf("bare delay: %+v, %v", cfg, err)
 	}
-	for _, bad := range []string{"drop=2", "drop=-1", "delay=xyz", "nope=1", "drop"} {
+	for _, bad := range []string{"drop=2", "drop=-1", "drop=NaN", "delayp=nan", "delay=xyz", "nope=1", "drop"} {
 		if _, err := ParseChaos(bad); err == nil {
 			t.Fatalf("ParseChaos(%q) accepted garbage", bad)
 		}

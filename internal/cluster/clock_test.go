@@ -1,0 +1,149 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func TestVirtualClockAfterFiresOnAdvance(t *testing.T) {
+	start := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	c := NewVirtualClock(start)
+
+	ch := c.After(10 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("timer fired before the clock moved")
+	default:
+	}
+
+	c.Advance(9 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("timer fired 1s early")
+	default:
+	}
+
+	c.Advance(time.Second)
+	select {
+	case at := <-ch:
+		// The delivered time is the scheduled virtual deadline, not wall time.
+		if want := start.Add(10 * time.Second); !at.Equal(want) {
+			t.Fatalf("timer delivered %v, want %v", at, want)
+		}
+	default:
+		t.Fatal("timer did not fire at its deadline")
+	}
+}
+
+func TestVirtualClockAfterNonPositiveFiresImmediately(t *testing.T) {
+	c := NewVirtualClock(time.Unix(100, 0))
+	select {
+	case at := <-c.After(0):
+		if !at.Equal(time.Unix(100, 0)) {
+			t.Fatalf("immediate fire delivered %v", at)
+		}
+	default:
+		t.Fatal("After(0) did not fire immediately")
+	}
+}
+
+func TestVirtualClockTimersFireInDeadlineOrder(t *testing.T) {
+	start := time.Unix(0, 0)
+	c := NewVirtualClock(start)
+	// Register out of order; one Advance must deliver them deadline-first,
+	// each stamped with its own deadline.
+	late := c.After(30 * time.Second)
+	early := c.After(10 * time.Second)
+	mid := c.After(20 * time.Second)
+	c.Advance(time.Minute)
+	for _, tc := range []struct {
+		ch   <-chan time.Time
+		want time.Duration
+	}{{early, 10 * time.Second}, {mid, 20 * time.Second}, {late, 30 * time.Second}} {
+		select {
+		case at := <-tc.ch:
+			if !at.Equal(start.Add(tc.want)) {
+				t.Fatalf("timer for +%v delivered %v", tc.want, at)
+			}
+		default:
+			t.Fatalf("timer for +%v did not fire", tc.want)
+		}
+	}
+}
+
+func TestVirtualClockTickerReArmsAndIsLossy(t *testing.T) {
+	c := NewVirtualClock(time.Unix(0, 0))
+	tk := c.NewTicker(time.Second)
+	defer tk.Stop()
+
+	// Advancing 5s with nobody draining delivers only the buffered tick:
+	// lossy, like time.Ticker.
+	c.Advance(5 * time.Second)
+	got := 0
+	for {
+		select {
+		case <-tk.Chan():
+			got++
+			continue
+		default:
+		}
+		break
+	}
+	if got != 1 {
+		t.Fatalf("undrained ticker queued %d ticks, want 1 (lossy delivery)", got)
+	}
+
+	// Drained each step, it ticks once per period.
+	for i := 0; i < 3; i++ {
+		c.Advance(time.Second)
+		select {
+		case <-tk.Chan():
+		default:
+			t.Fatalf("drained ticker missed tick %d", i)
+		}
+	}
+
+	tk.Stop()
+	c.Advance(10 * time.Second)
+	select {
+	case <-tk.Chan():
+		t.Fatal("stopped ticker still ticking")
+	default:
+	}
+}
+
+func TestVirtualClockSetRefusesToGoBackwards(t *testing.T) {
+	c := NewVirtualClock(time.Unix(100, 0))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Set into the past did not panic")
+		}
+	}()
+	c.Set(time.Unix(50, 0))
+}
+
+func TestVirtualClockReleasesBlockedGoroutine(t *testing.T) {
+	// The property the chaos-delay path depends on: a goroutine blocked on
+	// After is released by another goroutine advancing the clock.
+	c := NewVirtualClock(time.Unix(0, 0))
+	done := make(chan struct{})
+	ready := make(chan (<-chan time.Time), 1)
+	go func() {
+		ch := c.After(time.Hour)
+		ready <- ch
+		<-ch
+		close(done)
+	}()
+	<-ready
+	select {
+	case <-done:
+		t.Fatal("goroutine ran past an unexpired virtual timer")
+	case <-time.After(20 * time.Millisecond):
+	}
+	c.Advance(time.Hour)
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Advance did not release the blocked goroutine")
+	}
+}

@@ -46,24 +46,24 @@ type peerState struct {
 	url string
 
 	mu           sync.Mutex
-	state        PeerLiveness
-	rounds       int64
-	failures     int64 // consecutive
-	totalFails   int64
-	lastError    string
-	lastSuccess  time.Time
-	lastOK       time.Time // last success, or boot time — the dead clock's epoch
-	backoffUntil time.Time
-	bytesIn      int64
-	bytesOut     int64
-	framesIn     int64
-	framesOut    int64
+	state        PeerLiveness // guarded by mu
+	rounds       int64        // guarded by mu
+	failures     int64        // guarded by mu; consecutive
+	totalFails   int64        // guarded by mu
+	lastError    string       // guarded by mu
+	lastSuccess  time.Time    // guarded by mu
+	lastOK       time.Time    // guarded by mu; last success, or boot time — the dead clock's epoch
+	backoffUntil time.Time    // guarded by mu
+	bytesIn      int64        // guarded by mu
+	bytesOut     int64        // guarded by mu
+	framesIn     int64        // guarded by mu
+	framesOut    int64        // guarded by mu
 	// fullRetries counts consecutive rounds that needed an inline full
 	// re-pull; past maxInlineFullRetries the re-pull is deferred to the
 	// next round's digest instead (forceFull), so a flapping peer cannot
 	// double every round's cost forever.
-	fullRetries int
-	forceFull   map[string]bool
+	fullRetries int             // guarded by mu
+	forceFull   map[string]bool // guarded by mu
 }
 
 // maxBackoff caps the per-peer retry backoff.
@@ -84,13 +84,13 @@ func (n *Node) Start() {
 		n.wg.Add(1)
 		go func() {
 			defer n.wg.Done()
-			t := time.NewTicker(n.cfg.Interval)
+			t := n.cfg.Clock.NewTicker(n.cfg.Interval)
 			defer t.Stop()
 			for {
 				select {
 				case <-n.stop:
 					return
-				case <-t.C:
+				case <-t.Chan():
 					n.GossipOnce()
 				}
 			}
@@ -128,7 +128,7 @@ func (n *Node) GossipOnce() int {
 }
 
 func (n *Node) peerFailed(p *peerState, err error) {
-	now := n.cfg.Now()
+	now := n.cfg.Clock.Now()
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.failures++
@@ -154,7 +154,7 @@ func (n *Node) peerFailed(p *peerState, err error) {
 }
 
 func (n *Node) peerSucceeded(p *peerState) {
-	now := n.cfg.Now()
+	now := n.cfg.Clock.Now()
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.state != PeerAlive {
@@ -375,7 +375,7 @@ func (n *Node) Status() Status {
 		RetriesDeferred: n.retriesDeferred.Load(),
 		Health:          n.Health(),
 	}
-	now := n.cfg.Now()
+	now := n.cfg.Clock.Now()
 	n.mu.Lock()
 	ids := make([]string, 0, len(n.origins))
 	for id := range n.origins {

@@ -95,7 +95,7 @@ func autoFanout(total int) int {
 // backoff has passed, plus (with probability deadProbeProb) one dead peer
 // as a rejoin probe.
 func (n *Node) samplePeers() []*peerState {
-	now := n.cfg.Now()
+	now := n.cfg.Clock.Now()
 	var pool, deadPool []*peerState
 	for _, p := range n.peers {
 		p.mu.Lock()
@@ -180,7 +180,7 @@ func quantizeFactor(f float64) uint8 {
 // back) and marks the view dirty whenever any origin's decay factor has
 // moved since the last rebuild. Called once per gossip round.
 func (n *Node) sweepOrigins() {
-	now := n.cfg.Now()
+	now := n.cfg.Clock.Now()
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	dirty := false
@@ -223,7 +223,7 @@ type Health struct {
 
 // Health classifies every peer at the current clock and summarizes.
 func (n *Node) Health() Health {
-	now := n.cfg.Now()
+	now := n.cfg.Clock.Now()
 	h := Health{PeersTotal: len(n.peers), OriginsGCed: n.originsGCed.Load()}
 	for _, p := range n.peers {
 		p.mu.Lock()

@@ -14,26 +14,9 @@ import (
 	"wmsketch/internal/stream"
 )
 
-// fakeClock is a manually-advanced clock injected via Config.Now.
-type fakeClock struct {
-	mu sync.Mutex
-	t  time.Time
-}
-
-func newFakeClock() *fakeClock {
-	return &fakeClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
-}
-
-func (c *fakeClock) Now() time.Time {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.t
-}
-
-func (c *fakeClock) Advance(d time.Duration) {
-	c.mu.Lock()
-	c.t = c.t.Add(d)
-	c.mu.Unlock()
+// newFakeClock is the manually-advanced clock injected via Config.Clock.
+func newFakeClock() *VirtualClock {
+	return NewVirtualClock(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC))
 }
 
 // stubTransport answers every pull with an empty digest frame (a peer that
@@ -88,7 +71,7 @@ func (s *stubTransport) Push(ctx context.Context, peerURL string, frames []byte)
 
 // clockedNode builds a node on a fake clock and stub transport with the
 // given peers and membership knobs.
-func clockedNode(t *testing.T, clock *fakeClock, tr Transport, peers []string, tweak func(*Config)) *Node {
+func clockedNode(t *testing.T, clock *VirtualClock, tr Transport, peers []string, tweak func(*Config)) *Node {
 	t.Helper()
 	cfg := clusterConfig()
 	l := core.NewAWMSketch(cfg)
@@ -101,7 +84,7 @@ func clockedNode(t *testing.T, clock *fakeClock, tr Transport, peers []string, t
 		Mix:       mixOpt(cfg),
 		Local:     l,
 		Interval:  -1,
-		Now:       clock.Now,
+		Clock:     clock,
 		Transport: tr,
 		Seed:      1,
 		Logf:      t.Logf,
@@ -118,7 +101,7 @@ func clockedNode(t *testing.T, clock *fakeClock, tr Transport, peers []string, t
 
 // advancePastBackoff moves the clock beyond the peer's current backoff
 // deadline.
-func advancePastBackoff(clock *fakeClock, p *peerState) {
+func advancePastBackoff(clock *VirtualClock, p *peerState) {
 	p.mu.Lock()
 	until := p.backoffUntil
 	p.mu.Unlock()

@@ -75,11 +75,12 @@ type Config struct {
 	// from Self, so distinct nodes sample distinct sequences and a fixed
 	// (Self, Seed) pair replays deterministically.
 	Seed int64
-	// Now is the clock; nil selects time.Now. Tests and the discrete-event
-	// simulator inject virtual clocks here, which is what makes membership
-	// timing (backoff, suspect/dead promotion, origin GC) drivable without
+	// Clock is the time source; nil selects WallClock. Tests and the
+	// discrete-event simulator inject a VirtualClock here, which is what
+	// makes membership timing (backoff, suspect/dead promotion, origin GC),
+	// the gossip ticker, and chaos delay injection drivable without
 	// wall-clock sleeps.
-	Now func() time.Time
+	Clock Clock
 	// Transport carries gossip RPCs; nil selects HTTP via Client, with
 	// AuthToken on pushes.
 	Transport Transport
@@ -132,8 +133,8 @@ func (c *Config) fill() error {
 		_, _ = h.Write([]byte(c.Self))
 		c.Seed = int64(h.Sum64())
 	}
-	if c.Now == nil {
-		c.Now = time.Now
+	if c.Clock == nil {
+		c.Clock = WallClock
 	}
 	if c.Transport == nil {
 		c.Transport = httpTransport{client: c.Client, authToken: c.AuthToken}
@@ -198,7 +199,7 @@ type Node struct {
 	cfg Config
 
 	mu      sync.Mutex // guards origins and view rebuild
-	origins map[string]*originState
+	origins map[string]*originState // guarded by mu
 	view    atomic.Pointer[core.Mixed]
 	// viewDirty marks the served view stale; View() rebuilds lazily, so a
 	// burst of applied frames (or a 100-node simulator round) costs one
@@ -210,7 +211,7 @@ type Node struct {
 	// rng drives peer sampling and dead-peer probing, seeded from
 	// cfg.Seed for deterministic replay; rmu serializes access.
 	rmu sync.Mutex
-	rng *rand.Rand
+	rng *rand.Rand // guarded by rmu
 
 	stop     chan struct{}
 	wg       sync.WaitGroup
@@ -245,7 +246,7 @@ func NewNode(cfg Config) (*Node, error) {
 		stop:    make(chan struct{}),
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
 	}
-	now := cfg.Now()
+	now := cfg.Clock.Now()
 	for _, u := range cfg.Peers {
 		// lastOK starts at boot time so a peer that never answers is
 		// promoted dead by the DeadAfter clock, not instantly at start.
@@ -297,7 +298,7 @@ func (n *Node) PublishLocal() (int64, bool, error) {
 	if sn.Steps <= self.version {
 		return self.version, false, nil
 	}
-	self.adopt(sn.Steps, sn, n.cfg.HistoryDepth, n.cfg.Now())
+	self.adopt(sn.Steps, sn, n.cfg.HistoryDepth, n.cfg.Clock.Now())
 	n.viewDirty.Store(true)
 	return self.version, true, nil
 }
@@ -457,7 +458,7 @@ func (n *Node) ApplyFrames(frames []Frame) ApplyResult {
 			o = &originState{id: f.Origin}
 			n.origins[f.Origin] = o
 		}
-		o.adopt(f.Version, snap, n.cfg.HistoryDepth, n.cfg.Now())
+		o.adopt(f.Version, snap, n.cfg.HistoryDepth, n.cfg.Clock.Now())
 		res.Applied++
 	}
 	if res.Applied > 0 {
@@ -497,7 +498,7 @@ func applyDelta(base core.Snapshot, f *Frame) (core.Snapshot, error) {
 // each by its example count times its origin-GC factor (tombstoned and
 // fully-decayed origins contribute nothing). Caller holds n.mu.
 func (n *Node) rebuildViewLocked() {
-	now := n.cfg.Now()
+	now := n.cfg.Clock.Now()
 	snaps := make([]core.Snapshot, 0, len(n.origins))
 	for _, o := range n.origins {
 		f := n.originFactorLocked(o, now)
@@ -507,6 +508,7 @@ func (n *Node) rebuildViewLocked() {
 		}
 		sn := o.snap
 		sn.WeightFactor = f
+		//lint:ignore maporder MixSnapshots canonicalizes order by sorting snapshots by Origin before summing
 		snaps = append(snaps, sn)
 	}
 	// Clear the dirty bit even on the (unreachable) mix error below, so a
@@ -527,7 +529,7 @@ func (n *Node) rebuildViewLocked() {
 // clock — the observable the simulator's GC assertions are written
 // against.
 func (n *Node) OriginMixWeights() map[string]float64 {
-	now := n.cfg.Now()
+	now := n.cfg.Clock.Now()
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	out := make(map[string]float64, len(n.origins))

@@ -216,7 +216,7 @@ type simNode struct {
 // scenario.
 type world struct {
 	sc    Scenario
-	now   time.Time
+	clock *cluster.VirtualClock
 	rng   *rand.Rand
 	nodes []*simNode
 	byID  map[string]*simNode
@@ -343,10 +343,10 @@ func Run(sc Scenario) (Report, error) {
 		return Report{}, err
 	}
 	w := &world{
-		sc:   sc,
-		now:  time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC),
-		rng:  rand.New(rand.NewSource(sc.Seed)),
-		byID: make(map[string]*simNode, sc.Nodes),
+		sc:    sc,
+		clock: cluster.NewVirtualClock(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)),
+		rng:   rand.New(rand.NewSource(sc.Seed)),
+		byID:  make(map[string]*simNode, sc.Nodes),
 	}
 	geom := simGeometry()
 	for i := 0; i < sc.Nodes; i++ {
@@ -366,7 +366,7 @@ func Run(sc Scenario) (Report, error) {
 			HistoryDepth:  2,  // bounds fleet-wide memory: N² origins each hold ≤2 versions
 			OriginGCAfter: sc.GCAfter,
 			OriginGCDecay: sc.GCDecay,
-			Now:           func() time.Time { return w.now },
+			Clock:         w.clock,
 			Transport:     memTransport{w: w, src: s},
 			Seed:          sc.Seed + int64(i)*7919,
 		})
@@ -407,7 +407,7 @@ func Run(sc Scenario) (Report, error) {
 			}
 			s.node.GossipOnce()
 		}
-		w.now = w.now.Add(sc.RoundStep)
+		w.clock.Advance(sc.RoundStep)
 		if round%10 == 9 {
 			h := w.nodes[0].node.Health()
 			sc.Logf("sim: round %d done (n000 health %+v)", round, h)

@@ -1,7 +1,13 @@
 package sim
 
 import (
+	"io"
+	"net/http"
+	"strings"
 	"testing"
+	"time"
+
+	"wmsketch/internal/cluster"
 )
 
 // TestFaultFreeFleetConvergesExactly: with no faults, after training stops
@@ -115,4 +121,74 @@ func TestAcceptanceScenario(t *testing.T) {
 func withLog(sc Scenario, t *testing.T) Scenario {
 	sc.Logf = t.Logf
 	return sc
+}
+
+// okRT answers every request with an empty 200.
+type okRT struct{}
+
+func (okRT) RoundTrip(*http.Request) (*http.Response, error) {
+	return &http.Response{
+		StatusCode: http.StatusOK,
+		Body:       io.NopCloser(strings.NewReader("")),
+		Header:     make(http.Header),
+	}, nil
+}
+
+// TestChaosDelayDeterministicUnderSimClock: `-chaos delay` injection runs
+// on the simulator's virtual clock — hours of injected delay complete in
+// milliseconds of wall time, and the delay schedule is a pure function of
+// the seed, identical across runs.
+func TestChaosDelayDeterministicUnderSimClock(t *testing.T) {
+	const requests = 32
+	run := func() cluster.ChaosStats {
+		clock := cluster.NewVirtualClock(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC))
+		ct := cluster.NewChaosTransport(okRT{}, cluster.ChaosConfig{
+			Seed: 20260807, DelayProb: 0.5, Delay: time.Hour, Clock: clock,
+		})
+		for i := 0; i < requests; i++ {
+			req, err := http.NewRequest(http.MethodPost, "http://n001/v1/cluster/pull", nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			done := make(chan error, 1)
+			go func() {
+				resp, err := ct.RoundTrip(req)
+				if err == nil {
+					resp.Body.Close()
+				}
+				done <- err
+			}()
+			// Drive the request the way the sim drives rounds: advance the
+			// shared virtual clock until it completes. Undelayed requests
+			// finish without any advance; delayed ones need exactly their
+			// hour of virtual time, never an hour of wall time.
+			for {
+				select {
+				case err := <-done:
+					if err != nil {
+						t.Fatalf("request %d: %v", i, err)
+					}
+				case <-time.After(5 * time.Millisecond):
+					clock.Advance(time.Hour)
+					continue
+				}
+				break
+			}
+		}
+		return ct.Stats()
+	}
+
+	wallStart := time.Now()
+	a := run()
+	b := run()
+	if a != b {
+		t.Fatalf("same seed, different fault schedules:\n%+v\n%+v", a, b)
+	}
+	if a.Delayed == 0 || a.Delayed == requests {
+		t.Fatalf("delayp=0.5 schedule is degenerate: %+v", a)
+	}
+	// ~16 hours of injected virtual delay must not cost real time.
+	if wall := time.Since(wallStart); wall > 30*time.Second {
+		t.Fatalf("virtual delays leaked into wall time: %v elapsed", wall)
+	}
 }

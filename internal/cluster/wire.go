@@ -493,23 +493,31 @@ func writeFloat(bw *bufio.Writer, v float64) {
 	_, _ = bw.Write(b[:])
 }
 
+// readFloat decodes one float64 and rejects NaN/±Inf centrally: no frame
+// field — weight, scale, or delta value — legitimately carries a
+// non-finite float, and a NaN smuggled past here would poison sketch state
+// while comparing false against every later bound.
 func readFloat(br *bufio.Reader) (float64, error) {
 	var b [8]byte
 	if _, err := io.ReadFull(br, b[:]); err != nil {
 		return 0, err
 	}
-	return math.Float64frombits(binary.LittleEndian.Uint64(b[:])), nil
+	v := math.Float64frombits(binary.LittleEndian.Uint64(b[:]))
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("non-finite float on the wire (%g)", v)
+	}
+	return v, nil
 }
 
 // readScale reads and validates a model scale: real learners keep it in
-// (0, 1] via renormalization, so anything non-positive or non-finite marks
-// a corrupt or hostile frame.
+// (0, 1] via renormalization, so anything non-positive marks a corrupt or
+// hostile frame (readFloat already rejects non-finite values).
 func readScale(br *bufio.Reader) (float64, error) {
 	s, err := readFloat(br)
 	if err != nil {
 		return 0, err
 	}
-	if math.IsNaN(s) || math.IsInf(s, 0) || s <= 0 {
+	if s <= 0 {
 		return 0, fmt.Errorf("corrupt model scale %g", s)
 	}
 	return s, nil
@@ -538,12 +546,10 @@ func readWeighted(br *bufio.Reader) ([]stream.Weighted, error) {
 		if k > math.MaxUint32 {
 			return nil, fmt.Errorf("weighted key %d overflows", k)
 		}
+		// readFloat rejects non-finite weights at the decode layer.
 		w, err := readFloat(br)
 		if err != nil {
 			return nil, err
-		}
-		if math.IsNaN(w) || math.IsInf(w, 0) {
-			return nil, fmt.Errorf("weighted entry %d is non-finite", i)
 		}
 		out = append(out, stream.Weighted{Index: uint32(k), Weight: w})
 	}

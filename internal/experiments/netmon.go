@@ -91,6 +91,9 @@ func RunFig10(opt Options) *Table {
 			candidates = append(candidates, ip)
 		}
 	}
+	// Map order is randomized; sort so tie-breaks in the ratio rankings
+	// below are reproducible run to run.
+	sort.Slice(candidates, func(i, j int) bool { return candidates[i] < candidates[j] })
 
 	methods := map[string][]uint32{
 		"LR":    weightedIndices(lr.ExactTopK(netmonTopK)),

@@ -7,6 +7,7 @@ package metrics
 
 import (
 	"math"
+	"sort"
 
 	"wmsketch/internal/stream"
 )
@@ -40,10 +41,19 @@ func RelErr(estimated []stream.Weighted, truth map[uint32]float64) float64 {
 	if k == 0 {
 		return math.Inf(1)
 	}
-	// ‖w*‖² and the true top-K by magnitude.
+	// ‖w*‖² and the true top-K by magnitude. Iterate in sorted key order:
+	// float accumulation is order-sensitive, and map order is randomized,
+	// so summing in map order would make the metric differ in the last bits
+	// from run to run.
+	keys := make([]uint32, 0, len(truth))
+	for i := range truth {
+		keys = append(keys, i)
+	}
+	sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
 	norm2 := 0.0
 	mags := make([]float64, 0, len(truth))
-	for _, w := range truth {
+	for _, i := range keys {
+		w := truth[i]
 		norm2 += w * w
 		mags = append(mags, w*w)
 	}

@@ -1,6 +1,9 @@
 package metrics
 
-import "math"
+import (
+	"math"
+	"sort"
+)
 
 // RiskTracker accumulates exact per-feature contingency counts over a
 // labeled stream of 1-sparse attribute observations (the Section 8.1
@@ -91,5 +94,8 @@ func (r *RiskTracker) Features() []uint32 {
 			out = append(out, f)
 		}
 	}
+	// Map order is randomized; return a sorted list so downstream
+	// evaluation walks features in a reproducible order.
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }

@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"io"
 	"net/http"
-	"sync"
 	"testing"
 	"time"
 
@@ -61,10 +60,7 @@ func (downTransport) Push(context.Context, string, []byte) error {
 // serving) but flips status to "degraded" and says why in the counts.
 func TestHealthzDegraded(t *testing.T) {
 	srv, hs := newTestServer(t, BackendAWM)
-	var (
-		mu  sync.Mutex
-		now = time.Unix(1_700_000_000, 0)
-	)
+	clock := cluster.NewVirtualClock(time.Unix(1_700_000_000, 0))
 	n, err := cluster.NewNode(cluster.Config{
 		Self:  "healthz-test",
 		Peers: []string{"http://dead:1"},
@@ -76,11 +72,7 @@ func TestHealthzDegraded(t *testing.T) {
 		Interval:  -1,
 		Seed:      1,
 		Transport: downTransport{},
-		Now: func() time.Time {
-			mu.Lock()
-			defer mu.Unlock()
-			return now
-		},
+		Clock:     clock,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -90,9 +82,7 @@ func TestHealthzDegraded(t *testing.T) {
 	// the virtual clock past the growing backoff between attempts.
 	for i := 0; i < 3; i++ {
 		n.GossipOnce()
-		mu.Lock()
-		now = now.Add(10 * time.Second)
-		mu.Unlock()
+		clock.Advance(10 * time.Second)
 	}
 	var resp HealthzResponse
 	if code := doJSON(t, "GET", hs.URL+"/healthz", nil, &resp); code != http.StatusOK {

@@ -87,7 +87,7 @@ type Server struct {
 	// mu guards backend replacement (checkpoint restore swaps the learner);
 	// request handlers hold it for read.
 	mu      sync.RWMutex
-	backend learner
+	backend learner // guarded by mu
 
 	// cluster is non-nil when Options.Cluster is enabled.
 	cluster *cluster.Node

@@ -84,6 +84,7 @@ func readFloats(r io.Reader, scratch []byte, vals []float64) error {
 			return err
 		}
 		for i := range vals[:c] {
+			//lint:ignore nonfinite every restored row is validated whole by validateBuckets right after the bulk read
 			vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
 		}
 		vals = vals[c:]

@@ -1,0 +1,90 @@
+package sketch
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// FuzzReadCountSketch drives checkpoint restore with corrupted, truncated,
+// and adversarial checkpoints. The contract under fuzz: restore either
+// returns an error or returns a usable sketch — never a panic, never an
+// unbounded allocation (maxSerializedBuckets gates the header), and never
+// a sketch carrying non-finite buckets. An accepted restore must also
+// round-trip bit-exactly through a second serialize/restore cycle.
+//
+// `make fuzz-smoke` runs this alongside the cluster wire-format fuzzer;
+// longer runs: go test -fuzz FuzzReadCountSketch ./internal/sketch.
+func FuzzReadCountSketch(f *testing.F) {
+	// Seed corpus: a real checkpoint with traffic, an empty one, plus
+	// truncations at interesting depths and seeded bit flips.
+	cs := NewCountSketch(3, 64, 42)
+	for i := uint32(0); i < 500; i++ {
+		cs.Update(i%97, float64(i)*0.25-30)
+	}
+	var buf bytes.Buffer
+	if _, err := cs.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := append([]byte(nil), buf.Bytes()...)
+
+	buf.Reset()
+	if _, err := NewCountSketch(1, 8, 7).WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	empty := append([]byte(nil), buf.Bytes()...)
+
+	for _, s := range [][]byte{valid, empty} {
+		f.Add(s)
+		for _, cut := range []int{0, 4, 8, 23, 24, len(s) / 2, len(s) - 1} {
+			if cut >= 0 && cut < len(s) {
+				f.Add(append([]byte(nil), s[:cut]...))
+			}
+		}
+		for _, flip := range []int{5, 12, 24, len(s) - 8} {
+			if flip >= 0 && flip < len(s) {
+				mut := append([]byte(nil), s...)
+				mut[flip] ^= 0xA5
+				f.Add(mut)
+			}
+		}
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadCountSketch(bytes.NewReader(data))
+		if err != nil {
+			return // rejected: fine, as long as we did not panic
+		}
+		// Accepted checkpoints must be fully usable: finite estimates and
+		// update arithmetic that stays finite.
+		for _, key := range []uint32{0, 1, 31, 1 << 30} {
+			if v := got.Estimate(key); math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("restored sketch estimates non-finite %g at key %d", v, key)
+			}
+		}
+		got.Update(3, 1.5)
+
+		// Round-trip: serialize the accepted sketch and restore again; the
+		// result must match bucket for bucket, bit for bit.
+		var out bytes.Buffer
+		if _, err := got.WriteTo(&out); err != nil {
+			t.Fatalf("re-serialize of accepted restore failed: %v", err)
+		}
+		again, err := ReadCountSketch(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-restore of accepted restore failed: %v", err)
+		}
+		if again.Depth() != got.Depth() || again.Width() != got.Width() || again.Seed() != got.Seed() {
+			t.Fatalf("round-trip changed geometry: %dx%d/%d -> %dx%d/%d",
+				got.Depth(), got.Width(), got.Seed(), again.Depth(), again.Width(), again.Seed())
+		}
+		for j := 0; j < got.Depth(); j++ {
+			a, b := got.Row(j), again.Row(j)
+			for i := range a {
+				if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+					t.Fatalf("round-trip changed row %d bucket %d: %g -> %g", j, i, a[i], b[i])
+				}
+			}
+		}
+	})
+}

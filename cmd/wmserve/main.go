@@ -61,6 +61,7 @@ func main() {
 		ckpt      = flag.String("checkpoint", "", "checkpoint path: /v1/checkpoint default and final flush on shutdown")
 		restore   = flag.Bool("restore", false, "restore from -checkpoint at boot when the file exists")
 		authToken = flag.String("auth-token", "", "bearer token required on mutating endpoints (update/checkpoint/cluster push)")
+		debugAddr = flag.String("debug-addr", "", "serve /metrics and net/http/pprof on this separate listener (e.g. 127.0.0.1:6060; empty disables)")
 
 		peers          = flag.String("peers", "", "cluster: comma-separated peer base URLs (enables replication; see CLUSTER.md)")
 		nodeID         = flag.String("node-id", "", "cluster: this node's unique id (default: this node's advertised http://addr)")
@@ -172,7 +173,7 @@ func main() {
 			fmt.Println("wrote", *jsonPath)
 		}
 	default:
-		if err := serve(opt, *addr, *restore); err != nil {
+		if err := serve(opt, *addr, *debugAddr, *restore); err != nil {
 			fmt.Fprintln(os.Stderr, "wmserve:", err)
 			os.Exit(1)
 		}
@@ -219,10 +220,17 @@ func runSim(nodes int, seed int64, jsonPath string) error {
 	return nil
 }
 
-func serve(opt server.Options, addr string, restore bool) error {
+func serve(opt server.Options, addr, debugAddr string, restore bool) error {
 	srv, err := server.New(opt)
 	if err != nil {
 		return err
+	}
+	if debugAddr != "" {
+		ds, err := startDebugServer(srv, debugAddr)
+		if err != nil {
+			return err
+		}
+		defer ds.Close()
 	}
 	if restore && opt.CheckpointPath != "" {
 		if _, err := os.Stat(opt.CheckpointPath); err == nil {

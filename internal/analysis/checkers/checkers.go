@@ -19,7 +19,7 @@ import (
 
 // All returns every analyzer in the suite, in stable order.
 func All() []*analysis.Analyzer {
-	return []*analysis.Analyzer{ClockDet, MapOrder, DecodeBounds, GuardedBy, NonFinite}
+	return []*analysis.Analyzer{ClockDet, MapOrder, DecodeBounds, GuardedBy, NonFinite, MetricNames}
 }
 
 // pkgFunc reports whether call is a call of (or reference to) the function

@@ -32,3 +32,7 @@ func TestGuardedBy(t *testing.T) {
 func TestNonFinite(t *testing.T) {
 	analysistest.Run(t, testdata(), NonFinite, "nonfinite")
 }
+
+func TestMetricNames(t *testing.T) {
+	analysistest.Run(t, testdata(), MetricNames, "metricnames")
+}

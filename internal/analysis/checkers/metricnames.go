@@ -1,0 +1,120 @@
+package checkers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"wmsketch/internal/analysis"
+)
+
+// metricRegistration maps a Registry method to the naming contract its
+// metric kind carries in the exposition (OBSERVABILITY.md): counters are
+// monotonic and must say so with _total; histograms must name their unit;
+// gauges are instantaneous values and must not masquerade as counters.
+var metricRegistration = map[string]string{
+	"Counter": "counter", "CounterVec": "counter",
+	"Gauge": "gauge", "GaugeVec": "gauge", "GaugeFunc": "gauge",
+	"Histogram": "histogram", "HistogramVec": "histogram",
+}
+
+// metricSnakeRe is lower snake_case: the subset of legal Prometheus names
+// the project standardizes on (no capitals, no colons, no leading _).
+var metricSnakeRe = regexp.MustCompile(`^[a-z][a-z0-9]*(_[a-z0-9]+)*$`)
+
+// histogramUnits are the unit suffixes a histogram name may end with.
+var histogramUnits = []string{"_seconds", "_bytes", "_size"}
+
+// MetricNames enforces the metric naming contract at every registration
+// site: names are string literals in lower snake_case, counters end in
+// _total, histograms end in a unit suffix, and gauges do not end in
+// _total. Checking at the registration call means a bad name fails lint
+// before it ever reaches a scrape.
+var MetricNames = &analysis.Analyzer{
+	Name: "metricnames",
+	Doc: "flags obs.Registry registration calls (Counter, Gauge, Histogram and their " +
+		"Vec/Func variants) whose metric name is not a lower snake_case string literal, " +
+		"a counter not ending _total, a histogram not ending _seconds/_bytes/_size, or " +
+		"a gauge ending _total. Names must be literals so the contract is checkable; " +
+		"suppress a deliberate exception with //lint:ignore metricnames <reason>.",
+	Run: runMetricNames,
+}
+
+func runMetricNames(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			kind, ok := metricRegistration[sel.Sel.Name]
+			if !ok || !isRegistryRecv(pass, sel.X) {
+				return true
+			}
+			lit, ok := call.Args[0].(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				pass.Reportf(call.Args[0].Pos(),
+					"%s name must be a string literal so the naming contract is checkable", kind)
+				return true
+			}
+			name, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return true
+			}
+			checkMetricName(pass, lit.Pos(), kind, name)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkMetricName(pass *analysis.Pass, pos token.Pos, kind, name string) {
+	if !metricSnakeRe.MatchString(name) {
+		pass.Reportf(pos, "metric name %q is not lower snake_case", name)
+		return
+	}
+	switch kind {
+	case "counter":
+		if !strings.HasSuffix(name, "_total") {
+			pass.Reportf(pos, "counter %q must end in _total (counters are monotonic)", name)
+		}
+	case "histogram":
+		ok := false
+		for _, u := range histogramUnits {
+			if strings.HasSuffix(name, u) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			pass.Reportf(pos, "histogram %q must end in a unit suffix (%s)",
+				name, strings.Join(histogramUnits, ", "))
+		}
+	case "gauge":
+		if strings.HasSuffix(name, "_total") {
+			pass.Reportf(pos, "gauge %q must not end in _total (that suffix promises a monotonic counter)", name)
+		}
+	}
+}
+
+// isRegistryRecv reports whether e's type is (a pointer to) a named type
+// called Registry — matched by name, not import path, so the fixture can
+// carry its own stub.
+func isRegistryRecv(pass *analysis.Pass, e ast.Expr) bool {
+	t := pass.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Registry"
+}

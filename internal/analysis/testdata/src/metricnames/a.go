@@ -1,0 +1,57 @@
+package metricnames
+
+// Registry is a stub mirroring wmsketch/internal/obs.Registry — the
+// analyzer matches the receiver's named type, not the import path, so the
+// fixture stays self-contained.
+type Registry struct{}
+
+type Counter struct{}
+type Gauge struct{}
+type Histogram struct{}
+type CounterVec struct{}
+type GaugeVec struct{}
+type HistogramVec struct{}
+
+func (*Registry) Counter(name, help string) *Counter                         { return nil }
+func (*Registry) Gauge(name, help string) *Gauge                             { return nil }
+func (*Registry) GaugeFunc(name, help string, fn func() float64) *Gauge      { return nil }
+func (*Registry) Histogram(name, help string, buckets []float64) *Histogram  { return nil }
+func (*Registry) CounterVec(name, help string, labels ...string) *CounterVec { return nil }
+func (*Registry) GaugeVec(name, help string, labels ...string) *GaugeVec     { return nil }
+func (*Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	return nil
+}
+
+// other has the same method names but is not a Registry; it must not flag.
+type other struct{}
+
+func (other) Counter(name, help string) int { return 0 }
+
+func good(r *Registry, o other) {
+	r.Counter("wmserve_requests_total", "requests served")
+	r.CounterVec("wmserve_http_requests_total", "per route", "route", "code")
+	r.Gauge("wmserve_in_flight_requests", "live requests")
+	r.GaugeVec("wmgossip_peer_state", "per peer", "peer")
+	r.GaugeFunc("wmcore_memory_bytes", "resident sketch bytes", func() float64 { return 0 })
+	r.Histogram("wmserve_request_duration_seconds", "latency", nil)
+	r.Histogram("wmserve_body_bytes", "body sizes", nil)
+	r.HistogramVec("wmcore_update_batch_size", "batch sizes", nil, "route")
+	o.Counter("NotAMetric", "different receiver type, out of scope")
+}
+
+func bad(r *Registry, dynamic string) {
+	r.Counter("wmserve_requests", "no suffix")                                        // want `counter "wmserve_requests" must end in _total`
+	r.CounterVec("wmserveRequests_total", "camel", "route")                           // want `metric name "wmserveRequests_total" is not lower snake_case`
+	r.Gauge("wmserve_in_flight_total", "gauge as counter")                            // want `gauge "wmserve_in_flight_total" must not end in _total`
+	r.GaugeFunc("_uptime_seconds", "leading underscore", func() float64 { return 0 }) // want `metric name "_uptime_seconds" is not lower snake_case`
+	r.Histogram("wmserve_latency", "no unit", nil)                                    // want `histogram "wmserve_latency" must end in a unit suffix`
+	r.HistogramVec("wmserve_latency_ms", "wrong unit", nil, "route")                  // want `histogram "wmserve_latency_ms" must end in a unit suffix`
+	r.Counter(dynamic, "not a literal")                                               // want `counter name must be a string literal`
+}
+
+// exempt is a deliberate exception: the suppression must hold the finding
+// back, so this function expects no diagnostics.
+func exempt(r *Registry) {
+	//lint:ignore metricnames fixture exercises the suppression path
+	r.Counter("legacy_requests", "grandfathered name")
+}

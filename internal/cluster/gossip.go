@@ -110,16 +110,24 @@ func (n *Node) Close() {
 // reconciled. Tests, the smoke harness, and the simulator call it directly
 // for deterministic rounds.
 func (n *Node) GossipOnce() int {
-	n.rounds.Add(1)
+	n.met.rounds.Inc()
 	if _, _, err := n.PublishLocal(); err != nil {
 		n.cfg.Logf("cluster: publish: %v", err)
 	}
 	n.sweepOrigins()
 	ok := 0
 	for _, p := range n.samplePeers() {
-		if err := n.gossipPeer(p); err != nil {
+		// Round latency is measured on the injected Clock: real deployments
+		// observe wall time, the simulator observes virtual time (zero), so
+		// a sim run stays a pure function of its seed.
+		began := n.cfg.Clock.Now()
+		err := n.gossipPeer(p)
+		n.met.roundDur.ObserveDuration(n.cfg.Clock.Now().Sub(began))
+		if err != nil {
+			n.met.peerRoundFail.Inc()
 			n.peerFailed(p, err)
 		} else {
+			n.met.peerRoundOK.Inc()
 			n.peerSucceeded(p)
 			ok++
 		}
@@ -148,6 +156,7 @@ func (n *Node) peerFailed(p *peerState, err error) {
 	if st := n.classifyLocked(p, now); st != p.state {
 		n.cfg.Logf("cluster: peer %s %s -> %s", p.url, p.state, st)
 		p.state = st
+		n.met.transition(st)
 	}
 	n.cfg.Logf("cluster: peer %s failed (%d consecutive, next attempt in %s): %v",
 		p.url, p.failures, backoff.Round(time.Millisecond), err)
@@ -159,6 +168,7 @@ func (n *Node) peerSucceeded(p *peerState) {
 	defer p.mu.Unlock()
 	if p.state != PeerAlive {
 		n.cfg.Logf("cluster: peer %s %s -> alive", p.url, p.state)
+		n.met.transition(PeerAlive)
 	}
 	p.state = PeerAlive
 	p.rounds++
@@ -210,7 +220,7 @@ func (n *Node) gossipPeer(p *peerState) error {
 		}
 		p.mu.Unlock()
 		if deferred {
-			n.retriesDeferred.Add(1)
+			n.met.retriesDeferred.Inc()
 		} else {
 			retry := n.Digest()
 			for _, origin := range res.NeedFull {
@@ -257,8 +267,8 @@ func (n *Node) pull(ctx context.Context, p *peerState, digest map[string]int64) 
 		return ApplyResult{}, err
 	}
 	res := n.ApplyFrames(frames)
-	n.bytesIn.Add(cr.n)
-	n.framesIn.Add(int64(len(frames)))
+	n.met.bytesIn.Add(cr.n)
+	n.met.countFrames(frames, true)
 	p.mu.Lock()
 	p.bytesIn += cr.n
 	p.framesIn += int64(len(frames))
@@ -288,8 +298,8 @@ func (n *Node) push(ctx context.Context, p *peerState, frames []Frame) error {
 	if err := n.cfg.Transport.Push(ctx, p.url, buf.Bytes()); err != nil {
 		return err
 	}
-	n.bytesOut.Add(nBytes)
-	n.framesOut.Add(int64(len(frames)))
+	n.met.bytesOut.Add(nBytes)
+	n.met.countFrames(frames, false)
 	p.mu.Lock()
 	p.bytesOut += nBytes
 	p.framesOut += int64(len(frames))
@@ -356,23 +366,25 @@ type Status struct {
 	Health Health `json:"health"`
 }
 
-// Status snapshots the node's replication state.
+// Status snapshots the node's replication state. Every aggregate counter
+// is read back from the metrics registry — /v1/cluster/status and /metrics
+// can never disagree because they share instruments.
 func (n *Node) Status() Status {
 	st := Status{
-		Self:           n.cfg.Self,
-		Rounds:         n.rounds.Load(),
-		FramesIn:       n.framesIn.Load(),
-		FramesOut:      n.framesOut.Load(),
-		BytesIn:        n.bytesIn.Load(),
-		BytesOut:       n.bytesOut.Load(),
-		FullsOut:       n.fullsOut.Load(),
-		DeltasOut:      n.deltasOut.Load(),
-		FullsIn:        n.fullsIn.Load(),
-		DeltasIn:       n.deltasIn.Load(),
-		StaleDropped:    n.staleDropped.Load(),
-		RejectedFrames:  n.rejectedFrames.Load(),
-		OriginsGCed:     n.originsGCed.Load(),
-		RetriesDeferred: n.retriesDeferred.Load(),
+		Self:            n.cfg.Self,
+		Rounds:          n.met.rounds.Value(),
+		FramesIn:        sumKinds(&n.met.framesIn),
+		FramesOut:       sumKinds(&n.met.framesOut),
+		BytesIn:         n.met.bytesIn.Value(),
+		BytesOut:        n.met.bytesOut.Value(),
+		FullsOut:        n.met.builtFull.Value(),
+		DeltasOut:       n.met.builtDelta.Value(),
+		FullsIn:         n.met.appliedFull.Value(),
+		DeltasIn:        n.met.appliedDelta.Value(),
+		StaleDropped:    n.met.staleDropped.Value(),
+		RejectedFrames:  n.met.rejectedFrames.Value(),
+		OriginsGCed:     n.met.originsGCed.Value(),
+		RetriesDeferred: n.met.retriesDeferred.Value(),
 		Health:          n.Health(),
 	}
 	now := n.cfg.Clock.Now()

@@ -103,6 +103,7 @@ func (n *Node) samplePeers() []*peerState {
 		if st != p.state {
 			n.cfg.Logf("cluster: peer %s %s -> %s", p.url, p.state, st)
 			p.state = st
+			n.met.transition(st)
 		}
 		ready := !now.Before(p.backoffUntil)
 		p.mu.Unlock()
@@ -190,7 +191,7 @@ func (n *Node) sweepOrigins() {
 			o.gone = true
 			o.snap = core.Snapshot{}
 			o.history = nil
-			n.originsGCed.Add(1)
+			n.met.originsGCed.Inc()
 			n.cfg.Logf("cluster: origin %q idle past the GC window; dropped from the mix (version %d kept as tombstone)",
 				o.id, o.version)
 			dirty = true
@@ -219,17 +220,29 @@ type Health struct {
 	// LastSuccess is the most recent successful peer round across all
 	// peers (zero before the first success).
 	LastSuccess time.Time `json:"last_success,omitempty"`
+	// LastGossipUnix maps each peer URL to the unix time of its last
+	// successful round (0 before the first success) — the per-peer
+	// freshness signal /healthz surfaces for dashboards and probes.
+	LastGossipUnix map[string]int64 `json:"last_gossip_unix,omitempty"`
 }
 
 // Health classifies every peer at the current clock and summarizes.
 func (n *Node) Health() Health {
 	now := n.cfg.Clock.Now()
-	h := Health{PeersTotal: len(n.peers), OriginsGCed: n.originsGCed.Load()}
+	h := Health{PeersTotal: len(n.peers), OriginsGCed: n.met.originsGCed.Value()}
+	if len(n.peers) > 0 {
+		h.LastGossipUnix = make(map[string]int64, len(n.peers))
+	}
 	for _, p := range n.peers {
 		p.mu.Lock()
 		st := n.classifyLocked(p, now)
 		if p.lastSuccess.After(h.LastSuccess) {
 			h.LastSuccess = p.lastSuccess
+		}
+		if p.lastSuccess.IsZero() {
+			h.LastGossipUnix[p.url] = 0
+		} else {
+			h.LastGossipUnix[p.url] = p.lastSuccess.Unix()
 		}
 		p.mu.Unlock()
 		switch st {

@@ -397,9 +397,9 @@ func TestInlineRetryCapped(t *testing.T) {
 		advancePastBackoff(clock, n.peers[0])
 		n.GossipOnce()
 	}
-	if n.retriesDeferred.Load() != 1 {
+	if n.met.retriesDeferred.Value() != 1 {
 		t.Fatalf("deferred %d retries over 6 flapping rounds, want 1 (pulls=%d)",
-			n.retriesDeferred.Load(), tr.pulls)
+			n.met.retriesDeferred.Value(), tr.pulls)
 	}
 	// Per 4-round cycle: 2 inline-retry rounds (2 pulls each), 1 deferred
 	// round (1 pull), 1 forced-full round (1 pull, resets the streak) —

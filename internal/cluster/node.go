@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"wmsketch/internal/core"
+	"wmsketch/internal/obs"
 	"wmsketch/internal/sketch"
 	"wmsketch/internal/stream"
 )
@@ -84,6 +85,11 @@ type Config struct {
 	// Transport carries gossip RPCs; nil selects HTTP via Client, with
 	// AuthToken on pushes.
 	Transport Transport
+	// Registry receives the node's gossip instrumentation (see metrics.go
+	// for the family catalog). nil gives the node a private registry,
+	// still readable via Metrics() — Status() is sourced from it either
+	// way.
+	Registry *obs.Registry
 	// Logf receives gossip diagnostics; nil discards them.
 	Logf func(format string, args ...interface{})
 }
@@ -198,7 +204,7 @@ func (o *originState) adopt(version int64, snap core.Snapshot, depth int, now ti
 type Node struct {
 	cfg Config
 
-	mu      sync.Mutex // guards origins and view rebuild
+	mu      sync.Mutex              // guards origins and view rebuild
 	origins map[string]*originState // guarded by mu
 	view    atomic.Pointer[core.Mixed]
 	// viewDirty marks the served view stale; View() rebuilds lazily, so a
@@ -218,20 +224,9 @@ type Node struct {
 	startOne sync.Once
 	stopOne  sync.Once
 
-	// Aggregate metrics (per-peer counters live on peerState).
-	rounds         atomic.Int64
-	framesIn       atomic.Int64
-	framesOut      atomic.Int64
-	bytesIn        atomic.Int64
-	bytesOut       atomic.Int64
-	fullsOut       atomic.Int64
-	deltasOut      atomic.Int64
-	fullsIn        atomic.Int64
-	deltasIn       atomic.Int64
-	staleDropped   atomic.Int64
-	rejectedFrames atomic.Int64
-	originsGCed    atomic.Int64
-	retriesDeferred atomic.Int64
+	// met holds the pre-registered aggregate instruments (per-peer
+	// counters live on peerState); Status() and /metrics both read it.
+	met *nodeMetrics
 }
 
 // NewNode validates cfg and assembles a node. The gossip loop starts on
@@ -245,6 +240,7 @@ func NewNode(cfg Config) (*Node, error) {
 		origins: make(map[string]*originState),
 		stop:    make(chan struct{}),
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		met:     newNodeMetrics(cfg.Registry),
 	}
 	now := cfg.Clock.Now()
 	for _, u := range cfg.Peers {
@@ -364,7 +360,7 @@ func (n *Node) frameForLocked(o *originState, acked int64) Frame {
 				// the buckets changed, the full snapshot is the smaller
 				// frame.
 				if 3*len(changes) <= 2*o.snap.CS.Size() {
-					n.deltasOut.Add(1)
+					n.met.builtDelta.Inc()
 					return Frame{
 						Kind: kindDelta, Origin: o.id, Version: o.version, Base: acked,
 						Scale:   o.snap.Scale,
@@ -374,7 +370,7 @@ func (n *Node) frameForLocked(o *originState, acked int64) Frame {
 			}
 		}
 	}
-	n.fullsOut.Add(1)
+	n.met.builtFull.Inc()
 	return FullFrame(o.snap)
 }
 
@@ -410,19 +406,19 @@ func (n *Node) ApplyFrames(frames []Frame) ApplyResult {
 		case kindFull, kindDelta:
 		default:
 			res.Rejected++
-			n.rejectedFrames.Add(1)
+			n.met.rejectedFrames.Inc()
 			continue
 		}
 		if f.Origin == n.cfg.Self {
 			res.Rejected++
-			n.rejectedFrames.Add(1)
+			n.met.rejectedFrames.Inc()
 			n.cfg.Logf("cluster: peer sent a frame for our own origin %q; dropped", f.Origin)
 			continue
 		}
 		o := n.origins[f.Origin]
 		if o != nil && f.Version <= o.version {
 			res.Stale++
-			n.staleDropped.Add(1)
+			n.met.staleDropped.Inc()
 			continue
 		}
 		var snap core.Snapshot
@@ -431,7 +427,7 @@ func (n *Node) ApplyFrames(frames []Frame) ApplyResult {
 		case kindFull:
 			snap, err = n.snapshotFromFullLocked(f)
 			if err == nil {
-				n.fullsIn.Add(1)
+				n.met.appliedFull.Inc()
 			}
 		case kindDelta:
 			if o == nil {
@@ -445,12 +441,12 @@ func (n *Node) ApplyFrames(frames []Frame) ApplyResult {
 			}
 			snap, err = applyDelta(base, f)
 			if err == nil {
-				n.deltasIn.Add(1)
+				n.met.appliedDelta.Inc()
 			}
 		}
 		if err != nil {
 			res.Rejected++
-			n.rejectedFrames.Add(1)
+			n.met.rejectedFrames.Inc()
 			n.cfg.Logf("cluster: dropping frame for %q v%d: %v", f.Origin, f.Version, err)
 			continue
 		}

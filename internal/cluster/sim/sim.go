@@ -186,6 +186,18 @@ type Report struct {
 	// to any churned-out origin; the GC gate requires exactly zero.
 	MaxDeadWeight float64 `json:"max_dead_weight"`
 
+	// Journal-vs-registry invariant: the transport's own record of
+	// delivered traffic against the fleet's summed metric registries
+	// (every node, dead ones included — their counters stop at death but
+	// the journal stopped delivering to them then too). The bytes must
+	// match exactly; MetricsConsistent also requires every per-kind frame
+	// count and byte total to agree, and gates Converged.
+	JournalPullBytes  int64 `json:"journal_pull_bytes"`
+	JournalPushBytes  int64 `json:"journal_push_bytes"`
+	MetricPullBytes   int64 `json:"metric_pull_bytes"`
+	MetricPushBytes   int64 `json:"metric_push_bytes"`
+	MetricsConsistent bool  `json:"metrics_consistent"`
+
 	Converged bool `json:"converged"`
 }
 
@@ -224,6 +236,38 @@ type world struct {
 	partitionOn bool
 
 	rpcs, dropped, refusals, corrupted int64
+
+	journal wireJournal
+}
+
+// wireJournal is the transport's own record of *delivered* traffic: a pull
+// response or push stream is journaled only when it reached its consumer
+// uncorrupted (routed OK, byte-exact). The client-side registry counters
+// must then match it exactly — every delivered byte counted once, every
+// dropped or corrupted byte counted never — which evaluate() asserts as
+// the MetricsConsistent gate. Frame kinds index by their wire kind byte.
+type wireJournal struct {
+	pullBytes, pushBytes           int64
+	pullFrames, pushFrames         [4]int64
+	pullFrameBytes, pushFrameBytes [4]int64
+}
+
+func (j *wireJournal) recordPull(frames []cluster.Frame, streamLen int) {
+	j.pullBytes += int64(streamLen)
+	for i := range frames {
+		k := frames[i].Kind
+		j.pullFrames[k]++
+		j.pullFrameBytes[k] += frames[i].WireBytes
+	}
+}
+
+func (j *wireJournal) recordPush(frames []cluster.Frame, streamLen int) {
+	j.pushBytes += int64(streamLen)
+	for i := range frames {
+		k := frames[i].Kind
+		j.pushFrames[k]++
+		j.pushFrameBytes[k] += frames[i].WireBytes
+	}
 }
 
 // memTransport is the in-memory cluster.Transport: an RPC is a direct call
@@ -264,15 +308,19 @@ func (w *world) half(index int) int {
 }
 
 // maybeCorrupt flips one byte of an encoded frame stream with probability
-// Corrupt. The decoder must reject the result; the simulation asserts the
-// rejection shows up in RejectedFrames or a failed round, never in state.
-func (w *world) maybeCorrupt(b []byte) []byte {
+// Corrupt, reporting whether it did. The decoder must reject the result
+// (the per-frame CRC catches every single-byte flip); the simulation
+// asserts the rejection shows up in RejectedFrames or a failed round,
+// never in state — and never in the byte counters, which is why corrupted
+// streams are excluded from the wire journal.
+func (w *world) maybeCorrupt(b []byte) ([]byte, bool) {
 	if w.sc.Corrupt > 0 && len(b) > 0 && w.rng.Float64() < w.sc.Corrupt {
 		w.corrupted++
 		b = append([]byte(nil), b...)
 		b[w.rng.Intn(len(b))] ^= 0xA5
+		return b, true
 	}
-	return b
+	return b, false
 }
 
 func (t memTransport) Pull(ctx context.Context, peerURL string, req cluster.PullRequest) (io.ReadCloser, error) {
@@ -285,7 +333,12 @@ func (t memTransport) Pull(ctx context.Context, peerURL string, req cluster.Pull
 	if _, err := cluster.WriteFrames(&buf, frames); err != nil {
 		return nil, err
 	}
-	return io.NopCloser(bytes.NewReader(t.w.maybeCorrupt(buf.Bytes()))), nil
+	stream, corrupted := t.w.maybeCorrupt(buf.Bytes())
+	if !corrupted {
+		// Delivered intact: the puller will read and count exactly this.
+		t.w.journal.recordPull(frames, len(stream))
+	}
+	return io.NopCloser(bytes.NewReader(stream)), nil
 }
 
 func (t memTransport) Push(ctx context.Context, peerURL string, frames []byte) error {
@@ -293,9 +346,14 @@ func (t memTransport) Push(ctx context.Context, peerURL string, frames []byte) e
 	if err != nil {
 		return err
 	}
-	decoded, err := cluster.ReadFrames(bytes.NewReader(t.w.maybeCorrupt(frames)))
+	stream, corrupted := t.w.maybeCorrupt(frames)
+	decoded, err := cluster.ReadFrames(bytes.NewReader(stream))
 	if err != nil {
 		return fmt.Errorf("sim: push to %s: %w", peerURL, err)
+	}
+	if !corrupted {
+		// Delivered intact: the pusher counts its stream after this returns.
+		t.w.journal.recordPush(decoded, len(stream))
 	}
 	dst.node.ApplyFrames(decoded)
 	return nil
@@ -500,9 +558,70 @@ func (w *world) evaluate() (Report, error) {
 	if len(live) > 0 {
 		rep.MeanRelErr = sumRel / float64(len(live))
 	}
-	rep.Converged = rep.MaxRelErr <= RelErrGate && rep.MaxDeadWeight == 0
+	w.checkMetrics(&rep)
+	rep.Converged = rep.MaxRelErr <= RelErrGate && rep.MaxDeadWeight == 0 && rep.MetricsConsistent
 	w.sc.Logf("sim: max rel err %.4g, mean %.4g, %d/%d fully synced, max dead weight %g, %d origins GCed, %.1f MB on wire",
 		rep.MaxRelErr, rep.MeanRelErr, rep.FullySynced, len(live), rep.MaxDeadWeight,
 		rep.OriginsGCed, float64(rep.BytesOnWire)/1e6)
 	return rep, nil
+}
+
+// frameKinds maps wire kind bytes to their metric label values (mirrors
+// the cluster package's exposition labels). A slice, not a map, so even
+// mismatch narration comes out in a deterministic order.
+var frameKinds = []struct {
+	kind  byte
+	label string
+}{{1, "digest"}, {2, "full"}, {3, "delta"}}
+
+// checkMetrics asserts the fleet's summed metric registries agree with the
+// wire journal exactly: Σ stream_bytes{in} == delivered pull bytes,
+// Σ stream_bytes{out} == delivered push bytes, and every per-kind frame
+// count/byte total matches. The sums run over ALL nodes — a churned node's
+// registry is frozen at its death, exactly when the journal stopped
+// recording its traffic.
+func (w *world) checkMetrics(rep *Report) {
+	sum := func(name string, labels ...string) int64 {
+		var total float64
+		for _, s := range w.nodes {
+			if v, ok := s.node.Metrics().Value(name, labels...); ok {
+				total += v
+			}
+		}
+		return int64(total)
+	}
+	rep.JournalPullBytes = w.journal.pullBytes
+	rep.JournalPushBytes = w.journal.pushBytes
+	rep.MetricPullBytes = sum("wmgossip_stream_bytes_total", "in")
+	rep.MetricPushBytes = sum("wmgossip_stream_bytes_total", "out")
+
+	ok := rep.MetricPullBytes == rep.JournalPullBytes && rep.MetricPushBytes == rep.JournalPushBytes
+	if !ok {
+		w.sc.Logf("sim: METRIC MISMATCH stream bytes: registry in=%d out=%d, journal pull=%d push=%d",
+			rep.MetricPullBytes, rep.MetricPushBytes, rep.JournalPullBytes, rep.JournalPushBytes)
+	}
+	for _, fk := range frameKinds {
+		checks := []struct {
+			what    string
+			metric  string
+			dir     string
+			journal int64
+		}{
+			{"frames in", "wmgossip_frames_total", "in", w.journal.pullFrames[fk.kind]},
+			{"frames out", "wmgossip_frames_total", "out", w.journal.pushFrames[fk.kind]},
+			{"frame bytes in", "wmgossip_frame_bytes_total", "in", w.journal.pullFrameBytes[fk.kind]},
+			{"frame bytes out", "wmgossip_frame_bytes_total", "out", w.journal.pushFrameBytes[fk.kind]},
+		}
+		for _, c := range checks {
+			if got := sum(c.metric, c.dir, fk.label); got != c.journal {
+				ok = false
+				w.sc.Logf("sim: METRIC MISMATCH %s %s: registry %d, journal %d", fk.label, c.what, got, c.journal)
+			}
+		}
+	}
+	rep.MetricsConsistent = ok
+	if ok {
+		w.sc.Logf("sim: metrics consistent: %d pull + %d push bytes match the delivery journal exactly",
+			rep.JournalPullBytes, rep.JournalPushBytes)
+	}
 }

@@ -74,6 +74,43 @@ func TestCorruptionNeverReachesState(t *testing.T) {
 	if rep.MaxRelErr > RelErrGate {
 		t.Fatalf("corruption leaked into state: max rel err %g", rep.MaxRelErr)
 	}
+	// The hard case for the byte-accounting invariant: corrupted streams
+	// are journaled by nobody and counted by nobody, so the registries must
+	// still match the journal exactly.
+	if !rep.MetricsConsistent {
+		t.Fatalf("metric registries diverged from the wire journal under corruption: %+v", rep)
+	}
+	if rep.MetricPullBytes == 0 || rep.MetricPushBytes == 0 {
+		t.Fatalf("no bytes counted: %+v", rep)
+	}
+}
+
+// TestMetricsMatchJournalUnderChurn: loss + corruption + churn together.
+// Dead nodes' registries freeze at death, exactly when the journal stops
+// recording their traffic, so fleet-wide sums (dead nodes included) must
+// still equal the journal byte for byte and frame for frame.
+func TestMetricsMatchJournalUnderChurn(t *testing.T) {
+	rep, err := Run(Scenario{
+		Nodes:       16,
+		Rounds:      40,
+		TrainRounds: 25,
+		Seed:        13,
+		Loss:        0.15,
+		Corrupt:     0.08,
+		ChurnRound:  12,
+		ChurnFrac:   0.25,
+		Logf:        t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DeadNodes == 0 || rep.Corrupted == 0 || rep.Dropped == 0 {
+		t.Fatalf("fault schedule did not fire: %+v", rep)
+	}
+	if !rep.MetricsConsistent {
+		t.Fatalf("metric registries diverged from the wire journal: journal pull=%d push=%d, registry pull=%d push=%d",
+			rep.JournalPullBytes, rep.JournalPushBytes, rep.MetricPullBytes, rep.MetricPushBytes)
+	}
 }
 
 // TestAcceptanceScenario is the CI gate from the ISSUE: 100 nodes, 10%
@@ -100,6 +137,10 @@ func TestAcceptanceScenario(t *testing.T) {
 	}
 	if rep.MaxDeadWeight != 0 {
 		t.Fatalf("a dead origin still weighs %g in a survivor's view; origin GC failed", rep.MaxDeadWeight)
+	}
+	if !rep.MetricsConsistent {
+		t.Fatalf("metric registries diverged from the wire journal: journal pull=%d push=%d, registry pull=%d push=%d",
+			rep.JournalPullBytes, rep.JournalPushBytes, rep.MetricPullBytes, rep.MetricPushBytes)
 	}
 	if rep.OriginsGCed == 0 {
 		t.Fatal("no origins were tombstoned despite 20%% churn")

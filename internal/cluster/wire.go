@@ -62,7 +62,7 @@ import (
 //	        absolute, not additive, so replay is harmless.
 const (
 	frameMagic   = 0x574d4346 // "WMCF"
-	wireVersion  = 2 // v2 added per-frame length + CRC32
+	wireVersion  = 2          // v2 added per-frame length + CRC32
 	kindDigest   = byte(1)
 	kindFull     = byte(2)
 	kindDelta    = byte(3)
@@ -113,6 +113,13 @@ type Frame struct {
 
 	// Digest payload.
 	Digest map[string]int64
+
+	// WireBytes is this frame's full encoded size (kind byte + length
+	// prefix + payload + CRC trailer), filled in by WriteFrames and
+	// ReadFrames. The per-frame-type byte metrics and the simulator's
+	// journal-vs-registry invariant are both built on it: the stream size
+	// is always 8 (header) + Σ WireBytes.
+	WireBytes int64
 }
 
 // FullFrame builds a full-snapshot frame for sn.
@@ -174,6 +181,7 @@ func WriteFrames(w io.Writer, frames []Frame) (int64, error) {
 		if _, err := bw.Write(crc[:]); err != nil {
 			return cw.n, err
 		}
+		frames[i].WireBytes = frameWireSize(len(payload))
 	}
 	err := bw.Flush()
 	return cw.n, err
@@ -282,6 +290,7 @@ func ReadFrames(r io.Reader) ([]Frame, error) {
 		if err != nil {
 			return nil, fmt.Errorf("cluster: frame %d: %w", len(frames), err)
 		}
+		f.WireBytes = frameWireSize(len(payload))
 		frames = append(frames, f)
 	}
 }
@@ -438,6 +447,13 @@ func readFrame(br *bufio.Reader, kind byte) (Frame, error) {
 	default:
 		return f, fmt.Errorf("unknown frame kind %d", kind)
 	}
+}
+
+// frameWireSize is the encoded size of a frame with the given payload
+// length: kind byte, uvarint length prefix, payload, CRC32 trailer.
+func frameWireSize(payloadLen int) int64 {
+	var buf [binary.MaxVarintLen64]byte
+	return int64(1 + binary.PutUvarint(buf[:], uint64(payloadLen)) + payloadLen + 4)
 }
 
 // ---- primitive encoders ----

@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"io"
+	"testing"
+)
+
+// The hot-path contract: incrementing a pre-registered counter and
+// observing into a pre-registered histogram allocate nothing. The serving
+// and gossip layers lean on this — instruments sit inside per-request and
+// per-round code whose benchmarks gate PRs.
+
+func BenchmarkObserveCounter(b *testing.B) {
+	c := NewRegistry().Counter("bench_events_total", "")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+	if testing.AllocsPerRun(1000, func() { c.Add(2) }) != 0 {
+		b.Fatalf("counter Add allocates")
+	}
+}
+
+func BenchmarkObserveHistogram(b *testing.B) {
+	h := NewRegistry().Histogram("bench_lat_seconds", "", LatencyBuckets)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.0042)
+	}
+	if testing.AllocsPerRun(1000, func() { h.Observe(0.1) }) != 0 {
+		b.Fatalf("histogram Observe allocates")
+	}
+}
+
+func BenchmarkObserveGauge(b *testing.B) {
+	g := NewRegistry().Gauge("bench_level", "")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Inc()
+		g.Dec()
+	}
+}
+
+func BenchmarkWritePrometheus(b *testing.B) {
+	r := NewRegistry()
+	v := r.CounterVec("bench_frames_total", "", "dir", "kind")
+	for _, d := range []string{"in", "out"} {
+		for _, k := range []string{"digest", "full", "delta"} {
+			v.With(d, k).Add(1234)
+		}
+	}
+	h := r.HistogramVec("bench_rtt_seconds", "", LatencyBuckets, "route")
+	h.With("/v1/update").Observe(0.001)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = r.WritePrometheus(io.Discard)
+	}
+}

@@ -1,0 +1,250 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("events_total", "events")
+	c.Inc()
+	c.Add(4)
+	c.Add(-10) // ignored: counters are monotonic
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	// Re-registration of the identical family returns the same instrument.
+	if again := r.Counter("events_total", "events"); again != c {
+		t.Fatalf("re-registration returned a distinct counter")
+	}
+
+	g := r.Gauge("pool_size", "pool")
+	g.Set(7)
+	g.Dec()
+	g.Add(-2)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+}
+
+func TestRegistryConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dual_total", "first")
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("re-registering a counter as a gauge must panic")
+		}
+	}()
+	r.Gauge("dual_total", "second")
+}
+
+func TestRegistryBadNamePanics(t *testing.T) {
+	for _, bad := range []string{"CamelCase", "has-dash", "_leading", "trailing_", "double__under", ""} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("name %q must be rejected", bad)
+				}
+			}()
+			NewRegistry().Counter(bad, "")
+		}()
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4, 8})
+	for _, v := range []float64{0.5, 1.5, 1.5, 3, 3, 3, 6, 20} {
+		h.Observe(v)
+	}
+	if h.Count() != 8 {
+		t.Fatalf("count = %d, want 8", h.Count())
+	}
+	if got, want := h.Sum(), 0.5+1.5+1.5+3+3+3+6+20; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("sum = %g, want %g", got, want)
+	}
+	// The median lands in the (2,4] bucket; interpolation stays inside it.
+	if q := h.Quantile(0.5); q <= 2 || q > 4 {
+		t.Fatalf("p50 = %g, want in (2,4]", q)
+	}
+	// The max lands in +Inf, which clamps to the top finite bound.
+	if q := h.Quantile(1); q != 8 {
+		t.Fatalf("p100 = %g, want clamp to 8", q)
+	}
+	if q := NewHistogram([]float64{1}).Quantile(0.5); q != 0 {
+		t.Fatalf("empty histogram quantile = %g, want 0", q)
+	}
+	// NaN observations are dropped, keeping sum and quantiles finite.
+	h.Observe(math.NaN())
+	if h.Count() != 8 || math.IsNaN(h.Sum()) {
+		t.Fatalf("NaN observation must be dropped")
+	}
+}
+
+func TestHistogramObserveDuration(t *testing.T) {
+	h := NewHistogram(LatencyBuckets)
+	h.ObserveDuration(3 * time.Millisecond)
+	if h.Count() != 1 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if q := h.Quantile(0.5); q < 0.0025 || q > 0.005 {
+		t.Fatalf("3ms landed at %gs, want inside (2.5ms, 5ms]", q)
+	}
+}
+
+func TestExponentialBuckets(t *testing.T) {
+	b := ExponentialBuckets(0.001, 2, 4)
+	want := []float64{0.001, 0.002, 0.004, 0.008}
+	for i := range want {
+		if math.Abs(b[i]-want[i]) > 1e-12 {
+			t.Fatalf("bucket %d = %g, want %g", i, b[i], want[i])
+		}
+	}
+}
+
+func TestRegistryValueLookup(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("frames_total", "frames", "dir", "kind")
+	v.With("in", "full").Add(3)
+	got, ok := r.Value("frames_total", "in", "full")
+	if !ok || got != 3 {
+		t.Fatalf("Value = %g, %v; want 3, true", got, ok)
+	}
+	if _, ok := r.Value("frames_total", "out", "full"); ok {
+		t.Fatalf("unregistered child must not resolve")
+	}
+	if _, ok := r.Value("absent_total"); ok {
+		t.Fatalf("unregistered family must not resolve")
+	}
+	r.GaugeFunc("temperature_celsius", "fn gauge", func() float64 { return 21.5 })
+	if got, ok := r.Value("temperature_celsius"); !ok || got != 21.5 {
+		t.Fatalf("gauge func Value = %g, %v", got, ok)
+	}
+}
+
+// TestExpositionGolden pins the exposition byte-for-byte: families sorted
+// by name, children by label values, histogram buckets cumulative with
+// _sum/_count trailing. maporder-clean output is part of the contract —
+// a reordered scrape would break golden-based dashboards diffs.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	req := r.CounterVec("http_requests_total", "requests by route and class", "route", "code")
+	req.With("POST /v1/update", "2xx").Add(10)
+	req.With("POST /v1/update", "4xx").Add(2)
+	req.With("GET /v1/stats", "2xx").Add(1)
+	r.Gauge("in_flight_requests", "current in-flight").Set(3)
+	h := r.Histogram("request_duration_seconds", "latency", []float64{0.001, 0.01, 0.1})
+	h.Observe(0.0005)
+	h.Observe(0.02)
+	h.Observe(5)
+	r.Counter("zz_last_total", `help with "quotes" and \ backslash`).Inc()
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	want := `# HELP http_requests_total requests by route and class
+# TYPE http_requests_total counter
+http_requests_total{route="GET /v1/stats",code="2xx"} 1
+http_requests_total{route="POST /v1/update",code="2xx"} 10
+http_requests_total{route="POST /v1/update",code="4xx"} 2
+# HELP in_flight_requests current in-flight
+# TYPE in_flight_requests gauge
+in_flight_requests 3
+# HELP request_duration_seconds latency
+# TYPE request_duration_seconds histogram
+request_duration_seconds_bucket{le="0.001"} 1
+request_duration_seconds_bucket{le="0.01"} 1
+request_duration_seconds_bucket{le="0.1"} 2
+request_duration_seconds_bucket{le="+Inf"} 3
+request_duration_seconds_sum 5.0205
+request_duration_seconds_count 3
+# HELP zz_last_total help with "quotes" and \\ backslash
+# TYPE zz_last_total counter
+zz_last_total 1
+`
+	if got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+	// A second render of unchanged state must be byte-identical.
+	var sb2 strings.Builder
+	if err := r.WritePrometheus(&sb2); err != nil {
+		t.Fatal(err)
+	}
+	if sb2.String() != got {
+		t.Fatalf("exposition is not deterministic")
+	}
+	// And the emitted text must satisfy our own scrape validator.
+	fams, err := CheckText(strings.NewReader(got))
+	if err != nil {
+		t.Fatalf("CheckText rejected our own output: %v", err)
+	}
+	for _, name := range []string{"http_requests_total", "in_flight_requests", "request_duration_seconds", "zz_last_total"} {
+		if _, ok := fams[name]; !ok {
+			t.Fatalf("CheckText lost family %q (have %v)", name, fams)
+		}
+	}
+}
+
+func TestCheckTextRejectsMalformed(t *testing.T) {
+	cases := []string{
+		"no_type_first 1\n",
+		"# TYPE x counter\nx{unclosed=\"v 1\n",
+		"# TYPE x counter\nx banana\n",
+		"# TYPE x notatype\n",
+		"# TYPE x counter\nx{k=\"v\"} 1 notatimestamp\n",
+		"# TYPE 9bad counter\n",
+	}
+	for _, c := range cases {
+		if _, err := CheckText(strings.NewReader(c)); err == nil {
+			t.Errorf("CheckText accepted malformed input %q", c)
+		}
+	}
+	// Foreign-but-valid exposition (summary, timestamps, free comments).
+	ok := "# random comment\n# HELP s a summary\n# TYPE s summary\ns_sum 1.5\ns_count 2\ns{quantile=\"0.5\"} 0.7 1700000000000\n"
+	if _, err := CheckText(strings.NewReader(ok)); err != nil {
+		t.Errorf("CheckText rejected valid input: %v", err)
+	}
+}
+
+// TestConcurrentObserve hammers one counter, one gauge, one histogram, and
+// the scraper from many goroutines; `go test -race ./internal/obs` is the
+// real assertion, the count check just keeps the compiler honest.
+func TestConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("spins_total", "")
+	g := r.Gauge("level", "")
+	h := r.Histogram("lat_seconds", "", LatencyBuckets)
+	const workers, per = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i%100) / 1000)
+				if i%256 == 0 {
+					var sb strings.Builder
+					_ = r.WritePrometheus(&sb)
+					_, _ = r.Value("spins_total")
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Value() != workers*per {
+		t.Fatalf("counter = %d, want %d", c.Value(), workers*per)
+	}
+	if h.Count() != workers*per {
+		t.Fatalf("histogram count = %d, want %d", h.Count(), workers*per)
+	}
+	if got, want := h.Sum(), 0.0; got <= want {
+		t.Fatalf("histogram sum = %g, want > 0", got)
+	}
+}

@@ -77,10 +77,12 @@ func (s *Server) startCluster() error {
 		if err != nil {
 			return fmt.Errorf("server: -chaos: %w", err)
 		}
+		ct := cluster.NewChaosTransport(http.DefaultTransport, chaos)
 		client = &http.Client{
 			Timeout:   15 * time.Second,
-			Transport: cluster.NewChaosTransport(http.DefaultTransport, chaos),
+			Transport: ct,
 		}
+		s.registerChaosMetrics(ct)
 	}
 	n, err := cluster.NewNode(cluster.Config{
 		Self:  s.opt.Cluster.Self,
@@ -98,6 +100,7 @@ func (s *Server) startCluster() error {
 		Fanout:        s.opt.Cluster.Fanout,
 		OriginGCAfter: s.opt.Cluster.OriginGCAfter,
 		OriginGCDecay: s.opt.Cluster.OriginGCDecay,
+		Registry:      s.met.reg,
 	})
 	if err != nil {
 		return err
@@ -105,6 +108,29 @@ func (s *Server) startCluster() error {
 	s.cluster = n
 	n.Start()
 	return nil
+}
+
+// registerChaosMetrics surfaces the fault injector's counters as gauges
+// (they are read live from the transport, not accumulated in the
+// registry), so a chaos run's drop/corruption pressure shows up on the
+// same /metrics page as the gossip traffic it distorts.
+func (s *Server) registerChaosMetrics(ct *cluster.ChaosTransport) {
+	reg := s.met.reg
+	stat := func(pick func(cluster.ChaosStats) int64) func() float64 {
+		return func() float64 { return float64(pick(ct.Stats())) }
+	}
+	reg.GaugeFunc("wmchaos_requests", "gossip RPCs seen by the fault injector",
+		stat(func(st cluster.ChaosStats) int64 { return st.Requests }))
+	reg.GaugeFunc("wmchaos_dropped", "gossip RPCs dropped by the fault injector",
+		stat(func(st cluster.ChaosStats) int64 { return st.Dropped }))
+	reg.GaugeFunc("wmchaos_duplicated", "gossip RPCs duplicated by the fault injector",
+		stat(func(st cluster.ChaosStats) int64 { return st.Duplicated }))
+	reg.GaugeFunc("wmchaos_corrupted", "gossip responses corrupted by the fault injector",
+		stat(func(st cluster.ChaosStats) int64 { return st.Corrupted }))
+	reg.GaugeFunc("wmchaos_delayed", "gossip RPCs delayed by the fault injector",
+		stat(func(st cluster.ChaosStats) int64 { return st.Delayed }))
+	reg.GaugeFunc("wmchaos_partitioned", "gossip RPCs refused by a simulated partition",
+		stat(func(st cluster.ChaosStats) int64 { return st.Partitioned }))
 }
 
 // ClusterNode exposes the node for harnesses that drive gossip rounds

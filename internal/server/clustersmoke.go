@@ -274,6 +274,24 @@ func ClusterSmoke(opt Options, smk ClusterSmokeOptions, verbose io.Writer) error
 			maxGap, smk.Epsilon, errUnion, errConv)
 	}
 
+	// Every node's /metrics must expose the gossip families after all that
+	// replication traffic, and parse clean.
+	for i, n := range nodes {
+		if err := scrapeMetrics(client, n.base, []string{
+			"wmgossip_rounds_total",
+			"wmgossip_peer_rounds_total",
+			"wmgossip_stream_bytes_total",
+			"wmgossip_frames_total",
+			"wmgossip_frame_bytes_total",
+			"wmgossip_frames_built_total",
+			"wmgossip_frames_applied_total",
+			"wmgossip_delta_built_ratio",
+		}, io.Discard); err != nil {
+			return fmt.Errorf("node %d: %w", i, err)
+		}
+	}
+	fmt.Fprintf(verbose, "cluster-smoke: all %d nodes expose the wmgossip metric families\n", len(nodes))
+
 	report := ClusterSmokeReport{
 		Nodes: smk.Nodes, Examples: smk.Examples, Holdout: smk.Holdout, Seed: smk.Seed,
 		RoundsFullPhase: roundsA, RoundsDeltaPhase: roundsB,

@@ -43,6 +43,14 @@ func TestHealthzClusterHealthy(t *testing.T) {
 	if resp.Cluster.LastSuccess.IsZero() {
 		t.Fatal("last_success not recorded after a successful round")
 	}
+	if len(resp.Cluster.LastGossipUnix) != 1 {
+		t.Fatalf("last_gossip_unix should have one entry per peer: %+v", resp.Cluster.LastGossipUnix)
+	}
+	for peer, ts := range resp.Cluster.LastGossipUnix {
+		if ts <= 0 {
+			t.Fatalf("peer %s gossiped successfully but last_gossip_unix is %d", peer, ts)
+		}
+	}
 }
 
 // downTransport fails every gossip RPC — the peer looks unreachable.

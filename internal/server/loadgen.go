@@ -5,15 +5,17 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"net/http"
 	"os"
 	"runtime"
-	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"wmsketch/internal/datagen"
+	"wmsketch/internal/obs"
 	"wmsketch/internal/stream"
 )
 
@@ -71,6 +73,53 @@ type LatencySummary struct {
 	MaxMs    float64 `json:"max_ms"`
 }
 
+// latencyBuckets spans 0.1ms to ~21s in 1.25× steps: every quantile the
+// summary reports carries at most 25% relative bucket error, independent
+// of how many requests the run makes (HDR-histogram-style fixed memory).
+var latencyBuckets = obs.ExponentialBuckets(0.0001, 1.25, 56)
+
+// latencyRecorder aggregates one endpoint's client-observed latencies.
+// All clients share one recorder: the histogram is internally atomic, so
+// recording never serializes the client goroutines, and memory stays
+// O(buckets) no matter how many requests the run makes. The maximum is
+// tracked exactly (a bucket bound would understate the worst case).
+type latencyRecorder struct {
+	hist  *obs.Histogram
+	maxNs atomic.Int64
+}
+
+func newLatencyRecorder() *latencyRecorder {
+	return &latencyRecorder{hist: obs.NewHistogram(latencyBuckets)}
+}
+
+func (l *latencyRecorder) observe(d time.Duration) {
+	l.hist.ObserveDuration(d)
+	for {
+		cur := l.maxNs.Load()
+		if int64(d) <= cur || l.maxNs.CompareAndSwap(cur, int64(d)) {
+			return
+		}
+	}
+}
+
+func (l *latencyRecorder) summary() LatencySummary {
+	n := l.hist.Count()
+	if n == 0 {
+		return LatencySummary{}
+	}
+	// Quantile interpolates within a bucket and can overshoot the true
+	// maximum near the tail; the recorder knows the exact max, so clamp.
+	maxMs := float64(l.maxNs.Load()) / 1e6
+	ms := func(q float64) float64 { return math.Min(l.hist.Quantile(q)*1e3, maxMs) }
+	return LatencySummary{
+		Requests: int(n),
+		P50Ms:    ms(0.50),
+		P95Ms:    ms(0.95),
+		P99Ms:    ms(0.99),
+		MaxMs:    maxMs,
+	}
+}
+
 // LoadgenReport is the machine-readable result document, recorded alongside
 // BENCH_throughput.json in the perf trajectory.
 type LoadgenReport struct {
@@ -87,24 +136,9 @@ type LoadgenReport struct {
 	UpdatesPerSec float64        `json:"updates_per_sec"`
 	Update        LatencySummary `json:"update"`
 	Predict       LatencySummary `json:"predict"`
-}
-
-func summarize(durs []time.Duration) LatencySummary {
-	if len(durs) == 0 {
-		return LatencySummary{}
-	}
-	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
-	at := func(q float64) float64 {
-		i := int(q * float64(len(durs)-1))
-		return float64(durs[i].Nanoseconds()) / 1e6
-	}
-	return LatencySummary{
-		Requests: len(durs),
-		P50Ms:    at(0.50),
-		P95Ms:    at(0.95),
-		P99Ms:    at(0.99),
-		MaxMs:    float64(durs[len(durs)-1].Nanoseconds()) / 1e6,
-	}
+	// LatencySource records how the percentiles were computed, so readers of
+	// archived reports know the quantiles are bucket-interpolated.
+	LatencySource string `json:"latency_source"`
 }
 
 // RunLoadgen executes a load-generation run and returns its report. When
@@ -139,11 +173,11 @@ func RunLoadgen(opt LoadgenOptions) (*LoadgenReport, error) {
 		perClient = 1
 	}
 
+	updateLat := newLatencyRecorder()
+	predictLat := newLatencyRecorder()
 	type clientStats struct {
-		updates  []time.Duration
-		predicts []time.Duration
-		sent     int
-		err      error
+		sent int
+		err  error
 	}
 	stats := make([]clientStats, opt.Clients)
 	var wg sync.WaitGroup
@@ -167,7 +201,7 @@ func RunLoadgen(opt LoadgenOptions) (*LoadgenReport, error) {
 					st.err = err
 					return
 				}
-				st.updates = append(st.updates, d)
+				updateLat.observe(d)
 				st.sent += end - i
 				reqs++
 				if opt.PredictEvery > 0 && reqs%opt.PredictEvery == 0 {
@@ -177,7 +211,7 @@ func RunLoadgen(opt LoadgenOptions) (*LoadgenReport, error) {
 						st.err = err
 						return
 					}
-					st.predicts = append(st.predicts, d)
+					predictLat.observe(d)
 				}
 			}
 		}(c)
@@ -185,14 +219,11 @@ func RunLoadgen(opt LoadgenOptions) (*LoadgenReport, error) {
 	wg.Wait()
 	wall := time.Since(start)
 
-	var updates, predicts []time.Duration
 	sent := 0
 	for i := range stats {
 		if stats[i].err != nil {
 			return nil, fmt.Errorf("client %d: %w", i, stats[i].err)
 		}
-		updates = append(updates, stats[i].updates...)
-		predicts = append(predicts, stats[i].predicts...)
 		sent += stats[i].sent
 	}
 	report := &LoadgenReport{
@@ -207,8 +238,9 @@ func RunLoadgen(opt LoadgenOptions) (*LoadgenReport, error) {
 		Examples:      sent,
 		WallSeconds:   wall.Seconds(),
 		UpdatesPerSec: float64(sent) / wall.Seconds(),
-		Update:        summarize(updates),
-		Predict:       summarize(predicts),
+		Update:        updateLat.summary(),
+		Predict:       predictLat.summary(),
+		LatencySource: "obs_histogram",
 	}
 	if opt.TargetURL != "" {
 		report.Backend = "remote"

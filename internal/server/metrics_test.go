@@ -1,0 +1,129 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"wmsketch/internal/obs"
+)
+
+// TestMiddlewareCountsEveryRoute drives one request at every registered
+// pattern and asserts the middleware recorded a status-code class and a
+// latency observation under that route's labels — so a route can never be
+// added without instrumentation (registration and instrumentation are the
+// same call).
+func TestMiddlewareCountsEveryRoute(t *testing.T) {
+	srv, err := New(testOptions(t, BackendAWM))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	patterns := srv.RoutePatterns()
+	if len(patterns) < 15 {
+		t.Fatalf("only %d instrumented routes registered: %v", len(patterns), patterns)
+	}
+	for _, pattern := range patterns {
+		method, path, ok := strings.Cut(pattern, " ")
+		if !ok {
+			t.Fatalf("pattern %q is not METHOD PATH", pattern)
+		}
+		req := httptest.NewRequest(method, path, strings.NewReader("{}"))
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+
+		reg := srv.MetricsRegistry()
+		total := 0.0
+		for _, class := range codeClasses {
+			if v, ok := reg.Value("wmserve_http_requests_total", pattern, class); ok {
+				total += v
+			}
+		}
+		if total < 1 {
+			t.Errorf("%s: no request counted under route label (status was %d)", pattern, rec.Code)
+		}
+		if n, ok := reg.Value("wmserve_http_request_duration_seconds", pattern); !ok || n < 1 {
+			t.Errorf("%s: no latency observation under route label", pattern)
+		}
+	}
+	if v, _ := srv.MetricsRegistry().Value("wmserve_http_in_flight_requests"); v != 0 {
+		t.Errorf("in-flight gauge %v after all requests returned, want 0", v)
+	}
+}
+
+// TestMiddlewareClassesAndErrors pins the class/error accounting: a good
+// update is a 2xx, a malformed one a 4xx, and neither counts as an error.
+func TestMiddlewareClassesAndErrors(t *testing.T) {
+	srv, err := New(testOptions(t, BackendAWM))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	do := func(body string) int {
+		req := httptest.NewRequest("POST", "/v1/update", strings.NewReader(body))
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		return rec.Code
+	}
+	if code := do(`{"example":{"y":1,"x":[{"i":3,"v":1.5}]}}`); code != http.StatusOK {
+		t.Fatalf("good update: HTTP %d", code)
+	}
+	if code := do(`{"example":{"y":7}}`); code != http.StatusBadRequest {
+		t.Fatalf("bad label: HTTP %d, want 400", code)
+	}
+
+	reg := srv.MetricsRegistry()
+	const route = "POST /v1/update"
+	if v, _ := reg.Value("wmserve_http_requests_total", route, "2xx"); v != 1 {
+		t.Errorf("2xx count %v, want 1", v)
+	}
+	if v, _ := reg.Value("wmserve_http_requests_total", route, "4xx"); v != 1 {
+		t.Errorf("4xx count %v, want 1", v)
+	}
+	if v, ok := reg.Value("wmserve_http_request_errors_total", route); ok && v != 0 {
+		t.Errorf("error count %v, want 0 (4xx is the client's fault)", v)
+	}
+	if v, _ := reg.Value("wmcore_updates_applied_total"); v != 1 {
+		t.Errorf("updates applied %v, want 1", v)
+	}
+	if v, _ := reg.Value("wmserve_http_body_bytes_total", route, "in"); v <= 0 {
+		t.Errorf("no request-body bytes counted for %s", route)
+	}
+	if v, _ := reg.Value("wmserve_http_body_bytes_total", route, "out"); v <= 0 {
+		t.Errorf("no response-body bytes counted for %s", route)
+	}
+}
+
+// TestMetricsEndpoint scrapes GET /metrics and validates the exposition
+// end to end with the obs checker.
+func TestMetricsEndpoint(t *testing.T) {
+	srv, err := New(testOptions(t, BackendAWM))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /metrics: HTTP %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("Content-Type %q", ct)
+	}
+	families, err := obs.CheckText(rec.Body)
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v", err)
+	}
+	for _, fam := range []string{
+		"wmserve_http_requests_total", "wmcore_updates_applied_total", "wmserve_uptime_seconds",
+	} {
+		if _, ok := families[fam]; !ok {
+			t.Errorf("family %q missing", fam)
+		}
+	}
+}

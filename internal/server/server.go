@@ -20,7 +20,6 @@ import (
 	"runtime"
 	"strconv"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"wmsketch/internal/cluster"
@@ -92,10 +91,10 @@ type Server struct {
 	// cluster is non-nil when Options.Cluster is enabled.
 	cluster *cluster.Node
 
-	updates   atomic.Int64
-	predicts  atomic.Int64
-	estimates atomic.Int64
-	restores  atomic.Int64
+	// met carries the process metrics registry and every pre-registered
+	// handle (metrics.go); routePatterns lists the instrumented routes.
+	met           *serverMetrics
+	routePatterns []string
 
 	stopRefresh chan struct{}
 	stopOnce    sync.Once
@@ -127,6 +126,7 @@ func New(opt Options) (*Server, error) {
 		opt.RefreshInterval = 200 * time.Millisecond
 	}
 	s := &Server{opt: opt, backend: b, start: time.Now(), stopRefresh: make(chan struct{})}
+	s.met = newServerMetrics(s)
 	if opt.Cluster.enabled() {
 		if err := s.startCluster(); err != nil {
 			if sh, ok := b.(*core.Sharded); ok {
@@ -163,6 +163,7 @@ func (s *Server) refreshLoop() {
 				}
 				if steps := sh.Steps(); steps != synced {
 					sh.Sync()
+					s.met.refreshes.Inc()
 					synced = steps
 				}
 			})
@@ -172,20 +173,23 @@ func (s *Server) refreshLoop() {
 
 func (s *Server) routes() {
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("POST /v1/update", s.handleUpdate)
-	s.mux.HandleFunc("POST /v1/predict", s.handlePredict)
-	s.mux.HandleFunc("GET /v1/estimate", s.handleEstimateGet)
-	s.mux.HandleFunc("POST /v1/estimate", s.handleEstimatePost)
-	s.mux.HandleFunc("GET /v1/topk", s.handleTopK)
-	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
-	s.mux.HandleFunc("POST /v1/checkpoint", s.handleCheckpoint)
-	s.mux.HandleFunc("GET /v1/checkpoint/download", s.handleCheckpointDownload)
-	s.mux.HandleFunc("POST /v1/checkpoint/upload", s.handleCheckpointUpload)
-	s.mux.HandleFunc("POST /v1/cluster/pull", s.handleClusterPull)
-	s.mux.HandleFunc("POST /v1/cluster/push", s.handleClusterPush)
-	s.mux.HandleFunc("GET /v1/cluster/status", s.handleClusterStatus)
-	s.mux.HandleFunc("POST /v1/sync", s.handleSync)
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.handle("POST /v1/update", s.handleUpdate)
+	s.handle("POST /v1/predict", s.handlePredict)
+	s.handle("GET /v1/estimate", s.handleEstimateGet)
+	s.handle("POST /v1/estimate", s.handleEstimatePost)
+	s.handle("GET /v1/topk", s.handleTopK)
+	s.handle("GET /v1/stats", s.handleStats)
+	s.handle("POST /v1/checkpoint", s.handleCheckpoint)
+	s.handle("GET /v1/checkpoint/download", s.handleCheckpointDownload)
+	s.handle("POST /v1/checkpoint/upload", s.handleCheckpointUpload)
+	s.handle("POST /v1/cluster/pull", s.handleClusterPull)
+	s.handle("POST /v1/cluster/push", s.handleClusterPush)
+	s.handle("GET /v1/cluster/status", s.handleClusterStatus)
+	s.handle("POST /v1/sync", s.handleSync)
+	s.handle("GET /healthz", s.handleHealthz)
+	// The scrape endpoint goes through the same middleware: scrapes show up
+	// in the request metrics like any other route.
+	s.handle("GET /metrics", s.handleMetrics)
 }
 
 // HealthzResponse is the /healthz body: overall status plus, in cluster
@@ -512,7 +516,8 @@ func (s *Server) applyBatch(batch []stream.Example) (steps int64) {
 		}
 		steps = b.Steps()
 	})
-	s.updates.Add(int64(len(batch)))
+	s.met.updatesApplied.Add(int64(len(batch)))
+	s.met.batchSize.Observe(float64(len(batch)))
 	return steps
 }
 
@@ -543,7 +548,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	if margin > 0 {
 		label = 1
 	}
-	s.predicts.Add(1)
+	s.met.predicts.Inc()
 	writeJSON(w, http.StatusOK, PredictResponse{Margin: margin, Label: label})
 }
 
@@ -559,7 +564,7 @@ func (s *Server) handleEstimateGet(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	est := s.estimate(uint32(i))
-	s.estimates.Add(1)
+	s.met.estimates.Inc()
 	writeJSON(w, http.StatusOK, EstimateResponse{
 		Weights: []WeightJSON{{I: uint32(i), W: est}},
 	})
@@ -585,7 +590,7 @@ func (s *Server) handleEstimatePost(w http.ResponseWriter, r *http.Request) {
 	for i, idx := range req.Indices {
 		out[i] = WeightJSON{I: idx, W: s.estimate(idx)}
 	}
-	s.estimates.Add(int64(len(out)))
+	s.met.estimates.Add(int64(len(out)))
 	writeJSON(w, http.StatusOK, EstimateResponse{Weights: out})
 }
 
@@ -613,10 +618,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Width:         s.opt.Config.Width,
 		Depth:         s.opt.Config.Depth,
 		HeapSize:      s.opt.Config.HeapSize,
-		Updates:       s.updates.Load(),
-		Predicts:      s.predicts.Load(),
-		Estimates:     s.estimates.Load(),
-		Restores:      s.restores.Load(),
+		Updates:       s.met.updatesApplied.Value(),
+		Predicts:      s.met.predicts.Value(),
+		Estimates:     s.met.estimates.Value(),
+		Restores:      s.met.restores.Value(),
 		UptimeSeconds: time.Since(s.start).Seconds(),
 	}
 	s.withBackend(func(b learner) {
@@ -662,7 +667,6 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusInternalServerError, "restore: %v", err)
 			return
 		}
-		s.restores.Add(1)
 		warning, err := s.publishRestored()
 		if err != nil {
 			writeError(w, http.StatusInternalServerError, "restored but publish failed: %v", err)
@@ -684,6 +688,7 @@ func (s *Server) handleSync(w http.ResponseWriter, r *http.Request) {
 	s.withBackend(func(b learner) {
 		if sh, ok := b.(*core.Sharded); ok {
 			sh.Sync()
+			s.met.refreshes.Inc()
 		}
 		steps = b.Steps()
 	})
@@ -699,6 +704,7 @@ func (s *Server) handleSync(w http.ResponseWriter, r *http.Request) {
 // saveCheckpoint writes the backend state to path atomically (temp file +
 // rename), so a crash mid-write never clobbers the previous checkpoint.
 func (s *Server) saveCheckpoint(path string) (int64, error) {
+	began := time.Now()
 	tmp, err := os.CreateTemp(filepath.Dir(path), ".wmserve-ckpt-*")
 	if err != nil {
 		return 0, err
@@ -714,7 +720,12 @@ func (s *Server) saveCheckpoint(path string) (int64, error) {
 	if err := tmp.Close(); err != nil {
 		return n, err
 	}
-	return n, os.Rename(tmp.Name(), path)
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return n, err
+	}
+	s.met.saves.Inc()
+	s.met.saveDur.ObserveDuration(time.Since(began))
+	return n, nil
 }
 
 // restoreCheckpoint replaces the backend with the state at path. The new
@@ -732,6 +743,7 @@ func (s *Server) restoreCheckpoint(path string) error {
 // restoreFromReader builds a fresh backend from serialized state and swaps
 // it in — shared by file restore and POST /v1/checkpoint/upload.
 func (s *Server) restoreFromReader(f io.Reader) error {
+	began := time.Now()
 	var fresh learner
 	switch s.opt.Backend {
 	case BackendSharded:
@@ -763,5 +775,9 @@ func (s *Server) restoreFromReader(f io.Reader) error {
 	if sh, ok := old.(*core.Sharded); ok {
 		sh.Close()
 	}
+	// Counts every restore path — file restore, boot-time Restore, and
+	// checkpoint upload — since each swaps the backend the same way.
+	s.met.restores.Inc()
+	s.met.restoreDur.ObserveDuration(time.Since(began))
 	return nil
 }

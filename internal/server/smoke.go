@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"wmsketch/internal/datagen"
+	"wmsketch/internal/obs"
 )
 
 // Smoke boots a server on a loopback listener and exercises the whole API
@@ -159,6 +160,9 @@ func Smoke(opt Options, verbose io.Writer) error {
 	if st.Updates == 0 || st.Steps == 0 {
 		return fmt.Errorf("stats did not count updates: %+v", st)
 	}
+	if st.UptimeSeconds <= 0 {
+		return fmt.Errorf("stats reported non-positive uptime: %+v", st)
+	}
 
 	// Concurrent loadgen against the same live server.
 	report, err := RunLoadgen(LoadgenOptions{
@@ -172,5 +176,51 @@ func Smoke(opt Options, verbose io.Writer) error {
 	}
 	fmt.Fprintf(verbose, "smoke: loadgen %d examples at %.0f updates/sec (p99 update %.2f ms)\n",
 		report.Examples, report.UpdatesPerSec, report.Update.P99Ms)
+
+	// Scrape /metrics after all that traffic: every line must parse as
+	// Prometheus text and the serving/core families must be present.
+	if err := scrapeMetrics(client, base, []string{
+		"wmserve_http_in_flight_requests",
+		"wmserve_http_requests_total",
+		"wmserve_http_request_duration_seconds",
+		"wmserve_http_body_bytes_total",
+		"wmserve_predicts_total",
+		"wmserve_estimates_total",
+		"wmserve_uptime_seconds",
+		"wmcore_updates_applied_total",
+		"wmcore_update_batch_size",
+		"wmcore_checkpoint_saves_total",
+		"wmcore_checkpoint_restores_total",
+		"wmcore_steps",
+		"wmcore_memory_bytes",
+	}, verbose); err != nil {
+		return err
+	}
+	return nil
+}
+
+// scrapeMetrics fetches /metrics, validates the exposition line-by-line,
+// and requires each named family to be declared.
+func scrapeMetrics(client *http.Client, base string, families []string, verbose io.Writer) error {
+	r, err := client.Get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET /metrics: HTTP %d", r.StatusCode)
+	}
+	seen, err := obs.CheckText(r.Body)
+	if err != nil {
+		return fmt.Errorf("GET /metrics: %w", err)
+	}
+	for _, fam := range families {
+		if _, ok := seen[fam]; !ok {
+			return fmt.Errorf("GET /metrics: family %q missing from the exposition (%d families present)",
+				fam, len(seen))
+		}
+	}
+	fmt.Fprintf(verbose, "smoke: /metrics parsed clean, %d families, all %d required present\n",
+		len(seen), len(families))
 	return nil
 }

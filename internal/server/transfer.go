@@ -46,7 +46,6 @@ func (s *Server) handleCheckpointUpload(w http.ResponseWriter, r *http.Request) 
 		writeError(w, http.StatusBadRequest, "upload: %v", err)
 		return
 	}
-	s.restores.Add(1)
 	// The restored model is this node's new local state; publish it so the
 	// cluster view doesn't keep serving the pre-upload model.
 	warning, err := s.publishRestored()

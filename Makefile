@@ -72,9 +72,10 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzReadCountSketch -fuzztime 20s ./internal/sketch
 
 # Static analysis gate (LINTING.md): wmlint (the project's own analyzers —
-# clockdet, maporder, decodebounds, guardedby, nonfinite) always runs and
-# must report zero findings; staticcheck and govulncheck run when
-# installed (CI installs the pinned versions via lint-tools).
+# clockdet, maporder, decodebounds, guardedby, nonfinite, metricnames,
+# ctxflow) always runs and must report zero findings; staticcheck and
+# govulncheck run when installed (CI installs the pinned versions via
+# lint-tools).
 lint:
 	$(GO) run ./cmd/wmlint ./...
 	@if command -v staticcheck >/dev/null 2>&1; then \

@@ -44,6 +44,10 @@ func runServeBench(examples, clients, workers int, jsonPath string) {
 		report.Update.P50Ms, report.Update.P95Ms, report.Update.P99Ms, report.Update.MaxMs, report.Update.Requests)
 	fmt.Printf("  predict p50 %.2f ms  p95 %.2f ms  p99 %.2f ms  max %.2f ms (%d reqs)\n",
 		report.Predict.P50Ms, report.Predict.P95Ms, report.Predict.P99Ms, report.Predict.MaxMs, report.Predict.Requests)
+	if st := report.SlowestTrace; st != nil {
+		fmt.Printf("  slowest sampled trace %s: %s %.2f ms (%s), %d root spans\n",
+			st.TraceID, st.Root, st.DurationMs, st.Reason, len(st.Spans))
+	}
 	if jsonPath != "" {
 		if err := server.WriteReport(report, jsonPath); err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)

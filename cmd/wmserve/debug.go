@@ -2,36 +2,28 @@ package main
 
 import (
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
-	"net/http/pprof"
 
 	"wmsketch/internal/server"
 )
 
-// Debug listener (-debug-addr): /metrics and the net/http/pprof suite on a
-// separate socket, so profiling and scraping never share a port — or a
+// Debug listener (-debug-addr): /metrics, the net/http/pprof suite, and the
+// flight recorder's /debug/traces endpoints on a separate socket, so
+// profiling, scraping, and trace inspection never share a port — or a
 // firewall rule — with the serving API. The main -addr intentionally does
-// not get pprof: its /metrics is for scrapers colocated with the API, while
-// heap/cpu profiles stay opt-in and bindable to loopback only.
-func startDebugServer(srv *server.Server, addr string) (*http.Server, error) {
-	mux := http.NewServeMux()
-	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		_ = srv.MetricsRegistry().WritePrometheus(w)
-	})
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-
+// not get pprof or traces: its /metrics is for scrapers colocated with the
+// API, while profiles and span trees stay opt-in and bindable to loopback.
+func startDebugServer(srv *server.Server, logger *slog.Logger, addr string) (*http.Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("debug listener: %w", err)
 	}
-	ds := &http.Server{Handler: mux}
+	ds := &http.Server{Handler: srv.DebugMux()}
 	go func() { _ = ds.Serve(ln) }()
-	fmt.Printf("wmserve: debug endpoints (/metrics, /debug/pprof) on %s\n", ln.Addr())
+	logger.Info("debug endpoints up",
+		slog.String("addr", ln.Addr().String()),
+		slog.String("paths", "/metrics /debug/pprof /debug/traces /debug/traces/slowest"))
 	return ds, nil
 }

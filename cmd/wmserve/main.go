@@ -22,6 +22,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -33,6 +34,7 @@ import (
 	"wmsketch/internal/cluster/sim"
 	"wmsketch/internal/core"
 	"wmsketch/internal/server"
+	"wmsketch/internal/trace"
 )
 
 // splitPeers parses the -peers flag: comma-separated base URLs, blanks
@@ -79,6 +81,9 @@ func main() {
 		batch    = flag.Int("batch", 64, "loadgen: examples per update request")
 		jsonPath = flag.String("json", "BENCH_serve.json", "loadgen: write the report to this file ('' disables)")
 
+		logJSON  = flag.Bool("log-json", false, "emit structured logs as JSON lines (default: logfmt-style text)")
+		logLevel = flag.String("log-level", "info", "minimum log level: debug, info, warn, or error")
+
 		smoke = flag.Bool("smoke", false, "run the end-to-end self-test and exit")
 
 		clusterSmoke = flag.Bool("cluster-smoke", false, "run the multi-node convergence self-test and exit (CI runs this)")
@@ -92,7 +97,14 @@ func main() {
 	)
 	flag.Parse()
 
+	logger, err := buildLogger(*logJSON, *logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wmserve:", err)
+		os.Exit(2)
+	}
+
 	opt := server.Options{
+		Logger:  logger,
 		Backend: *backend,
 		Config: core.Config{
 			Width: *width, Depth: *depth, HeapSize: *heapSize,
@@ -173,11 +185,38 @@ func main() {
 			fmt.Println("wrote", *jsonPath)
 		}
 	default:
-		if err := serve(opt, *addr, *debugAddr, *restore); err != nil {
+		if err := serve(opt, logger, *addr, *debugAddr, *restore); err != nil {
 			fmt.Fprintln(os.Stderr, "wmserve:", err)
 			os.Exit(1)
 		}
 	}
+}
+
+// buildLogger assembles the process logger: text or JSON lines on stderr at
+// the requested level, wrapped so every record logged under a traced
+// request context carries its trace_id/span_id attributes.
+func buildLogger(jsonLines bool, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info":
+		lvl = slog.LevelInfo
+	case "warn":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("-log-level %q (want debug, info, warn, or error)", level)
+	}
+	ho := &slog.HandlerOptions{Level: lvl}
+	var h slog.Handler
+	if jsonLines {
+		h = slog.NewJSONHandler(os.Stderr, ho)
+	} else {
+		h = slog.NewTextHandler(os.Stderr, ho)
+	}
+	return slog.New(trace.NewLogHandler(h)), nil
 }
 
 // runSim drives the discrete-event cluster simulation (loss + partition +
@@ -203,6 +242,8 @@ func runSim(nodes int, seed int64, jsonPath string) error {
 		float64(rep.BytesOnWire)/1e6)
 	fmt.Printf("sim: max rel err %.4g (gate %.2f), %d/%d fully synced, max dead-origin weight %g, %d origins GCed\n",
 		rep.MaxRelErr, sim.RelErrGate, rep.FullySynced, rep.LiveNodes, rep.MaxDeadWeight, rep.OriginsGCed)
+	fmt.Printf("sim: causal lineage: %d applied frames checked, %d violations, %d dropped entries (consistent=%v)\n",
+		rep.LineageApplies, rep.LineageViolations, rep.LineageDropped, rep.LineageConsistent)
 	if jsonPath != "" {
 		blob, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
@@ -220,13 +261,13 @@ func runSim(nodes int, seed int64, jsonPath string) error {
 	return nil
 }
 
-func serve(opt server.Options, addr, debugAddr string, restore bool) error {
+func serve(opt server.Options, logger *slog.Logger, addr, debugAddr string, restore bool) error {
 	srv, err := server.New(opt)
 	if err != nil {
 		return err
 	}
 	if debugAddr != "" {
-		ds, err := startDebugServer(srv, debugAddr)
+		ds, err := startDebugServer(srv, logger, debugAddr)
 		if err != nil {
 			return err
 		}
@@ -237,7 +278,7 @@ func serve(opt server.Options, addr, debugAddr string, restore bool) error {
 			if err := srv.Restore(opt.CheckpointPath); err != nil {
 				return fmt.Errorf("restore %s: %w", opt.CheckpointPath, err)
 			}
-			fmt.Println("restored checkpoint", opt.CheckpointPath)
+			logger.Info("restored checkpoint", slog.String("path", opt.CheckpointPath))
 		}
 	}
 
@@ -247,7 +288,7 @@ func serve(opt server.Options, addr, debugAddr string, restore bool) error {
 
 	errc := make(chan error, 1)
 	go func() {
-		fmt.Printf("wmserve: %s backend listening on %s\n", opt.Backend, addr)
+		logger.Info("listening", slog.String("backend", opt.Backend), slog.String("addr", addr))
 		errc <- hs.ListenAndServe()
 	}()
 
@@ -256,7 +297,7 @@ func serve(opt server.Options, addr, debugAddr string, restore bool) error {
 		return err
 	case <-ctx.Done():
 	}
-	fmt.Println("wmserve: shutting down")
+	logger.Info("shutting down")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := hs.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
@@ -267,7 +308,7 @@ func serve(opt server.Options, addr, debugAddr string, restore bool) error {
 		return fmt.Errorf("final checkpoint: %w", err)
 	}
 	if opt.CheckpointPath != "" {
-		fmt.Println("wmserve: flushed final checkpoint to", opt.CheckpointPath)
+		logger.Info("flushed final checkpoint", slog.String("path", opt.CheckpointPath))
 	}
 	return nil
 }

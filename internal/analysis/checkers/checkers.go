@@ -3,8 +3,10 @@
 // clockdet (virtual-time discipline in the cluster layer), maporder
 // (no order-sensitive work inside map iteration), decodebounds (decoded
 // sizes are bounded before they allocate or slice), guardedby (annotated
-// fields are only touched under their mutex), and nonfinite (floats are
-// finiteness-checked at ingest boundaries). See LINTING.md for the full
+// fields are only touched under their mutex), nonfinite (floats are
+// finiteness-checked at ingest boundaries), and ctxflow (functions that
+// receive a context thread it instead of minting a fresh root). See
+// LINTING.md for the full
 // contract of each, including how to suppress a deliberate exception with
 // `//lint:ignore <analyzer> <reason>`.
 package checkers
@@ -19,7 +21,7 @@ import (
 
 // All returns every analyzer in the suite, in stable order.
 func All() []*analysis.Analyzer {
-	return []*analysis.Analyzer{ClockDet, MapOrder, DecodeBounds, GuardedBy, NonFinite, MetricNames}
+	return []*analysis.Analyzer{ClockDet, MapOrder, DecodeBounds, GuardedBy, NonFinite, MetricNames, CtxFlow}
 }
 
 // pkgFunc reports whether call is a call of (or reference to) the function

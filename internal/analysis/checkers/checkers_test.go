@@ -36,3 +36,7 @@ func TestNonFinite(t *testing.T) {
 func TestMetricNames(t *testing.T) {
 	analysistest.Run(t, testdata(), MetricNames, "metricnames")
 }
+
+func TestCtxFlow(t *testing.T) {
+	analysistest.Run(t, testdata(), CtxFlow, "ctxflow")
+}

@@ -1,0 +1,97 @@
+package checkers
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"wmsketch/internal/analysis"
+)
+
+// ctxRoots are the context-package constructors that mint a fresh root
+// context, severing the trace and cancellation chain.
+var ctxRoots = map[string]bool{"Background": true, "TODO": true}
+
+// CtxFlow enforces context propagation on the request and gossip planes:
+// a function that already holds a context — a context.Context parameter or
+// an *http.Request (whose Context carries the handler span) — must thread
+// it, not mint context.Background()/context.TODO(). A fresh root inside
+// such a function drops cancellation, deadlines, and the active trace
+// span, which is exactly how a cross-node lineage chain goes dark.
+// Functions without an incoming context (background loops, Close paths)
+// may mint roots freely.
+var CtxFlow = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc: "flags context.Background/context.TODO inside internal/server and " +
+		"internal/cluster functions that already receive a context.Context or " +
+		"*http.Request; minting a fresh root there severs cancellation and the " +
+		"trace chain the causal-lineage gate depends on.",
+	Filter: func(pkgPath string) bool {
+		for _, p := range []string{"wmsketch/internal/server", "wmsketch/internal/cluster"} {
+			if pkgPath == p || strings.HasPrefix(pkgPath, p+"/") {
+				return true
+			}
+		}
+		return false
+	},
+	Run: runCtxFlow,
+}
+
+func runCtxFlow(pass *analysis.Pass) error {
+	// Both a FuncDecl and a FuncLit nested inside it can carry a context
+	// parameter; reported positions are deduplicated so a root minted under
+	// two context-bearing scopes flags once.
+	seen := map[token.Pos]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var ft *ast.FuncType
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				ft, body = fn.Type, fn.Body
+			case *ast.FuncLit:
+				ft, body = fn.Type, fn.Body
+			default:
+				return true
+			}
+			if body == nil || !hasCtxParam(pass, ft) {
+				return true
+			}
+			ast.Inspect(body, func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				name, ok := isPkgSelector(pass.TypesInfo, call.Fun, "context", ctxRoots)
+				if !ok || seen[call.Pos()] {
+					return true
+				}
+				seen[call.Pos()] = true
+				pass.Reportf(call.Pos(),
+					"context.%s minted in a function that already receives a context; thread the incoming one (it carries cancellation and the active trace span)", name)
+				return true
+			})
+			return true
+		})
+	}
+	return nil
+}
+
+// hasCtxParam reports whether the function type declares a parameter whose
+// type is context.Context or *http.Request.
+func hasCtxParam(pass *analysis.Pass, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		t := pass.TypeOf(field.Type)
+		if t == nil {
+			continue
+		}
+		switch t.String() {
+		case "context.Context", "*net/http.Request":
+			return true
+		}
+	}
+	return false
+}

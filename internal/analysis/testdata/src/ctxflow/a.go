@@ -1,0 +1,54 @@
+package ctxflow
+
+import (
+	"context"
+	"net/http"
+)
+
+// bad already receives a context: a fresh root severs cancellation and the
+// trace chain.
+func bad(ctx context.Context) {
+	_ = context.Background() // want `context\.Background minted in a function that already receives a context`
+	_ = context.TODO()       // want `context\.TODO minted in a function that already receives a context`
+	use(ctx)
+}
+
+// badHandler holds an *http.Request, whose Context carries the handler
+// span — minting a root instead of r.Context() drops the trace.
+func badHandler(w http.ResponseWriter, r *http.Request) {
+	ctx := context.Background() // want `context\.Background minted in a function that already receives a context`
+	use(ctx)
+	_ = r
+}
+
+// badLit: a function literal with its own context parameter is in scope
+// even when the enclosing function is not.
+func badLit() func(context.Context) {
+	return func(ctx context.Context) {
+		_ = context.TODO() // want `context\.TODO minted in a function that already receives a context`
+		use(ctx)
+	}
+}
+
+// good threads the incoming context.
+func good(ctx context.Context) context.Context {
+	return context.WithValue(ctx, key{}, 1)
+}
+
+// goodRoot has no incoming context — background loops and Close paths may
+// mint roots freely.
+func goodRoot() context.Context {
+	return context.Background()
+}
+
+// goodIgnored is a deliberate exception: the suppression must hold the
+// finding back.
+func goodIgnored(ctx context.Context) context.Context {
+	use(ctx)
+	//lint:ignore ctxflow fixture exercises the suppression path
+	return context.Background()
+}
+
+type key struct{}
+
+func use(context.Context) {}

@@ -3,12 +3,27 @@ package cluster
 import (
 	"bytes"
 	"fmt"
+	"log/slog"
 	"testing"
 
 	"wmsketch/internal/core"
 	"wmsketch/internal/datagen"
 	"wmsketch/internal/stream"
 )
+
+// testLogWriter routes slog text output through t.Logf.
+type testLogWriter struct{ t *testing.T }
+
+func (w testLogWriter) Write(p []byte) (int, error) {
+	w.t.Logf("%s", bytes.TrimRight(p, "\n"))
+	return len(p), nil
+}
+
+// testLogger builds a debug-level slog.Logger narrating into the test log.
+func testLogger(t *testing.T) *slog.Logger {
+	return slog.New(slog.NewTextHandler(testLogWriter{t: t},
+		&slog.HandlerOptions{Level: slog.LevelDebug}))
+}
 
 func clusterConfig() core.Config {
 	return core.Config{Width: 512, Depth: 1, HeapSize: 64, Lambda: 1e-6, Seed: 7}
@@ -32,7 +47,7 @@ func newMember(t *testing.T, id string) *testMember {
 		Mix:      mixOpt(cfg),
 		Local:    l,
 		Interval: -1, // manual rounds
-		Logf:     t.Logf,
+		Logger:   testLogger(t),
 	})
 	if err != nil {
 		t.Fatal(err)

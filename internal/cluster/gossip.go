@@ -5,9 +5,12 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"log/slog"
 	"sort"
 	"sync"
 	"time"
+
+	"wmsketch/internal/trace"
 )
 
 // Anti-entropy rounds. Each round a node, per peer:
@@ -111,8 +114,16 @@ func (n *Node) Close() {
 // for deterministic rounds.
 func (n *Node) GossipOnce() int {
 	n.met.rounds.Inc()
+	// The round span is the trace every downstream apply must link back to:
+	// its ID rides the traceparent header (HTTP transport) and the stream
+	// annotation (wire header), and the simulator's causal-lineage gate
+	// checks applied frames against the set of round IDs minted here.
+	ctx, round := n.cfg.Tracer.StartSpan(context.Background(), "gossip.round")
+	n.setLastRoundTrace(trace.SpanContextOf(ctx).TraceID)
+	defer round.Finish()
 	if _, _, err := n.PublishLocal(); err != nil {
-		n.cfg.Logf("cluster: publish: %v", err)
+		n.cfg.Logger.LogAttrs(ctx, slog.LevelWarn, "publish failed",
+			slog.String("error", err.Error()))
 	}
 	n.sweepOrigins()
 	ok := 0
@@ -121,7 +132,12 @@ func (n *Node) GossipOnce() int {
 		// observe wall time, the simulator observes virtual time (zero), so
 		// a sim run stays a pure function of its seed.
 		began := n.cfg.Clock.Now()
-		err := n.gossipPeer(p)
+		pctx, span := n.cfg.Tracer.StartSpan(ctx, "gossip.peer")
+		err := n.gossipPeer(pctx, p)
+		if err != nil {
+			span.SetError()
+		}
+		span.Finish()
 		n.met.roundDur.ObserveDuration(n.cfg.Clock.Now().Sub(began))
 		if err != nil {
 			n.met.peerRoundFail.Inc()
@@ -154,12 +170,18 @@ func (n *Node) peerFailed(p *peerState, err error) {
 	}
 	p.backoffUntil = now.Add(backoff)
 	if st := n.classifyLocked(p, now); st != p.state {
-		n.cfg.Logf("cluster: peer %s %s -> %s", p.url, p.state, st)
+		n.cfg.Logger.Info("peer liveness transition",
+			slog.String("peer", p.url),
+			slog.String("from", p.state.String()),
+			slog.String("to", st.String()))
 		p.state = st
 		n.met.transition(st)
 	}
-	n.cfg.Logf("cluster: peer %s failed (%d consecutive, next attempt in %s): %v",
-		p.url, p.failures, backoff.Round(time.Millisecond), err)
+	n.cfg.Logger.Warn("peer round failed",
+		slog.String("peer", p.url),
+		slog.Int64("consecutive", p.failures),
+		slog.Duration("backoff", backoff.Round(time.Millisecond)),
+		slog.String("error", err.Error()))
 }
 
 func (n *Node) peerSucceeded(p *peerState) {
@@ -167,7 +189,10 @@ func (n *Node) peerSucceeded(p *peerState) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.state != PeerAlive {
-		n.cfg.Logf("cluster: peer %s %s -> alive", p.url, p.state)
+		n.cfg.Logger.Info("peer liveness transition",
+			slog.String("peer", p.url),
+			slog.String("from", p.state.String()),
+			slog.String("to", PeerAlive.String()))
 		n.met.transition(PeerAlive)
 	}
 	p.state = PeerAlive
@@ -179,11 +204,11 @@ func (n *Node) peerSucceeded(p *peerState) {
 	p.backoffUntil = time.Time{}
 }
 
-// gossipPeer reconciles with one peer: pull, apply, push back. The whole
+// gossipPeer reconciles with one peer: pull, apply, push back. The ctx
+// carries the round's span (the trace every RPC propagates) and the whole
 // round shares one context deadline (RPCTimeout), so a stalled peer costs
 // bounded wall time however many RPCs the round needs.
-func (n *Node) gossipPeer(p *peerState) error {
-	ctx := context.Background()
+func (n *Node) gossipPeer(ctx context.Context, p *peerState) error {
 	if n.cfg.RPCTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, n.cfg.RPCTimeout)
@@ -262,11 +287,15 @@ func (n *Node) pull(ctx context.Context, p *peerState, digest map[string]int64) 
 	// Decode straight off the wire — a full sync of a large model must not
 	// be buffered whole just to count its bytes.
 	cr := &countingReader{r: io.LimitReader(rc, maxPullBytes)}
-	frames, err := ReadFrames(cr)
+	frames, sc, err := ReadFramesTraced(cr)
 	if err != nil {
 		return ApplyResult{}, err
 	}
-	res := n.ApplyFrames(frames)
+	// ctx already carries our round's span, so the apply nests under it; the
+	// stream annotation (the peer's handler span, which itself continued our
+	// round via the traceparent header) is the fallback lineage evidence when
+	// this node runs untraced.
+	res := n.ApplyFramesCtx(trace.ContextWithRemote(ctx, sc), frames)
 	n.met.bytesIn.Add(cr.n)
 	n.met.countFrames(frames, true)
 	p.mu.Lock()
@@ -291,7 +320,7 @@ func (c *countingReader) Read(p []byte) (int, error) {
 // push sends frames the peer is missing over the transport.
 func (n *Node) push(ctx context.Context, p *peerState, frames []Frame) error {
 	var buf bytes.Buffer
-	nBytes, err := WriteFrames(&buf, frames)
+	nBytes, err := WriteFramesTraced(&buf, trace.SpanContextOf(ctx), frames)
 	if err != nil {
 		return err
 	}

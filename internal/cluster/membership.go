@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"log/slog"
 	"math/bits"
 	"time"
 
@@ -101,7 +102,10 @@ func (n *Node) samplePeers() []*peerState {
 		p.mu.Lock()
 		st := n.classifyLocked(p, now)
 		if st != p.state {
-			n.cfg.Logf("cluster: peer %s %s -> %s", p.url, p.state, st)
+			n.cfg.Logger.Info("peer liveness transition",
+				slog.String("peer", p.url),
+				slog.String("from", p.state.String()),
+				slog.String("to", st.String()))
 			p.state = st
 			n.met.transition(st)
 		}
@@ -192,8 +196,9 @@ func (n *Node) sweepOrigins() {
 			o.snap = core.Snapshot{}
 			o.history = nil
 			n.met.originsGCed.Inc()
-			n.cfg.Logf("cluster: origin %q idle past the GC window; dropped from the mix (version %d kept as tombstone)",
-				o.id, o.version)
+			n.cfg.Logger.Info("origin idle past the GC window; dropped from the mix",
+				slog.String("origin", o.id),
+				slog.Int64("tombstone_version", o.version))
 			dirty = true
 		} else if quantizeFactor(f) != o.factorQ {
 			dirty = true

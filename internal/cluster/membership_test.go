@@ -87,7 +87,7 @@ func clockedNode(t *testing.T, clock *VirtualClock, tr Transport, peers []string
 		Clock:     clock,
 		Transport: tr,
 		Seed:      1,
-		Logf:      t.Logf,
+		Logger:    testLogger(t),
 	}
 	if tweak != nil {
 		tweak(&c)

@@ -51,8 +51,8 @@ type nodeMetrics struct {
 	peerRoundOK   *obs.Counter
 	peerRoundFail *obs.Counter
 
-	bytesIn  *obs.Counter // pull-response stream bytes (incl. 8-byte header)
-	bytesOut *obs.Counter // push-request stream bytes (incl. 8-byte header)
+	bytesIn  *obs.Counter // pull-response stream bytes (incl. 36-byte header)
+	bytesOut *obs.Counter // push-request stream bytes (incl. 36-byte header)
 
 	// Indexed by frame kind byte (kindDigest..kindDelta).
 	framesIn      [4]*obs.Counter

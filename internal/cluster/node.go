@@ -1,8 +1,10 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
+	"log/slog"
 	"math/rand"
 	"net/http"
 	"sort"
@@ -14,6 +16,7 @@ import (
 	"wmsketch/internal/obs"
 	"wmsketch/internal/sketch"
 	"wmsketch/internal/stream"
+	"wmsketch/internal/trace"
 )
 
 // Config configures a cluster Node.
@@ -90,8 +93,16 @@ type Config struct {
 	// still readable via Metrics() — Status() is sourced from it either
 	// way.
 	Registry *obs.Registry
-	// Logf receives gossip diagnostics; nil discards them.
-	Logf func(format string, args ...interface{})
+	// Logger receives gossip diagnostics; nil discards them. The node logs
+	// through it with a node_id attribute and passes span contexts, so a
+	// handler wrapped in trace.NewLogHandler joins gossip log lines to
+	// their round traces.
+	Logger *slog.Logger
+	// Tracer spans gossip rounds, peer reconciliations, and frame applies,
+	// and feeds the causal-lineage machinery. Nil disables tracing (every
+	// span call is a no-op and lineage entries carry a zero trace ID). The
+	// simulator injects a virtual-clock, fixed-seed tracer here.
+	Tracer *trace.Tracer
 }
 
 func (c *Config) fill() error {
@@ -145,9 +156,10 @@ func (c *Config) fill() error {
 	if c.Transport == nil {
 		c.Transport = httpTransport{client: c.Client, authToken: c.AuthToken}
 	}
-	if c.Logf == nil {
-		c.Logf = func(string, ...interface{}) {}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.DiscardHandler)
 	}
+	c.Logger = c.Logger.With(slog.String("node_id", c.Self))
 	return nil
 }
 
@@ -227,6 +239,68 @@ type Node struct {
 	// met holds the pre-registered aggregate instruments (per-peer
 	// counters live on peerState); Status() and /metrics both read it.
 	met *nodeMetrics
+
+	// Causal-lineage bookkeeping (see DrainLineage): every applied frame
+	// records which trace carried it, and the simulator checks each entry
+	// against the set of round traces actually minted.
+	lmu            sync.Mutex
+	lineage        []LineageEntry // guarded by lmu
+	lineageDropped int64          // guarded by lmu
+	lastRound      trace.TraceID  // guarded by lmu
+}
+
+// maxLineageEntries bounds the per-node lineage ring between drains. The
+// simulator drains every round; a node applying more frames than this
+// between drains records the overflow in DrainLineage's dropped count (the
+// lineage gate fails on any drop — silence would hide missing evidence).
+const maxLineageEntries = 8192
+
+// LineageEntry is the provenance record of one applied frame: which
+// origin's state advanced to which version, and the trace of the gossip
+// round that delivered it. A zero Trace means the frame arrived outside
+// any traced round — exactly what the causal-lineage gate exists to catch.
+type LineageEntry struct {
+	Origin  string
+	Version int64
+	Trace   trace.TraceID
+}
+
+// appendLineage records one applied frame's provenance.
+func (n *Node) appendLineage(origin string, version int64, tid trace.TraceID) {
+	n.lmu.Lock()
+	defer n.lmu.Unlock()
+	if len(n.lineage) >= maxLineageEntries {
+		n.lineageDropped++
+		return
+	}
+	n.lineage = append(n.lineage, LineageEntry{Origin: origin, Version: version, Trace: tid})
+}
+
+// DrainLineage returns and clears the applied-frame provenance recorded
+// since the last drain, plus how many entries overflowed the ring (always
+// zero unless the caller drains too rarely).
+func (n *Node) DrainLineage() ([]LineageEntry, int64) {
+	n.lmu.Lock()
+	defer n.lmu.Unlock()
+	out := n.lineage
+	dropped := n.lineageDropped
+	n.lineage = nil
+	n.lineageDropped = 0
+	return out, dropped
+}
+
+// LastRoundTrace reports the trace ID minted by this node's most recent
+// GossipOnce (zero before the first round or without a tracer).
+func (n *Node) LastRoundTrace() trace.TraceID {
+	n.lmu.Lock()
+	defer n.lmu.Unlock()
+	return n.lastRound
+}
+
+func (n *Node) setLastRoundTrace(tid trace.TraceID) {
+	n.lmu.Lock()
+	n.lastRound = tid
+	n.lmu.Unlock()
 }
 
 // NewNode validates cfg and assembles a node. The gossip loop starts on
@@ -388,12 +462,27 @@ type ApplyResult struct {
 	Changed bool
 }
 
-// ApplyFrames ingests a frame stream from a peer: full frames replace an
+// ApplyFrames ingests a frame stream with no trace context. Use
+// ApplyFramesCtx when the stream arrived inside a traced exchange so the
+// apply links into the sender's round.
+func (n *Node) ApplyFrames(frames []Frame) ApplyResult {
+	return n.ApplyFramesCtx(context.Background(), frames)
+}
+
+// ApplyFramesCtx ingests a frame stream from a peer: full frames replace an
 // origin's snapshot when newer, delta frames reconstruct the new version
 // from the acked base, and everything is validated (geometry, finiteness,
 // bounds) before it can touch the state table. Frames claiming this node's
 // own origin are rejected — each node is authoritative for itself.
-func (n *Node) ApplyFrames(frames []Frame) ApplyResult {
+//
+// The ctx carries the delivery's trace (remote-continued from the sender's
+// gossip round when the stream header had an annotation); every adopted
+// version is recorded in the lineage ring under that trace ID, which is how
+// the simulator proves each applied frame descends from a real round.
+func (n *Node) ApplyFramesCtx(ctx context.Context, frames []Frame) ApplyResult {
+	ctx, span := n.cfg.Tracer.StartSpan(ctx, "gossip.apply")
+	defer span.Finish()
+	tid := trace.SpanContextOf(ctx).TraceID
 	var res ApplyResult
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -412,7 +501,9 @@ func (n *Node) ApplyFrames(frames []Frame) ApplyResult {
 		if f.Origin == n.cfg.Self {
 			res.Rejected++
 			n.met.rejectedFrames.Inc()
-			n.cfg.Logf("cluster: peer sent a frame for our own origin %q; dropped", f.Origin)
+			n.cfg.Logger.LogAttrs(ctx, slog.LevelWarn,
+				"peer sent a frame for our own origin; dropped",
+				slog.String("origin", f.Origin))
 			continue
 		}
 		o := n.origins[f.Origin]
@@ -447,7 +538,10 @@ func (n *Node) ApplyFrames(frames []Frame) ApplyResult {
 		if err != nil {
 			res.Rejected++
 			n.met.rejectedFrames.Inc()
-			n.cfg.Logf("cluster: dropping frame for %q v%d: %v", f.Origin, f.Version, err)
+			n.cfg.Logger.LogAttrs(ctx, slog.LevelWarn, "dropping frame",
+				slog.String("origin", f.Origin),
+				slog.Int64("version", f.Version),
+				slog.String("error", err.Error()))
 			continue
 		}
 		if o == nil {
@@ -455,6 +549,7 @@ func (n *Node) ApplyFrames(frames []Frame) ApplyResult {
 			n.origins[f.Origin] = o
 		}
 		o.adopt(f.Version, snap, n.cfg.HistoryDepth, n.cfg.Clock.Now())
+		n.appendLineage(f.Origin, f.Version, tid)
 		res.Applied++
 	}
 	if res.Applied > 0 {
@@ -514,7 +609,7 @@ func (n *Node) rebuildViewLocked() {
 	if err != nil {
 		// Unreachable: geometry is validated at frame ingest. Keep the old
 		// view rather than serving a broken one.
-		n.cfg.Logf("cluster: view rebuild failed: %v", err)
+		n.cfg.Logger.Error("view rebuild failed", slog.String("error", err.Error()))
 		return
 	}
 	n.view.Store(v)

@@ -26,6 +26,7 @@ import (
 	"wmsketch/internal/core"
 	"wmsketch/internal/datagen"
 	"wmsketch/internal/stream"
+	"wmsketch/internal/trace"
 
 	"context"
 )
@@ -145,6 +146,7 @@ func Default100() Scenario {
 		TrainRounds:     80,
 		Seed:            20260807,
 		Loss:            0.10,
+		Corrupt:         0.02,
 		PartitionStart:  40,
 		PartitionRounds: 30,
 		ChurnRound:      20,
@@ -198,6 +200,19 @@ type Report struct {
 	MetricPushBytes   int64 `json:"metric_push_bytes"`
 	MetricsConsistent bool  `json:"metrics_consistent"`
 
+	// Causal lineage: every frame any node applied must carry the trace id
+	// of a gossip round some node actually minted — under loss, corruption,
+	// partition, AND churn, no state may materialize out of thin air.
+	// LineageApplies counts checked apply records, LineageViolations the
+	// ones whose trace was zero or unknown, LineageDropped entries lost to
+	// ring overflow (must be zero: lost evidence is failed evidence).
+	// LineageConsistent requires applies > 0 with zero violations and zero
+	// drops, and gates Converged.
+	LineageApplies    int64 `json:"lineage_applies"`
+	LineageViolations int64 `json:"lineage_violations"`
+	LineageDropped    int64 `json:"lineage_dropped"`
+	LineageConsistent bool  `json:"lineage_consistent"`
+
 	Converged bool `json:"converged"`
 }
 
@@ -238,6 +253,12 @@ type world struct {
 	rpcs, dropped, refusals, corrupted int64
 
 	journal wireJournal
+
+	// minted accumulates every round trace id any node's GossipOnce has
+	// produced; lineage entries are checked against it.
+	minted map[trace.TraceID]bool
+
+	lineageApplies, lineageViolations, lineageDropped int64
 }
 
 // wireJournal is the transport's own record of *delivered* traffic: a pull
@@ -330,7 +351,10 @@ func (t memTransport) Pull(ctx context.Context, peerURL string, req cluster.Pull
 	}
 	frames := dst.node.BuildFrames(req.Digest, true)
 	var buf bytes.Buffer
-	if _, err := cluster.WriteFrames(&buf, frames); err != nil {
+	// Stamp the response with the puller's round span (ctx comes from its
+	// gossip client), exactly like the HTTP handler continuing a
+	// traceparent — the wire annotation is what keeps lineage intact here.
+	if _, err := cluster.WriteFramesTraced(&buf, trace.SpanContextOf(ctx), frames); err != nil {
 		return nil, err
 	}
 	stream, corrupted := t.w.maybeCorrupt(buf.Bytes())
@@ -347,7 +371,7 @@ func (t memTransport) Push(ctx context.Context, peerURL string, frames []byte) e
 		return err
 	}
 	stream, corrupted := t.w.maybeCorrupt(frames)
-	decoded, err := cluster.ReadFrames(bytes.NewReader(stream))
+	decoded, sc, err := cluster.ReadFramesTraced(bytes.NewReader(stream))
 	if err != nil {
 		return fmt.Errorf("sim: push to %s: %w", peerURL, err)
 	}
@@ -355,7 +379,9 @@ func (t memTransport) Push(ctx context.Context, peerURL string, frames []byte) e
 		// Delivered intact: the pusher counts its stream after this returns.
 		t.w.journal.recordPush(decoded, len(stream))
 	}
-	dst.node.ApplyFrames(decoded)
+	// The receiving node continues the pusher's round trace (read back off
+	// the wire annotation), so its lineage records point at the real round.
+	dst.node.ApplyFramesCtx(trace.ContextWithRemote(ctx, sc), decoded)
 	return nil
 }
 
@@ -401,10 +427,11 @@ func Run(sc Scenario) (Report, error) {
 		return Report{}, err
 	}
 	w := &world{
-		sc:    sc,
-		clock: cluster.NewVirtualClock(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)),
-		rng:   rand.New(rand.NewSource(sc.Seed)),
-		byID:  make(map[string]*simNode, sc.Nodes),
+		sc:     sc,
+		clock:  cluster.NewVirtualClock(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)),
+		rng:    rand.New(rand.NewSource(sc.Seed)),
+		byID:   make(map[string]*simNode, sc.Nodes),
+		minted: make(map[trace.TraceID]bool),
 	}
 	geom := simGeometry()
 	for i := 0; i < sc.Nodes; i++ {
@@ -427,6 +454,15 @@ func Run(sc Scenario) (Report, error) {
 			Clock:         w.clock,
 			Transport:     memTransport{w: w, src: s},
 			Seed:          sc.Seed + int64(i)*7919,
+			// Every node gets its own deterministic tracer on the shared
+			// virtual clock: rounds mint trace ids the lineage gate collects.
+			// Probabilistic sampling is off — the recorder is not what is
+			// under test, the id propagation is.
+			Tracer: trace.New(trace.Options{
+				Now:        w.clock.Now,
+				Seed:       sc.Seed + int64(i)*104729,
+				SampleRate: -1,
+			}),
 		})
 		if err != nil {
 			return Report{}, err
@@ -464,7 +500,14 @@ func Run(sc Scenario) (Report, error) {
 				}
 			}
 			s.node.GossipOnce()
+			if tid := s.node.LastRoundTrace(); !tid.IsZero() {
+				w.minted[tid] = true
+			}
 		}
+		// Check causal lineage while the evidence is fresh: every frame any
+		// node (dead ones included — they may hold entries from before their
+		// death) applied this round must trace back to a minted round.
+		w.drainLineage()
 		w.clock.Advance(sc.RoundStep)
 		if round%10 == 9 {
 			h := w.nodes[0].node.Health()
@@ -473,6 +516,23 @@ func Run(sc Scenario) (Report, error) {
 	}
 
 	return w.evaluate()
+}
+
+// drainLineage empties every node's applied-frame provenance ring and
+// checks each entry against the minted round-trace set.
+func (w *world) drainLineage() {
+	for _, s := range w.nodes {
+		entries, dropped := s.node.DrainLineage()
+		w.lineageDropped += dropped
+		for _, e := range entries {
+			w.lineageApplies++
+			if e.Trace.IsZero() || !w.minted[e.Trace] {
+				w.lineageViolations++
+				w.sc.Logf("sim: LINEAGE VIOLATION: %s applied %s v%d under unknown trace %s",
+					s.id, e.Origin, e.Version, e.Trace)
+			}
+		}
+	}
 }
 
 // evaluate runs the gates: union-baseline relative error per surviving
@@ -559,7 +619,20 @@ func (w *world) evaluate() (Report, error) {
 		rep.MeanRelErr = sumRel / float64(len(live))
 	}
 	w.checkMetrics(&rep)
-	rep.Converged = rep.MaxRelErr <= RelErrGate && rep.MaxDeadWeight == 0 && rep.MetricsConsistent
+	w.drainLineage() // catch any applies after the final round's drain
+	rep.LineageApplies = w.lineageApplies
+	rep.LineageViolations = w.lineageViolations
+	rep.LineageDropped = w.lineageDropped
+	rep.LineageConsistent = w.lineageApplies > 0 && w.lineageViolations == 0 && w.lineageDropped == 0
+	if rep.LineageConsistent {
+		w.sc.Logf("sim: lineage consistent: all %d applied frames trace to one of %d minted rounds",
+			rep.LineageApplies, len(w.minted))
+	} else {
+		w.sc.Logf("sim: LINEAGE INCONSISTENT: %d applies, %d violations, %d dropped entries",
+			rep.LineageApplies, rep.LineageViolations, rep.LineageDropped)
+	}
+	rep.Converged = rep.MaxRelErr <= RelErrGate && rep.MaxDeadWeight == 0 &&
+		rep.MetricsConsistent && rep.LineageConsistent
 	w.sc.Logf("sim: max rel err %.4g, mean %.4g, %d/%d fully synced, max dead weight %g, %d origins GCed, %.1f MB on wire",
 		rep.MaxRelErr, rep.MeanRelErr, rep.FullySynced, len(live), rep.MaxDeadWeight,
 		rep.OriginsGCed, float64(rep.BytesOnWire)/1e6)

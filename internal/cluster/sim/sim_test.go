@@ -83,6 +83,13 @@ func TestCorruptionNeverReachesState(t *testing.T) {
 	if rep.MetricPullBytes == 0 || rep.MetricPushBytes == 0 {
 		t.Fatalf("no bytes counted: %+v", rep)
 	}
+	// Corruption is also the hard case for lineage: a flipped byte in the
+	// header's trace annotation must fail the header CRC and reject the
+	// stream — it must never surface as an apply under a garbage trace id.
+	if !rep.LineageConsistent {
+		t.Fatalf("lineage gate failed under corruption: %d applies, %d violations, %d dropped",
+			rep.LineageApplies, rep.LineageViolations, rep.LineageDropped)
+	}
 }
 
 // TestMetricsMatchJournalUnderChurn: loss + corruption + churn together.
@@ -111,6 +118,10 @@ func TestMetricsMatchJournalUnderChurn(t *testing.T) {
 		t.Fatalf("metric registries diverged from the wire journal: journal pull=%d push=%d, registry pull=%d push=%d",
 			rep.JournalPullBytes, rep.JournalPushBytes, rep.MetricPullBytes, rep.MetricPushBytes)
 	}
+	if !rep.LineageConsistent || rep.LineageApplies == 0 {
+		t.Fatalf("lineage gate failed under loss+corruption+churn: %d applies, %d violations, %d dropped",
+			rep.LineageApplies, rep.LineageViolations, rep.LineageDropped)
+	}
 }
 
 // TestAcceptanceScenario is the CI gate from the ISSUE: 100 nodes, 10%
@@ -128,8 +139,12 @@ func TestAcceptanceScenario(t *testing.T) {
 	if rep.LiveNodes != 80 || rep.DeadNodes != 20 {
 		t.Fatalf("churn: %d live / %d dead, want 80/20", rep.LiveNodes, rep.DeadNodes)
 	}
-	if rep.Dropped == 0 || rep.PartitionRefusals == 0 {
+	if rep.Dropped == 0 || rep.PartitionRefusals == 0 || rep.Corrupted == 0 {
 		t.Fatalf("fault schedule did not fire: %+v", rep)
+	}
+	if !rep.LineageConsistent || rep.LineageApplies == 0 {
+		t.Fatalf("causal-lineage gate failed: %d applies, %d violations, %d dropped",
+			rep.LineageApplies, rep.LineageViolations, rep.LineageDropped)
 	}
 	if rep.MaxRelErr > RelErrGate {
 		t.Fatalf("max relative error %.4g exceeds the %.0f%% gate (mean %.4g, %d/%d synced)",

@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+
+	"wmsketch/internal/trace"
 )
 
 // Transport carries gossip RPCs to peers. The default implementation speaks
@@ -40,6 +42,9 @@ func (t httpTransport) Pull(ctx context.Context, peerURL string, req PullRequest
 		return nil, err
 	}
 	hreq.Header.Set("Content-Type", "application/json")
+	// Carry the gossip round's span so the peer's handler continues our
+	// trace — the HTTP half of cross-node causal linkage.
+	trace.Inject(hreq.Header, trace.SpanContextOf(ctx))
 	resp, err := t.client.Do(hreq)
 	if err != nil {
 		return nil, err
@@ -58,6 +63,7 @@ func (t httpTransport) Push(ctx context.Context, peerURL string, frames []byte) 
 		return err
 	}
 	req.Header.Set("Content-Type", "application/octet-stream")
+	trace.Inject(req.Header, trace.SpanContextOf(ctx))
 	if t.authToken != "" {
 		req.Header.Set("Authorization", "Bearer "+t.authToken)
 	}

@@ -22,15 +22,30 @@ import (
 	"wmsketch/internal/core"
 	"wmsketch/internal/sketch"
 	"wmsketch/internal/stream"
+	"wmsketch/internal/trace"
 )
 
 // Wire format (little-endian). A frame stream is
 //
-//	magic   uint32 ("WMCF")
-//	version uint32
+//	magic    uint32 ("WMCF")
+//	version  uint32
+//	trace id [16]byte (v3: W3C trace id of the round this stream belongs to)
+//	span id  [8]byte  (v3: the sending span; all-zero trace/span = untraced)
+//	crc32    uint32   (v3: IEEE, over the 32 bytes above)
+//
 //	frames  until EOF
 //
-// and each frame is
+// The trace annotation is how a gossip stream stays causally attributable
+// without a per-frame cost: the receiver continues the sender's trace when
+// applying the stream, which is what the simulator's causal-lineage gate
+// checks end to end. It rides in the header (not a frame) so the fixed
+// stream overhead stays constant and the byte-accounting invariant stays
+// exact. The header CRC exists for the same reason the per-frame one does:
+// magic/version checks cannot see a flipped bit inside the annotation, and
+// an apply recorded under a corrupted trace id would be lineage evidence
+// pointing at a round that never happened.
+//
+// Each frame is
 //
 //	kind    byte
 //	length  uvarint (payload bytes)
@@ -61,9 +76,12 @@ import (
 //	        list diff (removed keys + upserted entries). Values are
 //	        absolute, not additive, so replay is harmless.
 const (
-	frameMagic   = 0x574d4346 // "WMCF"
-	wireVersion  = 2          // v2 added per-frame length + CRC32
-	kindDigest   = byte(1)
+	frameMagic  = 0x574d4346 // "WMCF"
+	wireVersion = 3          // v2 added per-frame length + CRC32; v3 the header trace annotation
+	// streamHeaderSize is the fixed stream prefix: magic, version, the
+	// 24-byte trace annotation, and the header CRC.
+	streamHeaderSize = 4 + 4 + 16 + 8 + 4
+	kindDigest       = byte(1)
 	kindFull     = byte(2)
 	kindDelta    = byte(3)
 	maxOriginLen = 256
@@ -118,7 +136,7 @@ type Frame struct {
 	// prefix + payload + CRC trailer), filled in by WriteFrames and
 	// ReadFrames. The per-frame-type byte metrics and the simulator's
 	// journal-vs-registry invariant are both built on it: the stream size
-	// is always 8 (header) + Σ WireBytes.
+	// is always streamHeaderSize (36) + Σ WireBytes.
 	WireBytes int64
 }
 
@@ -146,15 +164,29 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
-// WriteFrames encodes the stream header and frames, returning the bytes
-// written. Each frame's payload is length-prefixed and trailed by its
-// CRC32, so receivers can prove integrity before decoding a byte of it.
+// WriteFrames encodes the stream header and frames with no trace
+// annotation, returning the bytes written. Each frame's payload is
+// length-prefixed and trailed by its CRC32, so receivers can prove
+// integrity before decoding a byte of it.
 func WriteFrames(w io.Writer, frames []Frame) (int64, error) {
+	return WriteFramesTraced(w, trace.SpanContext{}, frames)
+}
+
+// WriteFramesTraced is WriteFrames with the sender's span identity stamped
+// into the stream header, linking this stream to the gossip round that
+// produced it. An invalid (zero) sc writes an untraced header of the same
+// size.
+func WriteFramesTraced(w io.Writer, sc trace.SpanContext, frames []Frame) (int64, error) {
 	cw := &countingWriter{w: w}
 	bw := bufio.NewWriter(cw)
-	var hdr [8]byte
+	var hdr [streamHeaderSize]byte
 	binary.LittleEndian.PutUint32(hdr[0:], frameMagic)
 	binary.LittleEndian.PutUint32(hdr[4:], wireVersion)
+	if sc.Valid() {
+		copy(hdr[8:24], sc.TraceID[:])
+		copy(hdr[24:32], sc.SpanID[:])
+	}
+	binary.LittleEndian.PutUint32(hdr[32:], crc32.ChecksumIEEE(hdr[:32]))
 	if _, err := bw.Write(hdr[:]); err != nil {
 		return cw.n, err
 	}
@@ -254,41 +286,57 @@ func writeFrameFields(bw *bufio.Writer, raw *bytes.Buffer, f *Frame) error {
 	}
 }
 
-// ReadFrames decodes a full frame stream. Every frame's CRC is verified
-// before its payload is decoded, every count is bounded, and every float
-// checked finite before it can reach model state — so a corrupt, truncated,
-// or hostile stream yields an error, not an OOM or a poisoned sketch.
+// ReadFrames decodes a full frame stream, discarding the header's trace
+// annotation. Every frame's CRC is verified before its payload is decoded,
+// every count is bounded, and every float checked finite before it can
+// reach model state — so a corrupt, truncated, or hostile stream yields an
+// error, not an OOM or a poisoned sketch.
 func ReadFrames(r io.Reader) ([]Frame, error) {
+	frames, _, err := ReadFramesTraced(r)
+	return frames, err
+}
+
+// ReadFramesTraced is ReadFrames plus the stream's trace annotation. The
+// returned SpanContext is the sender's span identity, or the zero value
+// for an untraced stream; it needs no validation beyond Valid() because an
+// all-zero annotation is exactly the invalid SpanContext.
+func ReadFramesTraced(r io.Reader) ([]Frame, trace.SpanContext, error) {
 	br := bufio.NewReader(r)
-	var hdr [8]byte
+	var hdr [streamHeaderSize]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
-		return nil, fmt.Errorf("cluster: truncated stream header: %w", err)
+		return nil, trace.SpanContext{}, fmt.Errorf("cluster: truncated stream header: %w", err)
 	}
 	if m := binary.LittleEndian.Uint32(hdr[0:]); m != frameMagic {
-		return nil, fmt.Errorf("cluster: bad frame magic %#x", m)
+		return nil, trace.SpanContext{}, fmt.Errorf("cluster: bad frame magic %#x", m)
 	}
 	if v := binary.LittleEndian.Uint32(hdr[4:]); v != wireVersion {
-		return nil, fmt.Errorf("cluster: unsupported wire version %d", v)
+		return nil, trace.SpanContext{}, fmt.Errorf("cluster: unsupported wire version %d", v)
 	}
+	if got := binary.LittleEndian.Uint32(hdr[32:]); got != crc32.ChecksumIEEE(hdr[:32]) {
+		return nil, trace.SpanContext{}, fmt.Errorf("cluster: stream header CRC mismatch")
+	}
+	var sc trace.SpanContext
+	copy(sc.TraceID[:], hdr[8:24])
+	copy(sc.SpanID[:], hdr[24:32])
 	var frames []Frame
 	for {
 		kind, err := br.ReadByte()
 		if err == io.EOF {
-			return frames, nil
+			return frames, sc, nil
 		}
 		if err != nil {
-			return nil, err
+			return nil, trace.SpanContext{}, err
 		}
 		if kind != kindDigest && kind != kindFull && kind != kindDelta {
-			return nil, fmt.Errorf("cluster: frame %d: unknown frame kind %d", len(frames), kind)
+			return nil, trace.SpanContext{}, fmt.Errorf("cluster: frame %d: unknown frame kind %d", len(frames), kind)
 		}
 		payload, err := readPayload(br)
 		if err != nil {
-			return nil, fmt.Errorf("cluster: frame %d: %w", len(frames), err)
+			return nil, trace.SpanContext{}, fmt.Errorf("cluster: frame %d: %w", len(frames), err)
 		}
 		f, err := decodeFramePayload(kind, payload)
 		if err != nil {
-			return nil, fmt.Errorf("cluster: frame %d: %w", len(frames), err)
+			return nil, trace.SpanContext{}, fmt.Errorf("cluster: frame %d: %w", len(frames), err)
 		}
 		f.WireBytes = frameWireSize(len(payload))
 		frames = append(frames, f)

@@ -7,6 +7,7 @@ import (
 
 	"wmsketch/internal/cluster"
 	"wmsketch/internal/core"
+	"wmsketch/internal/trace"
 )
 
 // Cluster wiring: wmserve nodes replicate model state peer-to-peer and
@@ -101,6 +102,8 @@ func (s *Server) startCluster() error {
 		OriginGCAfter: s.opt.Cluster.OriginGCAfter,
 		OriginGCDecay: s.opt.Cluster.OriginGCDecay,
 		Registry:      s.met.reg,
+		Logger:        s.logger,
+		Tracer:        s.tracer,
 	})
 	if err != nil {
 		return err
@@ -178,7 +181,11 @@ func (s *Server) handleClusterPull(w http.ResponseWriter, r *http.Request) {
 	}
 	frames := s.cluster.BuildFrames(req.Digest, true)
 	w.Header().Set("Content-Type", "application/octet-stream")
-	if _, err := cluster.WriteFrames(w, frames); err != nil {
+	// Stamp the response stream with this handler's span — which continued
+	// the puller's round trace via its traceparent header — so the apply on
+	// the far side stays causally linked even off-HTTP.
+	sc := trace.SpanContextOf(r.Context())
+	if _, err := cluster.WriteFramesTraced(w, sc, frames); err != nil {
 		// Mid-stream failure: abort the connection, the peer retries.
 		panic(http.ErrAbortHandler)
 	}
@@ -193,12 +200,14 @@ func (s *Server) handleClusterPush(w http.ResponseWriter, r *http.Request) {
 	if !s.authorized(w, r) {
 		return
 	}
-	frames, err := cluster.ReadFrames(r.Body)
+	frames, sc, err := cluster.ReadFramesTraced(r.Body)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "bad frame stream: %v", err)
 		return
 	}
-	res := s.cluster.ApplyFrames(frames)
+	// r.Context() already continues the pusher's round via traceparent; the
+	// stream annotation is the fallback when the header was stripped.
+	res := s.cluster.ApplyFramesCtx(trace.ContextWithRemote(r.Context(), sc), frames)
 	writeJSON(w, http.StatusOK, cluster.PushResponse{
 		Applied: res.Applied, Stale: res.Stale, Rejected: res.Rejected, Changed: res.Changed,
 	})

@@ -292,6 +292,42 @@ func ClusterSmoke(opt Options, smk ClusterSmokeOptions, verbose io.Writer) error
 	}
 	fmt.Fprintf(verbose, "cluster-smoke: all %d nodes expose the wmgossip metric families\n", len(nodes))
 
+	// Cross-node causal linkage: a gossip round minted on node 0 must show
+	// up in its peers' lineage under the same trace id — the traceparent
+	// header on the push RPC is what carries it across the process
+	// boundary. Runs after the converged evaluation so the extra training
+	// examples cannot perturb the epsilon gate. Drain the lineage
+	// accumulated during the phases first, so the assertion sees only this
+	// one round.
+	for _, n := range nodes {
+		n.srv.ClusterNode().DrainLineage()
+	}
+	if err := ingestPartitions(client, nodes[:1], gen.Take(64)); err != nil {
+		return err
+	}
+	if err := postEmpty(client, nodes[0].base+"/v1/sync"); err != nil {
+		return err
+	}
+	nodes[0].srv.ClusterNode().GossipOnce()
+	tid := nodes[0].srv.ClusterNode().LastRoundTrace()
+	if tid.IsZero() {
+		return fmt.Errorf("cluster-smoke: node 0's gossip round minted no trace id")
+	}
+	linked := 0
+	for _, n := range nodes[1:] {
+		entries, _ := n.srv.ClusterNode().DrainLineage()
+		for _, e := range entries {
+			if e.Trace == tid && e.Origin == urls[0] {
+				linked++
+			}
+		}
+	}
+	if linked == 0 {
+		return fmt.Errorf("cluster-smoke: no peer recorded an applied frame under node 0's round trace %s", tid)
+	}
+	fmt.Fprintf(verbose, "cluster-smoke: cross-node trace linkage verified (%d peer applies under round trace %s)\n",
+		linked, tid)
+
 	report := ClusterSmokeReport{
 		Nodes: smk.Nodes, Examples: smk.Examples, Holdout: smk.Holdout, Seed: smk.Seed,
 		RoundsFullPhase: roundsA, RoundsDeltaPhase: roundsB,

@@ -98,7 +98,7 @@ func (s *Server) handleStreamingUpdate(w http.ResponseWriter, r *http.Request) {
 		}
 		batch = append(batch, ex)
 		if len(batch) == ingestChunk {
-			steps = s.applyBatch(batch)
+			steps = s.applyBatch(r.Context(), batch)
 			applied += int64(len(batch))
 			// The backend retains the batch (sharded workers consume it
 			// asynchronously); a fresh slice per chunk, never a reused one.
@@ -113,7 +113,7 @@ func (s *Server) handleStreamingUpdate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if len(batch) > 0 {
-		steps = s.applyBatch(batch)
+		steps = s.applyBatch(r.Context(), batch)
 		applied += int64(len(batch))
 	}
 	if applied == 0 {

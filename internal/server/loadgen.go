@@ -17,6 +17,7 @@ import (
 	"wmsketch/internal/datagen"
 	"wmsketch/internal/obs"
 	"wmsketch/internal/stream"
+	"wmsketch/internal/trace"
 )
 
 // Load generator: drives a wmserve instance with N concurrent clients over
@@ -139,6 +140,11 @@ type LoadgenReport struct {
 	// LatencySource records how the percentiles were computed, so readers of
 	// archived reports know the quantiles are bucket-interpolated.
 	LatencySource string `json:"latency_source"`
+	// SlowestTrace is the worst sampled span tree from the run's flight
+	// recorder (self-hosted runs only): the latency table says how slow the
+	// tail was, this says where the time went. CI archives it with the
+	// report.
+	SlowestTrace *trace.TraceJSON `json:"slowest_trace,omitempty"`
 }
 
 // RunLoadgen executes a load-generation run and returns its report. When
@@ -148,8 +154,17 @@ func RunLoadgen(opt LoadgenOptions) (*LoadgenReport, error) {
 	opt.fill()
 	base := opt.TargetURL
 	var shutdown func() error
+	var srv *Server
 	if base == "" {
-		srv, err := New(opt.Server)
+		// The report embeds the run's slowest sampled trace; keep every
+		// trace so "slowest" means slowest of the whole run, not of a 1%
+		// sample. Tail-based recording costs a copy at root Finish — noise
+		// next to the HTTP+JSON work this harness measures.
+		if opt.Server.Trace.SampleRate == 0 {
+			opt.Server.Trace.SampleRate = 1
+		}
+		var err error
+		srv, err = New(opt.Server)
 		if err != nil {
 			return nil, err
 		}
@@ -245,6 +260,12 @@ func RunLoadgen(opt LoadgenOptions) (*LoadgenReport, error) {
 	if opt.TargetURL != "" {
 		report.Backend = "remote"
 		report.Workers = 0
+	}
+	if srv != nil {
+		if rec := srv.Tracer().SlowestRecord(); rec != nil {
+			tj := trace.RenderRecord(rec)
+			report.SlowestTrace = &tj
+		}
 	}
 	return report, nil
 }

@@ -2,10 +2,12 @@ package server
 
 import (
 	"io"
+	"log/slog"
 	"net/http"
 	"time"
 
 	"wmsketch/internal/obs"
+	"wmsketch/internal/trace"
 )
 
 // Serving instrumentation. Every HTTP route is registered through
@@ -149,20 +151,43 @@ func (w *statusWriter) Flush() {
 	}
 }
 
-// handle registers pattern on the mux wrapped in the metrics middleware
-// and records it so tests can enumerate every instrumented route.
+// handle registers pattern on the mux wrapped in the metrics + tracing
+// middleware and records it so tests can enumerate every instrumented
+// route. Every request gets a span named after the route pattern; an
+// incoming W3C traceparent header continues the caller's trace (this is
+// how a gossip round on node A links to the push handler on node B). The
+// span finishes — and the tail-sampling decision runs — after the status
+// code is known, so 5xx responses and panics are always kept.
 func (s *Server) handle(pattern string, h http.HandlerFunc) {
 	ri := s.met.route(pattern)
 	s.routePatterns = append(s.routePatterns, pattern)
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		s.met.inFlight.Inc()
 		began := time.Now()
+		ctx := r.Context()
+		if remote, ok := trace.Extract(r.Header); ok {
+			ctx = trace.ContextWithRemote(ctx, remote)
+		}
+		ctx, span := s.tracer.StartSpan(ctx, pattern)
+		r = r.WithContext(ctx)
 		sw := &statusWriter{ResponseWriter: w}
 		cb := &countingReader{rc: r.Body}
 		r.Body = cb
+		logReq := func(level slog.Level, msg string, code int, elapsed time.Duration) {
+			if !s.logger.Enabled(ctx, level) {
+				return
+			}
+			s.logger.LogAttrs(ctx, level, msg,
+				slog.String("route", pattern),
+				slog.Int("code", code),
+				slog.Duration("elapsed", elapsed),
+				slog.Int64("bytes_in", cb.n),
+				slog.Int64("bytes_out", sw.n))
+		}
 		defer func() {
 			s.met.inFlight.Dec()
-			ri.latency.ObserveDuration(time.Since(began))
+			elapsed := time.Since(began)
+			ri.latency.ObserveDuration(elapsed)
 			ri.bytesIn.Add(cb.n)
 			ri.bytesOut.Add(sw.n)
 			code := sw.code
@@ -173,6 +198,9 @@ func (s *Server) handle(pattern string, h http.HandlerFunc) {
 				code = http.StatusInternalServerError
 				ri.codes[4].Inc()
 				ri.errors.Inc()
+				span.SetError()
+				logReq(slog.LevelError, "handler panic", code, elapsed)
+				span.Finish()
 				panic(p)
 			}
 			if code == 0 {
@@ -183,7 +211,16 @@ func (s *Server) handle(pattern string, h http.HandlerFunc) {
 			}
 			if code >= 500 {
 				ri.errors.Inc()
+				span.SetError()
 			}
+			// Log before Finish: the root's arena recycles once it finishes,
+			// so the span context in ctx is only valid until then.
+			if code >= 500 {
+				logReq(slog.LevelWarn, "request failed", code, elapsed)
+			} else {
+				logReq(slog.LevelDebug, "request", code, elapsed)
+			}
+			span.Finish()
 		}()
 		h(sw, r)
 	})
@@ -206,6 +243,10 @@ func (c *countingReader) Close() error { return c.rc.Close() }
 // MetricsRegistry exposes the process registry (the /metrics source) for
 // harnesses and tests.
 func (s *Server) MetricsRegistry() *obs.Registry { return s.met.reg }
+
+// Tracer exposes the server's flight recorder for harnesses and the debug
+// endpoints.
+func (s *Server) Tracer() *trace.Tracer { return s.tracer }
 
 // RoutePatterns lists every pattern registered through the instrumented
 // mux, in registration order.

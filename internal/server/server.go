@@ -9,10 +9,12 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"math"
 	"net/http"
 	"os"
@@ -25,6 +27,7 @@ import (
 	"wmsketch/internal/cluster"
 	"wmsketch/internal/core"
 	"wmsketch/internal/stream"
+	"wmsketch/internal/trace"
 )
 
 // maxRequestBytes bounds any request body: update batches, predict vectors,
@@ -75,6 +78,16 @@ type Options struct {
 	// Enabled when Peers is non-empty; queries are then served from the
 	// cluster-merged view instead of the local backend alone.
 	Cluster ClusterOptions
+	// Logger receives structured operational logs (request outcomes at
+	// debug, failures at warn/error). Nil discards. Callers should wrap the
+	// handler with trace.NewLogHandler so log lines carry trace_id; the
+	// server uses the logger as given.
+	Logger *slog.Logger
+	// Trace configures the tracing layer (OBSERVABILITY.md "Tracing").
+	// Registry is overridden to the server's own metrics registry so the
+	// wmtrace_* families share the /metrics exposition; everything else
+	// passes through, zero values selecting the trace package defaults.
+	Trace trace.Options
 }
 
 // Server is the HTTP serving layer. It implements http.Handler.
@@ -95,6 +108,11 @@ type Server struct {
 	// handle (metrics.go); routePatterns lists the instrumented routes.
 	met           *serverMetrics
 	routePatterns []string
+
+	// tracer owns the flight recorder; logger is never nil (discards when
+	// unconfigured). Both are fixed at construction.
+	tracer *trace.Tracer
+	logger *slog.Logger
 
 	stopRefresh chan struct{}
 	stopOnce    sync.Once
@@ -126,7 +144,13 @@ func New(opt Options) (*Server, error) {
 		opt.RefreshInterval = 200 * time.Millisecond
 	}
 	s := &Server{opt: opt, backend: b, start: time.Now(), stopRefresh: make(chan struct{})}
+	s.logger = opt.Logger
+	if s.logger == nil {
+		s.logger = slog.New(slog.DiscardHandler)
+	}
 	s.met = newServerMetrics(s)
+	opt.Trace.Registry = s.met.reg
+	s.tracer = trace.New(opt.Trace)
 	if opt.Cluster.enabled() {
 		if err := s.startCluster(); err != nil {
 			if sh, ok := b.(*core.Sharded); ok {
@@ -251,7 +275,7 @@ func (s *Server) Close() error {
 	}
 	var err error
 	if s.opt.CheckpointPath != "" {
-		_, err = s.saveCheckpoint(s.opt.CheckpointPath)
+		_, err = s.saveCheckpoint(context.Background(), s.opt.CheckpointPath)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -266,7 +290,7 @@ func (s *Server) Close() error {
 // mode the restored model is published immediately, which is how a
 // restarted node re-announces itself at its pre-restart version.
 func (s *Server) Restore(path string) error {
-	if err := s.restoreCheckpoint(path); err != nil {
+	if err := s.restoreCheckpoint(context.Background(), path); err != nil {
 		return err
 	}
 	_, err := s.publishRestored()
@@ -285,7 +309,9 @@ func (s *Server) withBackend(fn func(b learner)) {
 // predict/estimate/topK route queries to the cluster-merged view when
 // cluster mode is on (every node's state, weighted by example count) and
 // to the local backend otherwise.
-func (s *Server) predict(x stream.Vector) (margin float64) {
+func (s *Server) predict(ctx context.Context, x stream.Vector) (margin float64) {
+	_, sp := s.tracer.StartSpan(ctx, "backend.predict")
+	defer sp.Finish()
 	if s.cluster != nil {
 		return s.cluster.View().Predict(x)
 	}
@@ -301,7 +327,9 @@ func (s *Server) estimate(i uint32) (est float64) {
 	return est
 }
 
-func (s *Server) topK(k int) (top []stream.Weighted) {
+func (s *Server) topK(ctx context.Context, k int) (top []stream.Weighted) {
+	_, sp := s.tracer.StartSpan(ctx, "backend.topk")
+	defer sp.Finish()
 	if s.cluster != nil {
 		return s.cluster.View().TopK(k)
 	}
@@ -496,17 +524,21 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		}
 		batch[i] = ex
 	}
-	steps := s.applyBatch(batch)
+	steps := s.applyBatch(r.Context(), batch)
 	writeJSON(w, http.StatusOK, UpdateResponse{Applied: len(batch), Steps: steps})
 }
 
 // applyBatch trains the backend on a validated batch and returns the step
-// counter after it.
-func (s *Server) applyBatch(batch []stream.Example) (steps int64) {
+// counter after it. The span pair here ("backend.apply" around the lock,
+// "learner.update" around the model mutation) is the tree the smoke test
+// asserts under every update's route span.
+func (s *Server) applyBatch(ctx context.Context, batch []stream.Example) (steps int64) {
 	if len(batch) == 0 {
 		return 0
 	}
+	actx, apply := s.tracer.StartSpan(ctx, "backend.apply")
 	s.withBackend(func(b learner) {
+		_, upd := s.tracer.StartSpan(actx, "learner.update")
 		if sh, ok := b.(*core.Sharded); ok {
 			sh.UpdateBatch(batch)
 		} else {
@@ -514,8 +546,10 @@ func (s *Server) applyBatch(batch []stream.Example) (steps int64) {
 				b.Update(ex.X, ex.Y)
 			}
 		}
+		upd.Finish()
 		steps = b.Steps()
 	})
+	apply.Finish()
 	s.met.updatesApplied.Add(int64(len(batch)))
 	s.met.batchSize.Observe(float64(len(batch)))
 	return steps
@@ -543,7 +577,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	margin := s.predict(x)
+	margin := s.predict(r.Context(), x)
 	label := -1
 	if margin > 0 {
 		label = 1
@@ -604,7 +638,7 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		}
 		k = v
 	}
-	top := s.topK(k)
+	top := s.topK(r.Context(), k)
 	out := make([]WeightJSON, len(top))
 	for i, e := range top {
 		out[i] = WeightJSON{I: e.Index, W: e.Weight}
@@ -656,14 +690,14 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 	}
 	switch req.Action {
 	case "save":
-		n, err := s.saveCheckpoint(path)
+		n, err := s.saveCheckpoint(r.Context(), path)
 		if err != nil {
 			writeError(w, http.StatusInternalServerError, "save: %v", err)
 			return
 		}
 		writeJSON(w, http.StatusOK, CheckpointResponse{Action: "save", Path: path, Bytes: n})
 	case "restore":
-		if err := s.restoreCheckpoint(path); err != nil {
+		if err := s.restoreCheckpoint(r.Context(), path); err != nil {
 			writeError(w, http.StatusInternalServerError, "restore: %v", err)
 			return
 		}
@@ -703,7 +737,9 @@ func (s *Server) handleSync(w http.ResponseWriter, r *http.Request) {
 
 // saveCheckpoint writes the backend state to path atomically (temp file +
 // rename), so a crash mid-write never clobbers the previous checkpoint.
-func (s *Server) saveCheckpoint(path string) (int64, error) {
+func (s *Server) saveCheckpoint(ctx context.Context, path string) (int64, error) {
+	_, sp := s.tracer.StartSpan(ctx, "checkpoint.save")
+	defer sp.Finish()
 	began := time.Now()
 	tmp, err := os.CreateTemp(filepath.Dir(path), ".wmserve-ckpt-*")
 	if err != nil {
@@ -731,18 +767,20 @@ func (s *Server) saveCheckpoint(path string) (int64, error) {
 // restoreCheckpoint replaces the backend with the state at path. The new
 // learner is fully constructed before the swap; requests racing the restore
 // see either the old or the new backend, never a partial one.
-func (s *Server) restoreCheckpoint(path string) error {
+func (s *Server) restoreCheckpoint(ctx context.Context, path string) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	return s.restoreFromReader(f)
+	return s.restoreFromReader(ctx, f)
 }
 
 // restoreFromReader builds a fresh backend from serialized state and swaps
 // it in — shared by file restore and POST /v1/checkpoint/upload.
-func (s *Server) restoreFromReader(f io.Reader) error {
+func (s *Server) restoreFromReader(ctx context.Context, f io.Reader) error {
+	_, sp := s.tracer.StartSpan(ctx, "checkpoint.restore")
+	defer sp.Finish()
 	began := time.Now()
 	var fresh learner
 	switch s.opt.Backend {

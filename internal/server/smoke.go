@@ -5,15 +5,49 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
 	"path/filepath"
+	"sync"
 	"time"
 
 	"wmsketch/internal/datagen"
 	"wmsketch/internal/obs"
+	"wmsketch/internal/trace"
 )
+
+// lockedBuffer is a mutex-guarded log sink: the smoke server's handlers log
+// from request goroutines while the harness reads the capture.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Len()
+}
+
+func (b *lockedBuffer) Lines() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var out []string
+	for _, ln := range bytes.Split(b.buf.Bytes(), []byte("\n")) {
+		if len(ln) > 0 {
+			out = append(out, string(ln))
+		}
+	}
+	return out
+}
 
 // Smoke boots a server on a loopback listener and exercises the whole API
 // end-to-end over real HTTP: update (batch + libsvm), predict, estimate,
@@ -35,6 +69,16 @@ func Smoke(opt Options, verbose io.Writer) error {
 		opt.CheckpointPath = filepath.Join(dir, "smoke.ckpt")
 	}
 
+	// Keep every trace (tail sampling at rate 1) so the span-tree assertion
+	// below is deterministic, and capture structured logs at an adjustable
+	// level so the level-respect check can flip it mid-run.
+	opt.Trace.SampleRate = 1
+	logLevel := new(slog.LevelVar)
+	logLevel.Set(slog.LevelDebug)
+	var logBuf lockedBuffer
+	opt.Logger = slog.New(trace.NewLogHandler(
+		slog.NewJSONHandler(&logBuf, &slog.HandlerOptions{Level: logLevel})))
+
 	srv, err := New(opt)
 	if err != nil {
 		return err
@@ -49,6 +93,16 @@ func Smoke(opt Options, verbose io.Writer) error {
 	base := "http://" + ln.Addr().String()
 	client := &http.Client{Timeout: 10 * time.Second}
 	fmt.Fprintf(verbose, "smoke: serving %s backend on %s\n", opt.Backend, base)
+
+	// The debug surface boots on its own loopback socket, like -debug-addr.
+	dln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	ds := &http.Server{Handler: srv.DebugMux()}
+	go func() { _ = ds.Serve(dln) }()
+	defer func() { _ = ds.Close() }()
+	debugBase := "http://" + dln.Addr().String()
 
 	post := func(path string, req, resp interface{}) error {
 		blob, err := json.Marshal(req)
@@ -196,7 +250,114 @@ func Smoke(opt Options, verbose io.Writer) error {
 	}, verbose); err != nil {
 		return err
 	}
+
+	// One more update after the loadgen burst so a fresh update trace is
+	// guaranteed to sit in the recent ring, then assert the flight recorder
+	// serves its full span tree: route handler → backend apply → learner
+	// update. This is the end-to-end proof that context propagation survives
+	// the middleware, the backend call, and the batch path.
+	if err := post("/v1/update", UpdateRequest{Examples: toWire(gen.Take(64))}, nil); err != nil {
+		return err
+	}
+	var traces struct {
+		Traces []trace.TraceJSON `json:"traces"`
+	}
+	if err := getFrom(client, debugBase, "/debug/traces", &traces); err != nil {
+		return err
+	}
+	if len(traces.Traces) == 0 {
+		return fmt.Errorf("/debug/traces returned no traces at sample rate 1")
+	}
+	found := false
+	for _, tr := range traces.Traces {
+		if tr.Root == "POST /v1/update" && hasSpanChain(tr.Spans, "POST /v1/update", "backend.apply", "learner.update") {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("/debug/traces holds no /v1/update trace with the handler→backend.apply→learner.update span chain (%d traces)",
+			len(traces.Traces))
+	}
+	var slowest struct {
+		Traces []trace.TraceJSON `json:"traces"`
+	}
+	if err := getFrom(client, debugBase, "/debug/traces/slowest", &slowest); err != nil {
+		return err
+	}
+	fmt.Fprintf(verbose, "smoke: /debug/traces served %d span trees (update chain verified), slowest ring %d\n",
+		len(traces.Traces), len(slowest.Traces))
+
+	// Structured-log assertions: every captured line is valid JSON; the
+	// update request was logged at DEBUG with its route and a trace id (the
+	// trace-aware handler at work).
+	lines := logBuf.Lines()
+	if len(lines) == 0 {
+		return fmt.Errorf("no structured log lines captured at debug level")
+	}
+	loggedUpdate := false
+	for _, ln := range lines {
+		var rec map[string]interface{}
+		if err := json.Unmarshal([]byte(ln), &rec); err != nil {
+			return fmt.Errorf("log line is not JSON: %q: %w", ln, err)
+		}
+		if rec["msg"] == "request" && rec["route"] == "POST /v1/update" && rec["level"] == "DEBUG" {
+			tid, _ := rec["trace_id"].(string)
+			if len(tid) != 32 {
+				return fmt.Errorf("update request log carries trace_id %q, want 32 hex digits: %q", tid, ln)
+			}
+			loggedUpdate = true
+		}
+	}
+	if !loggedUpdate {
+		return fmt.Errorf("no DEBUG request log for /v1/update among %d lines", len(lines))
+	}
+	// Levels must be respected: raise the floor to WARN and verify a clean
+	// request logs nothing.
+	logLevel.Set(slog.LevelWarn)
+	mark := logBuf.Len()
+	var pr2 PredictResponse
+	if err := post("/v1/predict", PredictRequest{X: vecWire(probe)}, &pr2); err != nil {
+		return err
+	}
+	if logBuf.Len() != mark {
+		return fmt.Errorf("a 200 predict logged below the WARN floor")
+	}
+	fmt.Fprintf(verbose, "smoke: structured logs: %d JSON lines, trace ids attached, level floor respected\n",
+		len(lines))
 	return nil
+}
+
+// getFrom fetches base+path and decodes the JSON response.
+func getFrom(client *http.Client, base, path string, resp interface{}) error {
+	r, err := client.Get(base + path)
+	if err != nil {
+		return err
+	}
+	defer r.Body.Close()
+	body, _ := io.ReadAll(r.Body)
+	if r.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: HTTP %d: %s", path, r.StatusCode, body)
+	}
+	return json.Unmarshal(body, resp)
+}
+
+// hasSpanChain reports whether the rendered span forest contains the named
+// ancestor→…→descendant chain (children may interleave with others).
+func hasSpanChain(spans []trace.SpanTreeJSON, chain ...string) bool {
+	if len(chain) == 0 {
+		return true
+	}
+	for i := range spans {
+		if spans[i].Name == chain[0] && hasSpanChain(spans[i].Children, chain[1:]...) {
+			return true
+		}
+		// The chain may also start deeper in the tree.
+		if hasSpanChain(spans[i].Children, chain...) {
+			return true
+		}
+	}
+	return false
 }
 
 // scrapeMetrics fetches /metrics, validates the exposition line-by-line,

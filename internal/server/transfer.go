@@ -42,7 +42,7 @@ func (s *Server) handleCheckpointUpload(w http.ResponseWriter, r *http.Request) 
 	if !s.authorized(w, r) {
 		return
 	}
-	if err := s.restoreFromReader(r.Body); err != nil {
+	if err := s.restoreFromReader(r.Context(), r.Body); err != nil {
 		writeError(w, http.StatusBadRequest, "upload: %v", err)
 		return
 	}

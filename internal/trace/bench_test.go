@@ -1,0 +1,67 @@
+package trace
+
+import (
+	"context"
+	"testing"
+)
+
+// The acceptance bar (ISSUE 9): span start/finish on the update hot path
+// costs at most 2 allocs/op when the trace is not sampled. The only heap
+// traffic is the context.WithValue node — the span arena is pooled and the
+// keep/drop decision allocates nothing on the drop path. Pinned with
+// testing.AllocsPerRun exactly like the obs BenchmarkObserve contract.
+
+func TestSpanAllocsUnsampled(t *testing.T) {
+	tr := testTracer(Options{Seed: 101, SampleRate: -1})
+	ctx, root := tr.StartSpan(context.Background(), "bench-root")
+	defer root.Finish()
+
+	child := testing.AllocsPerRun(1000, func() {
+		_, sp := tr.StartSpan(ctx, "child")
+		sp.Finish()
+	})
+	if child > 2 {
+		t.Fatalf("child span start/finish = %.1f allocs/op, want <= 2", child)
+	}
+
+	rootAllocs := testing.AllocsPerRun(1000, func() {
+		_, sp := tr.StartSpan(context.Background(), "root")
+		sp.Finish()
+	})
+	if rootAllocs > 2 {
+		t.Fatalf("root span start/finish (unsampled) = %.1f allocs/op, want <= 2", rootAllocs)
+	}
+}
+
+func BenchmarkSpanChildUnsampled(b *testing.B) {
+	tr := testTracer(Options{Seed: 101, SampleRate: -1})
+	ctx, root := tr.StartSpan(context.Background(), "bench-root")
+	defer root.Finish()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, sp := tr.StartSpan(ctx, "child")
+		sp.Finish()
+	}
+}
+
+func BenchmarkSpanRootUnsampled(b *testing.B) {
+	tr := testTracer(Options{Seed: 102, SampleRate: -1})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, sp := tr.StartSpan(context.Background(), "root")
+		sp.Finish()
+	}
+}
+
+func BenchmarkSpanNilTracer(b *testing.B) {
+	var tr *Tracer
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, sp := tr.StartSpan(ctx, "noop")
+		sp.Finish()
+	}
+}

@@ -1,0 +1,124 @@
+package trace
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+)
+
+// Debug endpoints: /debug/traces (recent kept traces, newest first) and
+// /debug/traces/slowest (the slow/error ring, worst first), both rendered
+// as JSON span trees. These are debug surfaces — they allocate freely and
+// never touch the hot path.
+
+// SpanTreeJSON is one span and its children in the rendered tree.
+type SpanTreeJSON struct {
+	Name       string         `json:"name"`
+	SpanID     string         `json:"span_id"`
+	ParentID   string         `json:"parent_id,omitempty"`
+	StartUnix  string         `json:"start"`
+	DurationMs float64        `json:"duration_ms"`
+	Err        bool           `json:"error,omitempty"`
+	Unfinished bool           `json:"unfinished,omitempty"`
+	Children   []SpanTreeJSON `json:"children,omitempty"`
+}
+
+// TraceJSON is one kept trace rendered for the debug endpoints.
+type TraceJSON struct {
+	TraceID      string         `json:"trace_id"`
+	Root         string         `json:"root"`
+	Reason       string         `json:"reason"`
+	Remote       bool           `json:"remote_parent,omitempty"`
+	DurationMs   float64        `json:"duration_ms"`
+	DroppedSpans int            `json:"dropped_spans,omitempty"`
+	Spans        []SpanTreeJSON `json:"spans"`
+}
+
+// RenderRecord converts a Record into its JSON tree form. Spans whose
+// parent is not in the record (true roots and remote-parented roots)
+// become top-level entries.
+func RenderRecord(rec *Record) TraceJSON {
+	out := TraceJSON{
+		TraceID:      rec.TraceID.String(),
+		Root:         rec.Root,
+		Reason:       rec.Reason,
+		Remote:       rec.Remote,
+		DurationMs:   float64(rec.Duration) / float64(time.Millisecond),
+		DroppedSpans: rec.DroppedSpans,
+	}
+	local := make(map[SpanID]int, len(rec.Spans))
+	for i := range rec.Spans {
+		local[rec.Spans[i].ID] = i
+	}
+	children := make(map[SpanID][]int)
+	var roots []int
+	for i := range rec.Spans {
+		p := rec.Spans[i].Parent
+		if _, ok := local[p]; ok && !p.IsZero() {
+			children[p] = append(children[p], i)
+		} else {
+			roots = append(roots, i)
+		}
+	}
+	var build func(i int) SpanTreeJSON
+	build = func(i int) SpanTreeJSON {
+		sp := &rec.Spans[i]
+		node := SpanTreeJSON{
+			Name:       sp.Name,
+			SpanID:     sp.ID.String(),
+			StartUnix:  sp.Start.UTC().Format(time.RFC3339Nano),
+			DurationMs: float64(sp.Duration) / float64(time.Millisecond),
+			Err:        sp.Err,
+			Unfinished: !sp.Finished,
+		}
+		if !sp.Parent.IsZero() {
+			node.ParentID = sp.Parent.String()
+		}
+		for _, c := range children[sp.ID] {
+			node.Children = append(node.Children, build(c))
+		}
+		return node
+	}
+	out.Spans = make([]SpanTreeJSON, 0, len(roots))
+	for _, i := range roots {
+		out.Spans = append(out.Spans, build(i))
+	}
+	return out
+}
+
+// RenderRecords converts a record list for JSON transport.
+func RenderRecords(recs []*Record) []TraceJSON {
+	out := make([]TraceJSON, len(recs))
+	for i, rec := range recs {
+		out[i] = RenderRecord(rec)
+	}
+	return out
+}
+
+func (t *Tracer) serveRecords(w http.ResponseWriter, recs []*Record) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(struct {
+		Traces []TraceJSON `json:"traces"`
+	}{Traces: RenderRecords(recs)})
+}
+
+// ServeRecent is the /debug/traces handler: kept traces, newest first.
+func (t *Tracer) ServeRecent(w http.ResponseWriter, r *http.Request) {
+	if t == nil {
+		http.Error(w, "tracing disabled", http.StatusNotFound)
+		return
+	}
+	t.serveRecords(w, t.Recent())
+}
+
+// ServeSlowest is the /debug/traces/slowest handler: the slow/error ring,
+// worst offenders first.
+func (t *Tracer) ServeSlowest(w http.ResponseWriter, r *http.Request) {
+	if t == nil {
+		http.Error(w, "tracing disabled", http.StatusNotFound)
+		return
+	}
+	t.serveRecords(w, t.Slowest())
+}

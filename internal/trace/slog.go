@@ -1,0 +1,43 @@
+package trace
+
+import (
+	"context"
+	"log/slog"
+)
+
+// slog integration: a wrapping Handler that stamps trace_id/span_id from
+// the record's context onto every log line, so a kept trace and its log
+// output join on one ID. Wrap the innermost handler once at process
+// startup; loggers derived with With/WithGroup keep the behavior.
+
+type logHandler struct {
+	inner slog.Handler
+}
+
+// NewLogHandler wraps inner so records logged with a context carrying a
+// span (or a remote SpanContext) gain trace_id and span_id attributes.
+func NewLogHandler(inner slog.Handler) slog.Handler {
+	return logHandler{inner: inner}
+}
+
+func (h logHandler) Enabled(ctx context.Context, level slog.Level) bool {
+	return h.inner.Enabled(ctx, level)
+}
+
+func (h logHandler) Handle(ctx context.Context, rec slog.Record) error {
+	if sc := SpanContextOf(ctx); sc.Valid() {
+		rec.AddAttrs(
+			slog.String("trace_id", sc.TraceID.String()),
+			slog.String("span_id", sc.SpanID.String()),
+		)
+	}
+	return h.inner.Handle(ctx, rec)
+}
+
+func (h logHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return logHandler{inner: h.inner.WithAttrs(attrs)}
+}
+
+func (h logHandler) WithGroup(name string) slog.Handler {
+	return logHandler{inner: h.inner.WithGroup(name)}
+}

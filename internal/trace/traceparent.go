@@ -1,0 +1,97 @@
+package trace
+
+import "net/http"
+
+// W3C Trace Context (traceparent) encode/decode. Only the parts this
+// repository needs: version 00, lowercase hex, and a strict parser —
+// these headers arrive from the network, so every length, separator, and
+// digit is checked before a byte is trusted (the same posture as the
+// gossip wire decoder).
+
+// TraceparentHeader is the canonical header name.
+const TraceparentHeader = "traceparent"
+
+// traceparent layout: "00-" + 32 hex + "-" + 16 hex + "-" + 2 hex.
+const traceparentLen = 2 + 1 + 32 + 1 + 16 + 1 + 2
+
+// FormatTraceparent renders sc as a version-00 traceparent value with the
+// sampled flag set (this tracer makes its keep decision at the tail, so
+// upstream's flag is advisory only).
+func FormatTraceparent(sc SpanContext) string {
+	buf := make([]byte, 0, traceparentLen)
+	buf = append(buf, "00-"...)
+	buf = append(buf, sc.TraceID.String()...)
+	buf = append(buf, '-')
+	buf = append(buf, sc.SpanID.String()...)
+	buf = append(buf, "-01"...)
+	return string(buf)
+}
+
+// ParseTraceparent parses a version-00 traceparent value. It rejects, in
+// addition to malformed input: uppercase hex (the spec mandates
+// lowercase), the invalid version 0xff, and all-zero trace or span IDs.
+func ParseTraceparent(s string) (SpanContext, bool) {
+	if len(s) != traceparentLen {
+		return SpanContext{}, false
+	}
+	if s[2] != '-' || s[35] != '-' || s[52] != '-' {
+		return SpanContext{}, false
+	}
+	ver, ok := hexByte(s[0], s[1])
+	if !ok || ver != 0x00 {
+		// Future versions may legally be longer; with a fixed length check
+		// the only version this parser can vouch for is 00.
+		return SpanContext{}, false
+	}
+	var sc SpanContext
+	for i := 0; i < 16; i++ {
+		b, ok := hexByte(s[3+2*i], s[4+2*i])
+		if !ok {
+			return SpanContext{}, false
+		}
+		sc.TraceID[i] = b
+	}
+	for i := 0; i < 8; i++ {
+		b, ok := hexByte(s[36+2*i], s[37+2*i])
+		if !ok {
+			return SpanContext{}, false
+		}
+		sc.SpanID[i] = b
+	}
+	if _, ok := hexByte(s[53], s[54]); !ok {
+		return SpanContext{}, false
+	}
+	if !sc.Valid() {
+		return SpanContext{}, false
+	}
+	return sc, true
+}
+
+// hexByte decodes two lowercase hex digits.
+func hexByte(hi, lo byte) (byte, bool) {
+	h, ok1 := hexNibble(hi)
+	l, ok2 := hexNibble(lo)
+	return h<<4 | l, ok1 && ok2
+}
+
+func hexNibble(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	}
+	return 0, false
+}
+
+// Inject writes sc into h as a traceparent header (no-op when invalid).
+func Inject(h http.Header, sc SpanContext) {
+	if sc.Valid() {
+		h.Set(TraceparentHeader, FormatTraceparent(sc))
+	}
+}
+
+// Extract reads and validates a traceparent header from h.
+func Extract(h http.Header) (SpanContext, bool) {
+	return ParseTraceparent(h.Get(TraceparentHeader))
+}

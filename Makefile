@@ -8,7 +8,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: all build vet test race bench bench-json bench-serve serve-smoke cluster-smoke bench-cluster bench-sim fuzz-smoke lint lint-tools
+.PHONY: all build vet test race bench bench-json bench-serve bench-serve-check serve-smoke cluster-smoke bench-cluster bench-sim fuzz-smoke lint lint-tools
 
 all: vet build lint test
 
@@ -34,10 +34,18 @@ bench:
 bench-json:
 	$(GO) run ./cmd/wmbench -throughput -json BENCH_throughput.json
 
-# End-to-end HTTP serving throughput/latency (wmserve + loadgen): writes
-# BENCH_serve.json next to BENCH_throughput.json (see SERVING.md).
+# End-to-end serving throughput/latency (wmserve + loadgen), one leg per
+# protocol — HTTP/JSON and the binary hot protocol (SERVING.md "Binary
+# protocol") — recorded side by side with the speedup ratio in
+# BENCH_serve.json next to BENCH_throughput.json.
 bench-serve:
 	$(GO) run ./cmd/wmbench -serve-bench -json BENCH_serve.json
+
+# Tier-2 regression gate: re-measure both protocol legs and fail if either
+# drops more than 25% below the updates/sec recorded in BENCH_serve.json.
+# CI runs this.
+bench-serve-check:
+	$(GO) run ./cmd/wmbench -serve-bench -json /tmp/bench_serve_check.json -serve-baseline BENCH_serve.json
 
 # Boot wmserve on loopback and exercise the whole API end to end:
 # update -> predict -> checkpoint -> restore -> verify, plus a concurrent
@@ -63,13 +71,16 @@ bench-cluster:
 bench-sim:
 	$(GO) run ./cmd/wmserve -sim -sim-json BENCH_sim.json
 
-# Short fuzz pass over the two restore surfaces hostile bytes can reach:
-# the gossip wire decoder and sketch checkpoint restore. Both must reject
-# cleanly (no panic, no unbounded allocation); accepted checkpoints must
-# round-trip bit-exactly. CI runs this from the seeded corpora.
+# Short fuzz pass over the surfaces hostile bytes can reach: the gossip
+# wire decoder, sketch checkpoint restore, and both directions of the
+# binary hot protocol's frame decoder. All must reject cleanly (no panic,
+# no unbounded allocation); accepted inputs must round-trip bit-exactly.
+# CI runs this from the seeded corpora.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzReadFrames -fuzztime 20s ./internal/cluster
 	$(GO) test -run '^$$' -fuzz FuzzReadCountSketch -fuzztime 20s ./internal/sketch
+	$(GO) test -run '^$$' -fuzz FuzzReadRequestFrame -fuzztime 20s ./internal/wire
+	$(GO) test -run '^$$' -fuzz FuzzReadResponseFrame -fuzztime 20s ./internal/wire
 
 # Static analysis gate (LINTING.md): wmlint (the project's own analyzers —
 # clockdet, maporder, decodebounds, guardedby, nonfinite, metricnames,

@@ -8,7 +8,9 @@
 //	wmbench -list                # enumerate experiment ids
 //	wmbench -throughput          # single- and multi-core updates/sec
 //	wmbench -throughput -json BENCH_throughput.json
-//	wmbench -serve-bench -workers 4 -json BENCH_serve.json
+//	wmbench -serve-bench -workers 4 -json BENCH_serve.json   # JSON + binary legs
+//	wmbench -serve-bench -proto binary                       # one protocol only
+//	wmbench -serve-bench -serve-baseline BENCH_serve.json    # tier-2 regression gate
 //
 // Each experiment id corresponds to a table or figure in "Sketching Linear
 // Classifiers over Data Streams" (SIGMOD 2018); see DESIGN.md for the
@@ -34,9 +36,11 @@ func main() {
 		seed       = flag.Int64("seed", 42, "base random seed")
 		csv        = flag.Bool("csv", false, "emit CSV instead of aligned text")
 		throughput = flag.Bool("throughput", false, "measure update throughput instead of running experiments")
-		serveBench = flag.Bool("serve-bench", false, "measure HTTP serving throughput (wmserve loadgen) instead of running experiments")
+		serveBench = flag.Bool("serve-bench", false, "measure serving throughput (wmserve loadgen) instead of running experiments")
 		clients    = flag.Int("clients", 4, "concurrent clients for -serve-bench")
 		workers    = flag.Int("workers", 0, "max worker count for -throughput / sharded workers for -serve-bench (0 = GOMAXPROCS)")
+		proto      = flag.String("proto", "both", "protocols for -serve-bench: json, binary, or both")
+		baseline   = flag.String("serve-baseline", "", "compare -serve-bench updates/sec against this recorded BENCH_serve.json; fail if >25% below")
 		jsonPath   = flag.String("json", "", "write -throughput/-serve-bench results to this JSON file")
 	)
 	flag.Parse()
@@ -52,7 +56,7 @@ func main() {
 		return
 	}
 	if *serveBench {
-		runServeBench(*examples, *clients, *workers, *jsonPath)
+		runServeBench(*examples, *clients, *workers, *proto, *jsonPath, *baseline)
 		return
 	}
 	if *exp == "" {

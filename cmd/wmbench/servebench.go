@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 	"runtime"
@@ -9,21 +10,27 @@ import (
 	"wmsketch/internal/server"
 )
 
-// Serve-bench mode measures the full serving path — HTTP, JSON, batching,
-// the sharded learner, snapshot refresh — rather than the bare learner that
-// -throughput measures. It boots an in-process wmserve on a loopback
-// listener, drives it with concurrent clients over generated classification
-// streams, and reports throughput plus latency percentiles. With -json the
-// report lands next to BENCH_throughput.json in the perf trajectory
-// (`make bench-serve` writes BENCH_serve.json).
-func runServeBench(examples, clients, workers int, jsonPath string) {
-	if examples <= 0 {
-		examples = 100_000
-	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	report, err := server.RunLoadgen(server.LoadgenOptions{
+// Serve-bench mode measures the full serving path — transport, codec,
+// batching, the sharded learner, snapshot refresh — rather than the bare
+// learner that -throughput measures. It boots an in-process wmserve on a
+// loopback listener and drives it with concurrent clients over generated
+// classification streams, once per requested protocol: the HTTP/JSON API
+// and the binary hot protocol (SERVING.md "Binary protocol") are recorded
+// side by side so BENCH_serve.json documents what the binary path buys
+// (`make bench-serve` writes both legs plus the speedup ratio).
+
+// ServeBenchReport is the combined two-protocol report document written to
+// BENCH_serve.json. Either leg may be absent when -proto selects one.
+type ServeBenchReport struct {
+	JSON   *server.LoadgenReport `json:"json,omitempty"`
+	Binary *server.LoadgenReport `json:"binary,omitempty"`
+	// BinarySpeedup is binary updates/sec over JSON updates/sec measured in
+	// this same run (present only when both legs ran).
+	BinarySpeedup float64 `json:"binary_speedup,omitempty"`
+}
+
+func serveBenchOptions(examples, clients, workers int, proto string) server.LoadgenOptions {
+	opt := server.LoadgenOptions{
 		Server: server.Options{
 			Backend: server.BackendSharded,
 			Config:  core.Config{Width: 4096, Depth: 1, HeapSize: 2048, Lambda: 1e-6, Seed: 1},
@@ -31,13 +38,21 @@ func runServeBench(examples, clients, workers int, jsonPath string) {
 		},
 		Clients:  clients,
 		Examples: examples,
-	})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "error:", err)
-		os.Exit(1)
+		Proto:    proto,
 	}
-	fmt.Printf("serve-bench: backend=%s workers=%d clients=%d\n",
-		report.Backend, report.Workers, report.Clients)
+	if proto == server.ProtoBinary {
+		// The binary protocol is built for large batches (one frame, one
+		// decode, one backend hand-off); run it the way it is meant to be
+		// run. Each leg's report records its own batch size, so the
+		// asymmetry is visible in BENCH_serve.json rather than hidden.
+		opt.Batch = 512
+	}
+	return opt
+}
+
+func printLeg(report *server.LoadgenReport) {
+	fmt.Printf("serve-bench[%s]: backend=%s workers=%d clients=%d\n",
+		report.Proto, report.Backend, report.Workers, report.Clients)
 	fmt.Printf("  %d examples in %.2fs = %.0f updates/sec\n",
 		report.Examples, report.WallSeconds, report.UpdatesPerSec)
 	fmt.Printf("  update  p50 %.2f ms  p95 %.2f ms  p99 %.2f ms  max %.2f ms (%d reqs)\n",
@@ -48,11 +63,114 @@ func runServeBench(examples, clients, workers int, jsonPath string) {
 		fmt.Printf("  slowest sampled trace %s: %s %.2f ms (%s), %d root spans\n",
 			st.TraceID, st.Root, st.DurationMs, st.Reason, len(st.Spans))
 	}
+}
+
+func runServeBench(examples, clients, workers int, proto, jsonPath, baselinePath string) {
+	if examples <= 0 {
+		// Long enough that fixed startup (listener boot, dials, first-burst
+		// ramp) is noise for the binary leg too, which finishes ~10x sooner
+		// than the JSON leg at equal example counts.
+		examples = 300_000
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var combined ServeBenchReport
+	runLeg := func(p string) *server.LoadgenReport {
+		report, err := server.RunLoadgen(serveBenchOptions(examples, clients, workers, p))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		printLeg(report)
+		return report
+	}
+	switch proto {
+	case server.ProtoJSON:
+		combined.JSON = runLeg(server.ProtoJSON)
+	case server.ProtoBinary:
+		combined.Binary = runLeg(server.ProtoBinary)
+	case "both", "":
+		combined.JSON = runLeg(server.ProtoJSON)
+		combined.Binary = runLeg(server.ProtoBinary)
+	default:
+		fmt.Fprintf(os.Stderr, "error: -proto %q (want json, binary, or both)\n", proto)
+		os.Exit(2)
+	}
+	if combined.JSON != nil && combined.Binary != nil && combined.JSON.UpdatesPerSec > 0 {
+		combined.BinarySpeedup = combined.Binary.UpdatesPerSec / combined.JSON.UpdatesPerSec
+		fmt.Printf("serve-bench: binary is %.1fx the JSON path (%.0f vs %.0f updates/sec)\n",
+			combined.BinarySpeedup, combined.Binary.UpdatesPerSec, combined.JSON.UpdatesPerSec)
+	}
 	if jsonPath != "" {
-		if err := server.WriteReport(report, jsonPath); err != nil {
+		blob, err := json.MarshalIndent(&combined, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(jsonPath, append(blob, '\n'), 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(1)
 		}
 		fmt.Println("wrote", jsonPath)
 	}
+	if baselinePath != "" {
+		if err := checkServeBaseline(&combined, baselinePath); err != nil {
+			fmt.Fprintln(os.Stderr, "serve-baseline: FAIL:", err)
+			os.Exit(1)
+		}
+		fmt.Println("serve-baseline: ok")
+	}
+}
+
+// serveBaselineTolerance is the allowed fractional drop below the recorded
+// baseline before -serve-baseline fails (the tier-2 regression gate).
+const serveBaselineTolerance = 0.25
+
+// readBaseline loads a recorded BENCH_serve.json in either shape: the
+// combined {json, binary} document, or the legacy single flat report,
+// which is treated as a JSON-only baseline.
+func readBaseline(path string) (*ServeBenchReport, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var combined ServeBenchReport
+	if err := json.Unmarshal(blob, &combined); err == nil &&
+		(combined.JSON != nil || combined.Binary != nil) {
+		return &combined, nil
+	}
+	var legacy server.LoadgenReport
+	if err := json.Unmarshal(blob, &legacy); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &ServeBenchReport{JSON: &legacy}, nil
+}
+
+// checkServeBaseline fails when a measured leg drops more than
+// serveBaselineTolerance below the baseline's updates/sec for the same
+// protocol. Legs absent from either side are skipped, so the check still
+// works against legacy JSON-only baselines.
+func checkServeBaseline(got *ServeBenchReport, baselinePath string) error {
+	base, err := readBaseline(baselinePath)
+	if err != nil {
+		return err
+	}
+	check := func(name string, got, base *server.LoadgenReport) error {
+		if got == nil || base == nil || base.UpdatesPerSec <= 0 {
+			return nil
+		}
+		floor := base.UpdatesPerSec * (1 - serveBaselineTolerance)
+		if got.UpdatesPerSec < floor {
+			return fmt.Errorf("%s path at %.0f updates/sec is more than %.0f%% below the recorded baseline %.0f (floor %.0f)",
+				name, got.UpdatesPerSec, serveBaselineTolerance*100, base.UpdatesPerSec, floor)
+		}
+		fmt.Printf("serve-baseline: %s %.0f updates/sec vs baseline %.0f (floor %.0f): ok\n",
+			name, got.UpdatesPerSec, base.UpdatesPerSec, floor)
+		return nil
+	}
+	if err := check("json", got.JSON, base.JSON); err != nil {
+		return err
+	}
+	return check("binary", got.Binary, base.Binary)
 }

@@ -52,6 +52,7 @@ func splitPeers(s string) []string {
 func main() {
 	var (
 		addr      = flag.String("addr", ":8080", "listen address")
+		binAddr   = flag.String("bin-addr", "", "binary hot-protocol listen address (e.g. :8081; empty disables; see SERVING.md \"Binary protocol\")")
 		backend   = flag.String("backend", server.BackendSharded, "learner backend: sharded, awm, or wm")
 		width     = flag.Int("width", 4096, "sketch width (buckets per row)")
 		depth     = flag.Int("depth", 1, "sketch depth (rows)")
@@ -74,12 +75,15 @@ func main() {
 		originGC       = flag.Duration("origin-gc", 15*time.Minute, "cluster: idle age before a departed node's model decays out of the served mix (negative disables)")
 		chaosSpec      = flag.String("chaos", "", "cluster: fault-inject outbound gossip, e.g. drop=0.1,dup=0.05,corrupt=0.01,delay=50ms,seed=7 (testing only)")
 
-		loadgen  = flag.Bool("loadgen", false, "run the load generator instead of serving")
-		target   = flag.String("target", "", "loadgen: drive this URL instead of a self-hosted server")
-		clients  = flag.Int("clients", 4, "loadgen: concurrent clients")
-		examples = flag.Int("examples", 50_000, "loadgen: total examples")
-		batch    = flag.Int("batch", 64, "loadgen: examples per update request")
-		jsonPath = flag.String("json", "BENCH_serve.json", "loadgen: write the report to this file ('' disables)")
+		loadgen   = flag.Bool("loadgen", false, "run the load generator instead of serving")
+		target    = flag.String("target", "", "loadgen: drive this URL instead of a self-hosted server")
+		targetBin = flag.String("target-bin", "", "loadgen: drive this binary listener (host:port) when -proto binary")
+		proto     = flag.String("proto", "json", "loadgen: wire protocol, json or binary")
+		inFlight  = flag.Int("in-flight", 32, "loadgen: binary pipeline depth per connection")
+		clients   = flag.Int("clients", 4, "loadgen: concurrent clients")
+		examples  = flag.Int("examples", 50_000, "loadgen: total examples")
+		batch     = flag.Int("batch", 64, "loadgen: examples per update request")
+		jsonPath  = flag.String("json", "BENCH_serve.json", "loadgen: write the report to this file ('' disables)")
 
 		logJSON  = flag.Bool("log-json", false, "emit structured logs as JSON lines (default: logfmt-style text)")
 		logLevel = flag.String("log-level", "info", "minimum log level: debug, info, warn, or error")
@@ -165,6 +169,9 @@ func main() {
 	case *loadgen:
 		report, err := server.RunLoadgen(server.LoadgenOptions{
 			TargetURL: *target,
+			TargetBin: *targetBin,
+			Proto:     *proto,
+			InFlight:  *inFlight,
 			Server:    opt,
 			Clients:   *clients,
 			Examples:  *examples,
@@ -185,7 +192,7 @@ func main() {
 			fmt.Println("wrote", *jsonPath)
 		}
 	default:
-		if err := serve(opt, logger, *addr, *debugAddr, *restore); err != nil {
+		if err := serve(opt, logger, *addr, *binAddr, *debugAddr, *restore); err != nil {
 			fmt.Fprintln(os.Stderr, "wmserve:", err)
 			os.Exit(1)
 		}
@@ -261,7 +268,7 @@ func runSim(nodes int, seed int64, jsonPath string) error {
 	return nil
 }
 
-func serve(opt server.Options, logger *slog.Logger, addr, debugAddr string, restore bool) error {
+func serve(opt server.Options, logger *slog.Logger, addr, binAddr, debugAddr string, restore bool) error {
 	srv, err := server.New(opt)
 	if err != nil {
 		return err
@@ -272,6 +279,19 @@ func serve(opt server.Options, logger *slog.Logger, addr, debugAddr string, rest
 			return err
 		}
 		defer ds.Close()
+	}
+	if binAddr != "" {
+		bln, err := net.Listen("tcp", binAddr)
+		if err != nil {
+			return fmt.Errorf("bin listener: %w", err)
+		}
+		defer bln.Close()
+		go func() {
+			if err := srv.ServeBin(bln); err != nil {
+				logger.Error("binary listener failed", slog.String("error", err.Error()))
+			}
+		}()
+		logger.Info("binary protocol listening", slog.String("addr", binAddr))
 	}
 	if restore && opt.CheckpointPath != "" {
 		if _, err := os.Stat(opt.CheckpointPath); err == nil {

@@ -18,6 +18,13 @@ import (
 	"wmsketch/internal/obs"
 	"wmsketch/internal/stream"
 	"wmsketch/internal/trace"
+	"wmsketch/internal/wire"
+)
+
+// Protocol names for LoadgenOptions.Proto.
+const (
+	ProtoJSON   = "json"
+	ProtoBinary = "binary"
 )
 
 // Load generator: drives a wmserve instance with N concurrent clients over
@@ -45,6 +52,17 @@ type LoadgenOptions struct {
 	PredictEvery int
 	// Seed drives the generated streams.
 	Seed int64
+	// Proto selects the wire protocol: ProtoJSON (default) drives the HTTP
+	// API, ProtoBinary drives the binary hot protocol (SERVING.md "Binary
+	// protocol") through the pipelining client.
+	Proto string
+	// InFlight is the binary client's pipeline depth: requests queued per
+	// connection before a flush-and-drain (default 32). JSON ignores it.
+	InFlight int
+	// TargetBin is the remote binary listener address ("host:port") when
+	// driving an existing server with Proto == ProtoBinary. Empty self-hosts,
+	// like TargetURL.
+	TargetBin string
 }
 
 func (o *LoadgenOptions) fill() {
@@ -62,6 +80,12 @@ func (o *LoadgenOptions) fill() {
 	}
 	if o.Seed == 0 {
 		o.Seed = 1
+	}
+	if o.Proto == "" {
+		o.Proto = ProtoJSON
+	}
+	if o.InFlight <= 0 {
+		o.InFlight = 32
 	}
 }
 
@@ -130,6 +154,8 @@ type LoadgenReport struct {
 	Timestamp     string         `json:"timestamp"`
 	Backend       string         `json:"backend"`
 	Workers       int            `json:"workers,omitempty"`
+	Proto         string         `json:"proto"`
+	InFlight      int            `json:"in_flight,omitempty"`
 	Clients       int            `json:"clients"`
 	Batch         int            `json:"batch"`
 	Examples      int            `json:"examples"`
@@ -152,6 +178,13 @@ type LoadgenReport struct {
 // Server.CheckpointPath is honored as usual if set).
 func RunLoadgen(opt LoadgenOptions) (*LoadgenReport, error) {
 	opt.fill()
+	switch opt.Proto {
+	case ProtoJSON:
+	case ProtoBinary:
+		return runLoadgenBinary(opt)
+	default:
+		return nil, fmt.Errorf("loadgen: unknown proto %q", opt.Proto)
+	}
 	base := opt.TargetURL
 	var shutdown func() error
 	var srv *Server
@@ -195,6 +228,10 @@ func RunLoadgen(opt LoadgenOptions) (*LoadgenReport, error) {
 		err  error
 	}
 	stats := make([]clientStats, opt.Clients)
+	// Generate every client's stream before starting the clock so the
+	// report measures serving throughput, not datagen throughput (Zipf
+	// sampling is expensive enough to dominate at binary-protocol speeds).
+	inputs := loadgenInputs(opt, perClient)
 	var wg sync.WaitGroup
 	start := time.Now()
 	for c := 0; c < opt.Clients; c++ {
@@ -202,9 +239,7 @@ func RunLoadgen(opt LoadgenOptions) (*LoadgenReport, error) {
 		go func(c int) {
 			defer wg.Done()
 			st := &stats[c]
-			gen := datagen.RCV1Like(opt.Seed + int64(c))
-			data := gen.Take(perClient)
-			probes := gen.Take(64)
+			data, probes := inputs[c].data, inputs[c].probes
 			reqs := 0
 			for i := 0; i < len(data); i += opt.Batch {
 				end := i + opt.Batch
@@ -241,6 +276,29 @@ func RunLoadgen(opt LoadgenOptions) (*LoadgenReport, error) {
 		}
 		sent += stats[i].sent
 	}
+	return assembleReport(opt, opt.TargetURL != "", sent, wall, updateLat, predictLat, srv), nil
+}
+
+// clientInput is one client's pre-generated workload.
+type clientInput struct {
+	data   []stream.Example
+	probes []stream.Example
+}
+
+// loadgenInputs pre-generates each client's update stream and predict
+// probes, seeded per client exactly as both protocol legs always did, so
+// the JSON and binary legs replay identical workloads.
+func loadgenInputs(opt LoadgenOptions, perClient int) []clientInput {
+	inputs := make([]clientInput, opt.Clients)
+	for c := range inputs {
+		gen := datagen.RCV1Like(opt.Seed + int64(c))
+		inputs[c] = clientInput{data: gen.Take(perClient), probes: gen.Take(64)}
+	}
+	return inputs
+}
+
+// assembleReport builds the report document shared by both protocol legs.
+func assembleReport(opt LoadgenOptions, remote bool, sent int, wall time.Duration, updateLat, predictLat *latencyRecorder, srv *Server) *LoadgenReport {
 	report := &LoadgenReport{
 		GOOS:          runtime.GOOS,
 		GOARCH:        runtime.GOARCH,
@@ -248,6 +306,7 @@ func RunLoadgen(opt LoadgenOptions) (*LoadgenReport, error) {
 		Timestamp:     time.Now().UTC().Format(time.RFC3339),
 		Backend:       opt.Server.Backend,
 		Workers:       opt.Server.Sharded.Workers,
+		Proto:         opt.Proto,
 		Clients:       opt.Clients,
 		Batch:         opt.Batch,
 		Examples:      sent,
@@ -257,7 +316,10 @@ func RunLoadgen(opt LoadgenOptions) (*LoadgenReport, error) {
 		Predict:       predictLat.summary(),
 		LatencySource: "obs_histogram",
 	}
-	if opt.TargetURL != "" {
+	if opt.Proto == ProtoBinary {
+		report.InFlight = opt.InFlight
+	}
+	if remote {
 		report.Backend = "remote"
 		report.Workers = 0
 	}
@@ -267,7 +329,175 @@ func RunLoadgen(opt LoadgenOptions) (*LoadgenReport, error) {
 			report.SlowestTrace = &tj
 		}
 	}
-	return report, nil
+	return report
+}
+
+// runLoadgenBinary is the binary-protocol leg: each client goroutine holds
+// one pipelined connection and drives it in bursts of InFlight tagged
+// update frames per flush, so framing cost amortizes across the window the
+// way the protocol is designed to be used. Latency is measured from frame
+// queueing to response arrival — honest pipeline latency, not bare service
+// time.
+func runLoadgenBinary(opt LoadgenOptions) (*LoadgenReport, error) {
+	addr := opt.TargetBin
+	var srv *Server
+	if addr == "" {
+		if opt.Server.Trace.SampleRate == 0 {
+			opt.Server.Trace.SampleRate = 1
+		}
+		var err error
+		srv, err = New(opt.Server)
+		if err != nil {
+			return nil, err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			_ = srv.Close()
+			return nil, err
+		}
+		go func() { _ = srv.ServeBin(ln) }()
+		addr = ln.Addr().String()
+		defer func() {
+			_ = ln.Close()
+			_ = srv.Close()
+		}()
+	}
+
+	perClient := opt.Examples / opt.Clients
+	if perClient == 0 {
+		perClient = 1
+	}
+	updateLat := newLatencyRecorder()
+	predictLat := newLatencyRecorder()
+	type clientStats struct {
+		sent int
+		err  error
+	}
+	stats := make([]clientStats, opt.Clients)
+	// Same pre-generation as the JSON leg: the timed window measures
+	// serving, and both legs replay identical per-client streams.
+	inputs := loadgenInputs(opt, perClient)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < opt.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			st := &stats[c]
+			cl, err := wire.Dial(addr, 10*time.Second)
+			if err != nil {
+				st.err = err
+				return
+			}
+			defer cl.Close()
+
+			data, probes := inputs[c].data, inputs[c].probes
+
+			type slot struct {
+				call   *wire.Call
+				issued time.Time
+				n      int
+			}
+			burst := make([]slot, 0, opt.InFlight)
+			free := make([]*wire.Call, 0, opt.InFlight)
+			var enc []byte
+			flushWait := func() error {
+				if len(burst) == 0 {
+					return nil
+				}
+				if err := cl.Flush(); err != nil {
+					return err
+				}
+				for i := range burst {
+					status, resp, err := burst[i].call.Wait()
+					if err != nil {
+						return err
+					}
+					if status != wire.StatusOK {
+						msg, derr := wire.DecodeErrorResponse(resp)
+						if derr != nil {
+							msg = derr.Error()
+						}
+						return fmt.Errorf("update rejected (status %d): %s", status, msg)
+					}
+					applied, _, err := wire.DecodeUpdateResponse(resp)
+					if err != nil {
+						return err
+					}
+					if applied != burst[i].n {
+						return fmt.Errorf("update applied %d of %d examples", applied, burst[i].n)
+					}
+					updateLat.observe(time.Since(burst[i].issued))
+					st.sent += burst[i].n
+					free = append(free, burst[i].call)
+				}
+				burst = burst[:0]
+				return nil
+			}
+
+			reqs, predicted := 0, 0
+			for i := 0; i < len(data); i += opt.Batch {
+				end := i + opt.Batch
+				if end > len(data) {
+					end = len(data)
+				}
+				enc, err = wire.AppendUpdateRequest(enc[:0], data[i:end])
+				if err != nil {
+					st.err = err
+					return
+				}
+				var call *wire.Call
+				if n := len(free); n > 0 {
+					call = free[n-1]
+					free = free[:n-1]
+				}
+				// WriteFrame copies into the client's write buffer, so enc is
+				// free for reuse as soon as Go returns.
+				call, err = cl.Go(wire.OpUpdate, enc, call)
+				if err != nil {
+					st.err = err
+					return
+				}
+				burst = append(burst, slot{call: call, issued: time.Now(), n: end - i})
+				reqs++
+				if len(burst) == opt.InFlight {
+					if err := flushWait(); err != nil {
+						st.err = err
+						return
+					}
+					// Same predict cadence as the JSON leg: one per
+					// PredictEvery update requests, issued synchronously
+					// between bursts.
+					if opt.PredictEvery > 0 {
+						for ; (predicted+1)*opt.PredictEvery <= reqs; predicted++ {
+							probe := probes[predicted%len(probes)]
+							t0 := time.Now()
+							if _, _, err := cl.Predict(probe.X); err != nil {
+								st.err = err
+								return
+							}
+							predictLat.observe(time.Since(t0))
+						}
+					}
+				}
+			}
+			if err := flushWait(); err != nil {
+				st.err = err
+				return
+			}
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	sent := 0
+	for i := range stats {
+		if stats[i].err != nil {
+			return nil, fmt.Errorf("client %d: %w", i, stats[i].err)
+		}
+		sent += stats[i].sent
+	}
+	return assembleReport(opt, opt.TargetBin != "", sent, wall, updateLat, predictLat, srv), nil
 }
 
 // WriteReport writes the report as indented JSON to path.

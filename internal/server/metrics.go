@@ -8,6 +8,7 @@ import (
 
 	"wmsketch/internal/obs"
 	"wmsketch/internal/trace"
+	"wmsketch/internal/wire"
 )
 
 // Serving instrumentation. Every HTTP route is registered through
@@ -40,7 +41,76 @@ type serverMetrics struct {
 	saveDur    *obs.Histogram
 	restoreDur *obs.Histogram
 	refreshes  *obs.Counter
+
+	// bin carries the binary hot protocol families (binproto.go); they are
+	// registered unconditionally so the exposition is stable whether or not
+	// a binary listener is running.
+	bin binMetrics
 }
+
+// binOpInstruments are one binary op's pre-resolved handles, the analog of
+// routeInstruments: dispatch and instrumentation share one table, so an op
+// cannot be served uninstrumented.
+type binOpInstruments struct {
+	dur      *obs.Histogram
+	statuses [3]*obs.Counter // indexed by wire status code
+}
+
+func (oi *binOpInstruments) status(st byte) *obs.Counter {
+	if int(st) >= len(oi.statuses) {
+		st = 2
+	}
+	return oi.statuses[st]
+}
+
+// binStatusLabels are the status-label values, indexed by wire status code.
+var binStatusLabels = [3]string{"ok", "bad_request", "error"}
+
+// binMetrics holds the wmbin_* families. Immutable after newServerMetrics.
+type binMetrics struct {
+	connsTotal *obs.Counter
+	connsOpen  *obs.Gauge
+	connErrors *obs.Counter
+	inFlight   *obs.Gauge
+	bytesIn    *obs.Counter
+	bytesOut   *obs.Counter
+	requests   *obs.CounterVec   // {op, status}
+	duration   *obs.HistogramVec // {op}
+
+	ops map[byte]*binOpInstruments
+}
+
+func (m *binMetrics) register(reg *obs.Registry) {
+	m.connsTotal = reg.Counter("wmbin_connections_total",
+		"binary-protocol connections accepted")
+	m.connsOpen = reg.Gauge("wmbin_connections_open",
+		"binary-protocol connections currently open")
+	m.connErrors = reg.Counter("wmbin_connection_errors_total",
+		"connections failed at the frame level (bad handshake, CRC mismatch, write timeout)")
+	m.inFlight = reg.Gauge("wmbin_in_flight_requests",
+		"binary requests currently executing")
+	bytes := reg.CounterVec("wmbin_bytes_total",
+		"frame bytes read (in) and written (out)", "dir")
+	m.bytesIn = bytes.With("in")
+	m.bytesOut = bytes.With("out")
+	m.requests = reg.CounterVec("wmbin_requests_total",
+		"binary requests completed, by op and status", "op", "status")
+	m.duration = reg.HistogramVec("wmbin_request_duration_seconds",
+		"binary request wall time from dispatch to response queue",
+		obs.LatencyBuckets, "op")
+	m.ops = make(map[byte]*binOpInstruments)
+	for _, op := range []byte{wire.OpUpdate, wire.OpPredict, wire.OpEstimate, wire.OpPing} {
+		name := wire.OpName(op)
+		oi := &binOpInstruments{dur: m.duration.With(name)}
+		for st, label := range binStatusLabels {
+			oi.statuses[st] = m.requests.With(name, label)
+		}
+		m.ops[op] = oi
+	}
+}
+
+// op returns the pre-resolved instruments for one op.
+func (m *binMetrics) op(op byte) *binOpInstruments { return m.ops[op] }
 
 // newServerMetrics registers the serving and core families and the
 // backend-sourced gauges. It reads backend state through s.withBackend, so
@@ -77,6 +147,8 @@ func newServerMetrics(s *Server) *serverMetrics {
 		"backend reconstruction from serialized state", obs.LatencyBuckets)
 	m.refreshes = reg.Counter("wmcore_snapshot_refreshes_total",
 		"sharded query-snapshot merges (refresh loop and /v1/sync)")
+
+	m.bin.register(reg)
 
 	reg.GaugeFunc("wmcore_steps", "backend training step counter",
 		func() float64 {

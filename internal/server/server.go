@@ -9,6 +9,7 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -88,6 +89,10 @@ type Options struct {
 	// wmtrace_* families share the /metrics exposition; everything else
 	// passes through, zero values selecting the trace package defaults.
 	Trace trace.Options
+	// Bin configures the binary hot protocol listener (SERVING.md "Binary
+	// protocol"); zero values select the defaults. The listener itself is
+	// started by ServeBin — these only shape per-connection behavior.
+	Bin BinOptions
 }
 
 // Server is the HTTP serving layer. It implements http.Handler.
@@ -117,6 +122,11 @@ type Server struct {
 	stopRefresh chan struct{}
 	stopOnce    sync.Once
 	refreshWG   sync.WaitGroup
+
+	// binHook, when non-nil, runs at the start of every binary-protocol
+	// dispatch. Tests use it to inject slow handlers and force out-of-order
+	// completion; it is nil in production.
+	binHook func(op byte)
 }
 
 // New constructs a Server with a freshly initialized backend.
@@ -443,10 +453,24 @@ type errorResponse struct {
 
 // ---- helpers ----
 
+// jsonBufPool recycles response-encoding buffers across requests; encoding
+// into a pooled buffer (instead of streaming json.NewEncoder straight at
+// the ResponseWriter) also yields a Content-Length and a single Write.
+var jsonBufPool = sync.Pool{New: func() interface{} { return new(bytes.Buffer) }}
+
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	buf := jsonBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
+		jsonBufPool.Put(buf)
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	_, _ = w.Write(buf.Bytes())
+	jsonBufPool.Put(buf)
 }
 
 func writeError(w http.ResponseWriter, status int, format string, args ...interface{}) {
@@ -458,6 +482,13 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v interface{}) bool {
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
 		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	// Exactly one JSON value per body: trailing bytes are malformed here
+	// just as they are on the binary wire (the conformance suite holds the
+	// two paths to the same error classes).
+	if dec.More() {
+		writeError(w, http.StatusBadRequest, "trailing data after request body")
 		return false
 	}
 	return true

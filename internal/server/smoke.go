@@ -15,7 +15,9 @@ import (
 
 	"wmsketch/internal/datagen"
 	"wmsketch/internal/obs"
+	"wmsketch/internal/stream"
 	"wmsketch/internal/trace"
+	"wmsketch/internal/wire"
 )
 
 // lockedBuffer is a mutex-guarded log sink: the smoke server's handlers log
@@ -231,6 +233,57 @@ func Smoke(opt Options, verbose io.Writer) error {
 	fmt.Fprintf(verbose, "smoke: loadgen %d examples at %.0f updates/sec (p99 update %.2f ms)\n",
 		report.Examples, report.UpdatesPerSec, report.Update.P99Ms)
 
+	// Binary hot protocol leg, over a real socket against the same live
+	// server: update, predict, estimate, ping, plus the error model (a
+	// payload-level rejection must not kill the connection). The predict
+	// answer must agree with the JSON path bit-for-bit — the same model is
+	// behind both protocols.
+	bln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	go func() { _ = srv.ServeBin(bln) }()
+	defer func() { _ = bln.Close() }()
+	bcl, err := wire.Dial(bln.Addr().String(), 10*time.Second)
+	if err != nil {
+		return fmt.Errorf("binary dial: %w", err)
+	}
+	defer bcl.Close()
+	binBatch := gen.Take(256)
+	applied, _, err := bcl.Update(binBatch)
+	if err != nil {
+		return fmt.Errorf("binary update: %w", err)
+	}
+	if applied != len(binBatch) {
+		return fmt.Errorf("binary update applied %d, want %d", applied, len(binBatch))
+	}
+	bm, bl, err := bcl.Predict(probe)
+	if err != nil {
+		return fmt.Errorf("binary predict: %w", err)
+	}
+	var jp PredictResponse
+	if err := post("/v1/predict", PredictRequest{X: vecWire(probe)}, &jp); err != nil {
+		return err
+	}
+	if jp.Margin != bm || jp.Label != bl {
+		return fmt.Errorf("binary predict diverged from JSON: %v/%d vs %v/%d",
+			bm, bl, jp.Margin, jp.Label)
+	}
+	if _, err := bcl.Estimate([]uint32{heavy}); err != nil {
+		return fmt.Errorf("binary estimate: %w", err)
+	}
+	if err := bcl.Ping(); err != nil {
+		return fmt.Errorf("binary ping: %w", err)
+	}
+	if _, _, err := bcl.Update([]stream.Example{{Y: 7}}); err == nil {
+		return fmt.Errorf("binary path must reject label 7")
+	}
+	if err := bcl.Ping(); err != nil {
+		return fmt.Errorf("binary connection died on a payload-level rejection: %w", err)
+	}
+	fmt.Fprintf(verbose, "smoke: binary protocol leg on %s (update/predict/estimate/ping, JSON-parity predict, 400-class survives)\n",
+		bln.Addr())
+
 	// Scrape /metrics after all that traffic: every line must parse as
 	// Prometheus text and the serving/core families must be present.
 	if err := scrapeMetrics(client, base, []string{
@@ -247,6 +300,12 @@ func Smoke(opt Options, verbose io.Writer) error {
 		"wmcore_checkpoint_restores_total",
 		"wmcore_steps",
 		"wmcore_memory_bytes",
+		"wmbin_connections_total",
+		"wmbin_connections_open",
+		"wmbin_requests_total",
+		"wmbin_request_duration_seconds",
+		"wmbin_bytes_total",
+		"wmbin_in_flight_requests",
 	}, verbose); err != nil {
 		return err
 	}
@@ -277,6 +336,19 @@ func Smoke(opt Options, verbose io.Writer) error {
 	}
 	if !found {
 		return fmt.Errorf("/debug/traces holds no /v1/update trace with the handler→backend.apply→learner.update span chain (%d traces)",
+			len(traces.Traces))
+	}
+	// The binary path roots its own spans; the same chain must hang under
+	// bin/update (context propagation through the pipelined dispatch).
+	foundBin := false
+	for _, tr := range traces.Traces {
+		if tr.Root == "bin/update" && hasSpanChain(tr.Spans, "bin/update", "backend.apply", "learner.update") {
+			foundBin = true
+			break
+		}
+	}
+	if !foundBin {
+		return fmt.Errorf("/debug/traces holds no bin/update trace with the backend.apply→learner.update span chain (%d traces)",
 			len(traces.Traces))
 	}
 	var slowest struct {

@@ -1,0 +1,290 @@
+package wire
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"wmsketch/internal/stream"
+)
+
+// Client is a pipelining binary-protocol client. Many calls may be in
+// flight on one connection: Go queues a request frame and returns a Call
+// handle immediately; a background reader pairs response frames back to
+// their Calls by tag, in whatever order the server completes them. The
+// synchronous wrappers (Update, Predict, Estimate, Ping) are one-call
+// conveniences built on the same machinery.
+//
+// Concurrency: Go/Flush and the synchronous wrappers are safe for
+// concurrent use. A Call must not be reused until its Wait returns.
+type Client struct {
+	conn net.Conn
+
+	// wmu serializes frame writes and tag assignment; pending registration
+	// happens under it too, BEFORE the frame is written, so a response can
+	// never arrive for an unregistered tag.
+	wmu    sync.Mutex
+	bw     *bufio.Writer
+	tag    uint32
+	encBuf []byte // scratch for the synchronous wrappers' payload encoding
+
+	// mu guards pending and the sticky transport error.
+	mu      sync.Mutex
+	pending map[uint32]*Call
+	err     error
+
+	readerDone chan struct{}
+}
+
+// Call is one in-flight request. Wait blocks until the response arrives
+// (or the connection fails) and returns the status and payload; the
+// payload is owned by the Call and valid until the Call is reused.
+type Call struct {
+	done    chan struct{}
+	status  byte
+	payload []byte
+	err     error
+}
+
+// Wait blocks for the response. The returned payload aliases the Call's
+// internal buffer.
+func (call *Call) Wait() (status byte, payload []byte, err error) {
+	<-call.done
+	return call.status, call.payload, call.err
+}
+
+// RemoteError is a non-OK response status with its server-sent message —
+// the binary analog of an HTTP 4xx/5xx body.
+type RemoteError struct {
+	Status byte
+	Msg    string
+}
+
+func (e *RemoteError) Error() string {
+	kind := "server error"
+	if e.Status == StatusBadRequest {
+		kind = "bad request"
+	}
+	return fmt.Sprintf("wire: %s: %s", kind, e.Msg)
+}
+
+// Dial connects, performs the handshake, and starts the response reader.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	c, err := NewClient(conn)
+	if err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// NewClient wraps an established connection: it sends the client
+// preamble, validates the server's, and starts the response reader. On
+// error the connection is left to the caller to close.
+func NewClient(conn net.Conn) (*Client, error) {
+	if err := WriteHandshake(conn); err != nil {
+		return nil, fmt.Errorf("wire: handshake write: %w", err)
+	}
+	if err := ReadHandshake(conn); err != nil {
+		return nil, err
+	}
+	c := &Client{
+		conn:       conn,
+		bw:         bufio.NewWriterSize(conn, 64<<10),
+		pending:    make(map[uint32]*Call),
+		readerDone: make(chan struct{}),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// readLoop pairs response frames to pending Calls by tag until the
+// connection closes or breaks; any exit reason becomes the sticky error
+// failing all current and future calls.
+func (c *Client) readLoop() {
+	defer close(c.readerDone)
+	br := bufio.NewReaderSize(c.conn, 64<<10)
+	var buf []byte
+	for {
+		resp, grown, err := ReadResponseFrame(br, buf)
+		buf = grown
+		if err != nil {
+			c.failAll(fmt.Errorf("wire: connection lost: %w", err))
+			return
+		}
+		c.mu.Lock()
+		call, ok := c.pending[resp.Tag]
+		delete(c.pending, resp.Tag)
+		c.mu.Unlock()
+		if !ok {
+			// A tag we never issued (or already completed): the stream can
+			// no longer be trusted.
+			c.failAll(fmt.Errorf("wire: response for unknown tag %d", resp.Tag))
+			return
+		}
+		call.status = resp.Status
+		call.payload = append(call.payload[:0], resp.Payload...)
+		call.err = nil
+		close(call.done)
+	}
+}
+
+// failAll poisons the client and completes every pending call with err.
+func (c *Client) failAll(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	calls := c.pending
+	c.pending = make(map[uint32]*Call)
+	c.mu.Unlock()
+	for _, call := range calls {
+		call.err = err
+		close(call.done)
+	}
+}
+
+// Go queues one request frame for op with the given payload and returns
+// its Call. The frame sits in the client's write buffer until Flush (or
+// until the buffer fills); pipelined callers batch several Go calls per
+// Flush. Passing a previously-completed Call recycles its buffers.
+func (c *Client) Go(op byte, payload []byte, call *Call) (*Call, error) {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return c.send(op, payload, call)
+}
+
+// send registers and writes one frame. Caller holds wmu.
+func (c *Client) send(op byte, payload []byte, call *Call) (*Call, error) {
+	if call == nil {
+		call = &Call{}
+	}
+	call.done = make(chan struct{})
+	call.err = nil
+
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.tag++
+	tag := c.tag
+	c.pending[tag] = call
+	c.mu.Unlock()
+
+	if _, err := WriteFrame(c.bw, op, tag, payload); err != nil {
+		c.dropPending(tag)
+		c.failAll(err)
+		return nil, err
+	}
+	return call, nil
+}
+
+// dropPending unregisters a tag whose frame never made it onto the wire.
+func (c *Client) dropPending(tag uint32) {
+	c.mu.Lock()
+	delete(c.pending, tag)
+	c.mu.Unlock()
+}
+
+// Flush pushes buffered request frames onto the connection.
+func (c *Client) Flush() error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if err := c.bw.Flush(); err != nil {
+		c.failAll(err)
+		return err
+	}
+	return nil
+}
+
+// Close tears the connection down and fails any in-flight calls.
+func (c *Client) Close() error {
+	err := c.conn.Close()
+	<-c.readerDone
+	return err
+}
+
+// roundTrip is the synchronous path: encode into encBuf, queue, and flush
+// in one wmu critical section (encBuf must not be reused by a concurrent
+// caller until the frame is on the wire), then wait and surface non-OK
+// statuses as *RemoteError.
+func (c *Client) roundTrip(op byte, encode func(dst []byte) ([]byte, error)) ([]byte, error) {
+	c.wmu.Lock()
+	payload, err := encode(c.encBuf[:0])
+	if err != nil {
+		c.wmu.Unlock()
+		return nil, err
+	}
+	c.encBuf = payload
+	call, err := c.send(op, payload, nil)
+	if err == nil {
+		if ferr := c.bw.Flush(); ferr != nil {
+			err = ferr
+			c.failAll(ferr)
+		}
+	}
+	c.wmu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	status, resp, err := call.Wait()
+	if err != nil {
+		return nil, err
+	}
+	if status != StatusOK {
+		msg, derr := DecodeErrorResponse(resp)
+		if derr != nil {
+			msg = derr.Error()
+		}
+		return nil, &RemoteError{Status: status, Msg: msg}
+	}
+	return resp, nil
+}
+
+// Update trains the server on a batch and returns the applied count and
+// the backend's step counter after the batch.
+func (c *Client) Update(batch []stream.Example) (applied int, steps int64, err error) {
+	resp, err := c.roundTrip(OpUpdate, func(dst []byte) ([]byte, error) {
+		return AppendUpdateRequest(dst, batch)
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	return DecodeUpdateResponse(resp)
+}
+
+// Predict scores one feature vector.
+func (c *Client) Predict(x stream.Vector) (margin float64, label int, err error) {
+	resp, err := c.roundTrip(OpPredict, func(dst []byte) ([]byte, error) {
+		return AppendPredictRequest(dst, x)
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	return DecodePredictResponse(resp)
+}
+
+// Estimate returns the estimated weight for each index, in order.
+func (c *Client) Estimate(indices []uint32) ([]float64, error) {
+	resp, err := c.roundTrip(OpEstimate, func(dst []byte) ([]byte, error) {
+		return AppendEstimateRequest(dst, indices)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return DecodeEstimateResponse(resp, nil)
+}
+
+// Ping round-trips an empty frame.
+func (c *Client) Ping() error {
+	_, err := c.roundTrip(OpPing, func(dst []byte) ([]byte, error) { return dst, nil })
+	return err
+}

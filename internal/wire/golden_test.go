@@ -1,0 +1,166 @@
+package wire
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"wmsketch/internal/stream"
+)
+
+// Golden wire vectors: the committed bytes in testdata/ pin the version-1
+// frame encoding. If any of these tests fail after an intentional format
+// change, that change is a protocol break — bump Version and regenerate
+// with
+//
+//	go test ./internal/wire -run TestGolden -update-golden
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden wire vectors")
+
+// goldenFrames builds the canonical frame sequence: every op and every
+// response shape, with fixed payload contents.
+func goldenFrames() ([]byte, error) {
+	var buf bytes.Buffer
+	add := func(kind byte, tag uint32, payload []byte, err error) error {
+		if err != nil {
+			return err
+		}
+		_, werr := WriteFrame(&buf, kind, tag, payload)
+		return werr
+	}
+
+	upd, err := AppendUpdateRequest(nil, []stream.Example{
+		{Y: 1, X: stream.Vector{{Index: 1, Value: 0.5}, {Index: 300, Value: -1.25}}},
+		{Y: -1, X: stream.Vector{{Index: 4294967295, Value: 2}}},
+	})
+	if err := add(OpUpdate, 0x01020304, upd, err); err != nil {
+		return nil, err
+	}
+	pred, err := AppendPredictRequest(nil, stream.Vector{{Index: 7, Value: 1.5}})
+	if err := add(OpPredict, 2, pred, err); err != nil {
+		return nil, err
+	}
+	est, err := AppendEstimateRequest(nil, []uint32{0, 128, 65536})
+	if err := add(OpEstimate, 3, est, err); err != nil {
+		return nil, err
+	}
+	if err := add(OpPing, 4, nil, nil); err != nil {
+		return nil, err
+	}
+	if err := add(StatusOK, 0x01020304, AppendUpdateResponse(nil, 2, 1000), nil); err != nil {
+		return nil, err
+	}
+	if err := add(StatusOK, 2, AppendPredictResponse(nil, -0.75, -1), nil); err != nil {
+		return nil, err
+	}
+	if err := add(StatusOK, 3, AppendEstimateResponse(nil, []float64{0.125, -2, 0}), nil); err != nil {
+		return nil, err
+	}
+	if err := add(StatusBadRequest, 5, AppendErrorResponse(nil, "example 0: label must be +1 or -1, got byte 0x02"), nil); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func goldenPath() string { return filepath.Join("testdata", "golden_frames_v1.bin") }
+
+func TestGoldenVectors(t *testing.T) {
+	want, err := goldenFrames()
+	if err != nil {
+		t.Fatalf("build golden frames: %v", err)
+	}
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath(), want, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d bytes to %s", len(want), goldenPath())
+	}
+	got, err := os.ReadFile(goldenPath())
+	if err != nil {
+		t.Fatalf("read golden file (regenerate with -update-golden): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("encoder output diverged from committed golden bytes "+
+			"(%d vs %d bytes) — this is a version-1 protocol break", len(want), len(got))
+	}
+}
+
+// TestGoldenDecode walks the committed bytes through the decoders and
+// re-encodes each frame, requiring bit-exactness both ways.
+func TestGoldenDecode(t *testing.T) {
+	blob, err := os.ReadFile(goldenPath())
+	if err != nil {
+		t.Fatalf("read golden file (regenerate with -update-golden): %v", err)
+	}
+	// The first four frames are requests, the rest responses.
+	r := bytes.NewReader(blob)
+	var rebuilt bytes.Buffer
+	var buf []byte
+	for i := 0; i < 4; i++ {
+		req, grown, err := ReadRequestFrame(r, buf)
+		buf = grown
+		if err != nil {
+			t.Fatalf("request frame %d: %v", i, err)
+		}
+		reenc, err := reencodeRequest(req)
+		if err != nil {
+			t.Fatalf("request frame %d: %v", i, err)
+		}
+		if _, err := WriteFrame(&rebuilt, req.Op, req.Tag, reenc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; ; i++ {
+		resp, grown, err := ReadResponseFrame(r, buf)
+		buf = grown
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("response frame %d: %v", i, err)
+		}
+		if _, err := WriteFrame(&rebuilt, resp.Status, resp.Tag,
+			append([]byte(nil), resp.Payload...)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(rebuilt.Bytes(), blob) {
+		t.Fatal("decode→re-encode did not reproduce the golden bytes")
+	}
+}
+
+func reencodeRequest(req RequestFrame) ([]byte, error) {
+	switch req.Op {
+	case OpUpdate:
+		batch, _, err := DecodeUpdateRequest(req.Payload, nil)
+		if err != nil {
+			return nil, err
+		}
+		return AppendUpdateRequest(nil, batch)
+	case OpPredict:
+		x, err := DecodePredictRequest(req.Payload, nil)
+		if err != nil {
+			return nil, err
+		}
+		return AppendPredictRequest(nil, x)
+	case OpEstimate:
+		idx, err := DecodeEstimateRequest(req.Payload, nil)
+		if err != nil {
+			return nil, err
+		}
+		return AppendEstimateRequest(nil, idx)
+	case OpPing:
+		if len(req.Payload) != 0 {
+			return nil, fmt.Errorf("ping with %d payload bytes", len(req.Payload))
+		}
+		return nil, nil
+	}
+	return nil, fmt.Errorf("unknown op %d", req.Op)
+}
